@@ -1,0 +1,52 @@
+// Ablation: the paper's suggested-but-unevaluated extensions (§5.1, §6):
+//   * speculative partial-match store forwarding,
+//   * narrow-width slice relaxation (significance-compression style).
+// Reports IPC on top of the full Figure-11 technique stack, plus the
+// mechanism counters (how often each fired, and the speculation miss rate).
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bsp;
+  using namespace bsp::bench;
+  const Options opt = parse_options(
+      argc, argv, "ablation: paper-suggested extensions beyond Figure 11");
+  print_header(opt, "Ablation: speculative forwarding & narrow-width "
+                    "relaxation (slice-by-4)");
+
+  struct Ext {
+    const char* label;
+    TechniqueSet set;
+  };
+  const Ext exts[] = {
+      {"paper stack", kAllTechniques},
+      {"+spec fwd",
+       kAllTechniques | static_cast<unsigned>(Technique::SpecForward)},
+      {"+narrow width",
+       kAllTechniques | static_cast<unsigned>(Technique::NarrowWidth)},
+      {"+both", kExtendedTechniques},
+  };
+
+  Table table({"benchmark", "paper stack", "+spec fwd", "+narrow width",
+               "+both", "spec fwd tried", "spec fwd missed",
+               "narrow results"});
+  for (const auto& name : opt.workload_list()) {
+    const Workload w = build_workload(name);
+    std::vector<std::string> row = {name};
+    SimStats last{};
+    for (const Ext& e : exts) {
+      const SimStats s =
+          run_sim(bitsliced_machine(4, e.set), w.program, opt.instructions, opt.warmup);
+      row.push_back(Table::num(s.ipc(), 3));
+      last = s;
+    }
+    row.push_back(std::to_string(last.spec_forwards));
+    row.push_back(std::to_string(last.spec_forward_misses));
+    row.push_back(std::to_string(last.narrow_operands));
+    table.add_row(std::move(row));
+  }
+  emit(opt, table);
+  std::cout << "The paper predicts speculative partial-match forwarding "
+               "confirms with very high accuracy (Figure 2's single-match "
+               "category converges to the exact match).\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Google-benchmark microbenchmarks for the simulator's hot paths: these are
+// engineering benchmarks (simulator throughput), not paper reproductions —
+// the per-table/figure drivers live in the sibling binaries.
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.hpp"
+#include "branch/predictor.hpp"
+#include "core/simulator.hpp"
+#include "emu/emulator.hpp"
+#include "lsq/disambig.hpp"
+#include "mem/cache.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace bsp {
+namespace {
+
+void BM_SlicedAdd(benchmark::State& state) {
+  const SliceGeometry g{static_cast<unsigned>(state.range(0))};
+  Rng rng(1);
+  u32 a = rng.next(), b = rng.next();
+  for (auto _ : state) {
+    a = sliced_add(g, a, b);
+    b ^= a;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_SlicedAdd)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_CacheAccess(benchmark::State& state) {
+  Cache cache({64 * 1024, 64, 4});
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.next() & 0x3ffff, false));
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_PartialMatchWays(benchmark::State& state) {
+  Cache cache({64 * 1024, 64, 4});
+  Rng rng(3);
+  for (int i = 0; i < 4096; ++i) cache.access(rng.next(), false);
+  u32 addr = 0;
+  for (auto _ : state) {
+    addr += 0x4111;
+    benchmark::DoNotOptimize(
+        cache.partial_match_ways(addr, static_cast<unsigned>(state.range(0))));
+  }
+}
+BENCHMARK(BM_PartialMatchWays)->Arg(2)->Arg(9)->Arg(18);
+
+void BM_GsharePredictUpdate(benchmark::State& state) {
+  GsharePredictor g(64 * 1024);
+  Rng rng(4);
+  for (auto _ : state) {
+    const u32 pc = 0x400000 + (rng.next() & 0xffc);
+    const bool taken = rng.chance(2, 3);
+    benchmark::DoNotOptimize(g.predict(pc));
+    g.update(pc, taken);
+  }
+}
+BENCHMARK(BM_GsharePredictUpdate);
+
+void BM_DisambiguateLoad(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<StoreView> stores;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i)
+    stores.push_back({i, 32, rng.next(), 4, true, rng.next()});
+  for (auto _ : state) {
+    const LoadQuery q{16, rng.next(), 4};
+    benchmark::DoNotOptimize(disambiguate_load(q, stores, true));
+  }
+}
+BENCHMARK(BM_DisambiguateLoad)->Arg(4)->Arg(16)->Arg(31);
+
+void BM_EmulatorStepThroughput(benchmark::State& state) {
+  const Workload w = build_workload("bzip");
+  Emulator emu(w.program);
+  for (auto _ : state) {
+    if (emu.exited()) emu.load(w.program);
+    benchmark::DoNotOptimize(emu.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmulatorStepThroughput);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  const Workload w = build_workload("gzip");
+  const MachineConfig cfg = state.range(0) == 0
+                                ? base_machine()
+                                : bitsliced_machine(
+                                      static_cast<unsigned>(state.range(0)),
+                                      kAllTechniques);
+  for (auto _ : state) {
+    const SimResult r = simulate(cfg, w.program, 20'000);
+    if (!r.ok()) state.SkipWithError(r.error.c_str());
+    benchmark::DoNotOptimize(r.stats.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * 20'000);
+}
+BENCHMARK(BM_SimulatorThroughput)->Arg(0)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AssembleWorkload(benchmark::State& state) {
+  const std::string src = workload_source("gcc");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assemble(src));
+  }
+  state.SetBytesProcessed(state.iterations() * src.size());
+}
+BENCHMARK(BM_AssembleWorkload)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bsp

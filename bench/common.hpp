@@ -1,0 +1,144 @@
+// Shared plumbing for the bench drivers: CLI parsing, the standard header
+// (Table 2 machine description), and the Figure 11/12 configuration stacks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "config/machine_config.hpp"
+#include "core/simulator.hpp"
+#include "util/table.hpp"
+#include "workloads/workloads.hpp"
+
+namespace bsp::bench {
+
+struct Options {
+  u64 instructions = 200'000;  // committed/visited instructions per run
+  u64 warmup = 300'000;        // timing-run warm-up (statistics discarded;
+                               // stands in for the paper's 1 B fast-forward)
+  u64 skip = 10'000;           // trace-study warm-up (trace-driven only)
+  unsigned jobs = 0;           // sweep parallelism (0 = hardware threads)
+  bool csv = false;
+  bool print_config = false;
+  bool print_pipelines = false;
+  std::vector<std::string> workloads;  // empty = the full suite
+
+  const std::vector<std::string>& workload_list() const {
+    return workloads.empty() ? workload_names() : workloads;
+  }
+};
+
+inline Options parse_options(int argc, char** argv, const char* what) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << a << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--instructions" || a == "-n") {
+      opt.instructions = std::strtoull(value(), nullptr, 0);
+    } else if (a == "--warmup") {
+      opt.warmup = std::strtoull(value(), nullptr, 0);
+    } else if (a == "--skip") {
+      opt.skip = std::strtoull(value(), nullptr, 0);
+    } else if (a == "--jobs" || a == "-j") {
+      opt.jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 0));
+    } else if (a == "--csv") {
+      opt.csv = true;
+    } else if (a == "--print-config") {
+      opt.print_config = true;
+    } else if (a == "--print-pipelines") {
+      opt.print_pipelines = true;
+    } else if (a == "--workload" || a == "-w") {
+      opt.workloads.push_back(value());
+    } else if (a == "--help" || a == "-h") {
+      std::cout << what << "\n\nOptions:\n"
+                << "  -n, --instructions N   measured instructions per run "
+                   "(default "
+                << opt.instructions << ")\n"
+                << "      --warmup N         discarded timing warm-up "
+                   "(default "
+                << opt.warmup << ")\n"
+                << "      --skip N           trace warm-up instructions\n"
+                << "  -j, --jobs N           parallel simulations (default: "
+                   "hardware threads)\n"
+                << "  -w, --workload NAME    restrict to one benchmark "
+                   "(repeatable)\n"
+                << "      --csv              machine-readable output\n"
+                << "      --print-config     dump the Table-2 machine "
+                   "configuration\n"
+                << "      --print-pipelines  dump the Figure-10 pipeline "
+                   "diagrams\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option " << a << " (try --help)\n";
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+inline void print_header(const Options& opt, const char* title) {
+  std::cout << "== " << title << " ==\n";
+  if (opt.print_config) {
+    std::cout << "\nMachine configuration (paper Table 2):\n"
+              << base_machine().describe() << "\n";
+  }
+  if (opt.print_pipelines) {
+    std::cout << "Pipelines (paper Figure 10):\n"
+              << "  base:       " << pipeline_diagram(base_machine()) << "\n"
+              << "  slice-by-2: "
+              << pipeline_diagram(simple_pipelined_machine(2)) << "\n"
+              << "  slice-by-4: "
+              << pipeline_diagram(simple_pipelined_machine(4)) << "\n\n";
+  }
+}
+
+inline void emit(const Options& opt, const Table& table) {
+  if (opt.csv)
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+  std::cout << "\n";
+}
+
+// The cumulative technique stacks of Figures 11/12 for one slice count:
+// simple pipelining, then +bypass, +ooo slices, +early branch, +early lsq,
+// +partial tag (the paper's order).
+struct StackPoint {
+  std::string label;
+  MachineConfig config;
+};
+
+inline std::vector<StackPoint> technique_stack(unsigned slices) {
+  std::vector<StackPoint> stack;
+  stack.push_back({"simple pipelining", simple_pipelined_machine(slices)});
+  TechniqueSet set = kNoTechniques;
+  for (const Technique t : technique_order()) {
+    set |= static_cast<unsigned>(t);
+    stack.push_back({std::string("+") + technique_name(t),
+                     bitsliced_machine(slices, set)});
+  }
+  return stack;
+}
+
+// Runs one timing simulation, aborting the bench on any co-simulation error.
+inline SimStats run_sim(const MachineConfig& cfg, const Program& program,
+                        u64 commits, u64 warmup = 0) {
+  const SimResult r = simulate(cfg, program, commits, warmup);
+  if (!r.ok()) {
+    std::cerr << "simulation error: " << r.error << "\n";
+    std::exit(1);
+  }
+  return r.stats;
+}
+
+}  // namespace bsp::bench

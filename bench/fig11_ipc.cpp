@@ -1,0 +1,101 @@
+// Reproduces paper Figure 11: IPC of the bit-sliced microarchitecture.
+// For every benchmark: the ideal base machine (single-cycle EX), then the
+// slice-by-2 and slice-by-4 machines with the partial-operand techniques
+// enabled cumulatively in the paper's order (simple pipelining first).
+//
+// Expected shape: simple pipelining loses substantial IPC against the base;
+// the full slice-by-2 stack recovers to within a few percent of base (the
+// paper reports a 0.01 % average slowdown and a 16 % speedup over simple
+// pipelining); slice-by-4 recovers much of, but not all, the loss (paper:
+// 18 % below base, 44 % over simple pipelining). Also reports the §7.1
+// partial-tag way-mispredict (replay) rates (~2 % by-2, ~1 % by-4).
+#include "common.hpp"
+
+#include "util/chart.hpp"
+#include "util/parallel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bsp;
+  using namespace bsp::bench;
+  const Options opt =
+      parse_options(argc, argv, "fig11: IPC of the bit-sliced machine");
+  print_header(opt, "Figure 11: IPC results for the bit-sliced "
+                    "microarchitecture");
+
+  for (const unsigned slices : {2u, 4u}) {
+    const auto stack = technique_stack(slices);
+    std::vector<std::string> header = {"benchmark", "base (ideal)"};
+    for (const auto& p : stack) header.push_back(p.label);
+    header.push_back("tag replay rate");
+    Table table(std::move(header));
+
+    double base_sum = 0, simple_sum = 0, full_sum = 0, replay_sum = 0;
+    unsigned rows = 0;
+    std::vector<double> avg_stack(stack.size(), 0.0);
+
+    // One independent simulation bundle per workload, run in parallel.
+    struct WorkloadResult {
+      SimStats base;
+      std::vector<SimStats> stack_stats;
+    };
+    const auto& names = opt.workload_list();
+    const auto results = parallel_map<WorkloadResult>(
+        names.size(),
+        [&](std::size_t wi) {
+          const Workload w = build_workload(names[wi]);
+          WorkloadResult r;
+          r.base =
+              run_sim(base_machine(), w.program, opt.instructions, opt.warmup);
+          for (const auto& p : stack)
+            r.stack_stats.push_back(
+                run_sim(p.config, w.program, opt.instructions, opt.warmup));
+          return r;
+        },
+        opt.jobs);
+
+    for (std::size_t wi = 0; wi < names.size(); ++wi) {
+      const WorkloadResult& wr = results[wi];
+      std::vector<std::string> row = {names[wi]};
+      row.push_back(Table::num(wr.base.ipc(), 3));
+      for (std::size_t i = 0; i < stack.size(); ++i) {
+        row.push_back(Table::num(wr.stack_stats[i].ipc(), 3));
+        avg_stack[i] += wr.stack_stats[i].ipc();
+      }
+      const SimStats& first = wr.stack_stats.front();
+      const SimStats& last = wr.stack_stats.back();
+      row.push_back(Table::pct(last.way_mispredict_rate()));
+      table.add_row(std::move(row));
+      base_sum += wr.base.ipc();
+      simple_sum += first.ipc();
+      full_sum += last.ipc();
+      replay_sum += last.way_mispredict_rate();
+      ++rows;
+    }
+    std::cout << "slice-by-" << slices << ":\n";
+    emit(opt, table);
+
+    BarChart chart("average IPC, slice-by-" + std::to_string(slices) +
+                   " ('|' marks the ideal base machine)");
+    chart.set_reference(base_sum / rows);
+    for (std::size_t i = 0; i < stack.size(); ++i)
+      chart.add_bar(stack[i].label, avg_stack[i] / rows);
+    chart.print(std::cout);
+    std::cout << "\n";
+    std::cout << "averages: base " << Table::num(base_sum / rows, 3)
+              << ", simple pipelining " << Table::num(simple_sum / rows, 3)
+              << ", full bit-slice " << Table::num(full_sum / rows, 3) << "\n"
+              << "full vs base:  "
+              << Table::pct(full_sum / base_sum - 1.0)
+              << (slices == 2 ? "   (paper: -0.01%)" : "   (paper: -18%)")
+              << "\n"
+              << "full vs simple pipelining: "
+              << Table::pct(full_sum / simple_sum - 1.0)
+              << (slices == 2 ? "   (paper: +16%)" : "   (paper: +44%)")
+              << "\n"
+              << "avg partial-tag replay rate: "
+              << Table::pct(replay_sum / rows)
+              << (slices == 2 ? "   (paper: ~2%)" : "   (paper: ~1%)")
+              << "\n\n";
+  }
+  return 0;
+}

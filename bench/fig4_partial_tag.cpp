@@ -1,0 +1,58 @@
+// Reproduces paper Figure 4: partial tag matching in set-associative caches.
+// Streams each benchmark's data accesses through six cache geometries —
+// {64KB/64B-line, 8KB/32B-line} x {2,4,8}-way — classifying what a partial
+// tag comparison with t bits would conclude, for t = 1 .. full tag width.
+// The paper shows mcf and twolf; --workload selects others.
+//
+// Expected shape: as tag bits grow the series converge to "single hit"
+// (the cache hit rate) and "zero match" (the miss rate); the dangerous
+// "single miss" category stays tiny once a few tag bits are available.
+#include "common.hpp"
+
+#include "trace/studies.hpp"
+#include "trace/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bsp;
+  using namespace bsp::bench;
+  Options opt = parse_options(
+      argc, argv, "fig4: partial tag matching characterisation");
+  if (opt.workloads.empty()) opt.workloads = {"mcf", "twolf"};
+  print_header(opt, "Figure 4: partial tag matching");
+
+  struct GeometryCase {
+    const char* label;
+    u32 size, line;
+  };
+  const GeometryCase sizes[] = {{"64KB, 64B lines", 64 * 1024, 64},
+                                {"8KB, 32B lines", 8 * 1024, 32}};
+  const unsigned ways_list[] = {2, 4, 8};
+
+  for (const auto& name : opt.workload_list()) {
+    const Workload w = build_workload(name);
+    for (const auto& g : sizes) {
+      for (const unsigned ways : ways_list) {
+        PartialTagStudy study(CacheGeometry{g.size, g.line, ways});
+        run_trace(w.program, opt.skip, opt.instructions,
+                  [&](const ExecRecord& rec) {
+                    study.observe(rec);
+                    return true;
+                  });
+        std::cout << name << " - " << g.label << ", " << ways << "-way ("
+                  << study.accesses() << " accesses):\n";
+        Table table({"tag bits", "zero match", "single entry - hit",
+                     "single entry - miss", "mult match"});
+        for (unsigned t = 1; t <= study.tag_bits(); ++t) {
+          table.add_row(
+              {std::to_string(t),
+               Table::pct(study.fraction(t, PartialTagStudy::Outcome::ZeroMatch)),
+               Table::pct(study.fraction(t, PartialTagStudy::Outcome::SingleHit)),
+               Table::pct(study.fraction(t, PartialTagStudy::Outcome::SingleMiss)),
+               Table::pct(study.fraction(t, PartialTagStudy::Outcome::MultMatch))});
+        }
+        emit(opt, table);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Supplementary table: the operand-criticality profile that motivates the
+// paper's §2 ("dependent instructions can often begin their execution
+// without entire knowledge of their operands") and §6's narrow-width
+// remark. For each benchmark: what fraction of dynamic instructions can
+// start with only the low slice of their sources, what fraction needs full
+// operands, and how often results are narrow.
+#include "common.hpp"
+
+#include "trace/studies.hpp"
+#include "trace/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bsp;
+  using namespace bsp::bench;
+  const Options opt = parse_options(
+      argc, argv, "supplementary: operand criticality profile");
+  print_header(opt, "Operand criticality profile (per dynamic instruction)");
+
+  Table table({"benchmark", "startable with low slice", "needs full operands",
+               "results narrow @16b", "results narrow @8b"});
+  double s_sum = 0, f_sum = 0, n16_sum = 0, n8_sum = 0;
+  unsigned rows = 0;
+  for (const auto& name : opt.workload_list()) {
+    const Workload w = build_workload(name);
+    OperandProfile profile;
+    run_trace(w.program, opt.skip, opt.instructions,
+              [&](const ExecRecord& rec) {
+                profile.observe(rec);
+                return true;
+              });
+    table.add_row({name, Table::pct(profile.startable_with_low_slice()),
+                   Table::pct(profile.needs_full_operands()),
+                   Table::pct(profile.narrow_results(16)),
+                   Table::pct(profile.narrow_results(8))});
+    s_sum += profile.startable_with_low_slice();
+    f_sum += profile.needs_full_operands();
+    n16_sum += profile.narrow_results(16);
+    n8_sum += profile.narrow_results(8);
+    ++rows;
+  }
+  table.add_row({"average", Table::pct(s_sum / rows), Table::pct(f_sum / rows),
+                 Table::pct(n16_sum / rows), Table::pct(n8_sum / rows)});
+  emit(opt, table);
+  std::cout << "Reading: the first column is why slice-granular wakeup works "
+               "(paper §2); the narrow columns bound the §6 narrow-width "
+               "extension's reach (refs [3,6] report similar rates for real "
+               "SPECint).\n";
+  return 0;
+}

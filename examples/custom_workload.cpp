@@ -1,0 +1,134 @@
+// Custom workload walkthrough: how a user of this library brings their own
+// kernel and runs the paper's full methodology over it —
+//   1. write the kernel in BSP-32 assembly (here: binary search over a
+//      sorted table, a classic partial-operand-friendly pattern),
+//   2. trace-characterise it (Figures 2/4/6 engines),
+//   3. measure the technique stack on the timing core.
+#include <iostream>
+#include <sstream>
+
+#include "asm/assembler.hpp"
+#include "core/simulator.hpp"
+#include "trace/studies.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// Generates a sorted table and a binary-search driver over random keys.
+std::string make_binary_search_kernel() {
+  using namespace bsp;
+  constexpr unsigned kEntries = 4096;
+  Rng rng(0xB54C);
+  std::vector<u32> sorted(kEntries);
+  u32 v = 0;
+  for (auto& e : sorted) e = (v += 1 + (rng.next() & 0x3ff));
+
+  std::ostringstream os;
+  os << R"(.text
+main:
+  li $s7, 200000          # probes
+  la $s0, table
+  li $t9, 2463534242      # xorshift state
+outer:
+  sll $at, $t9, 13
+  xor $t9, $t9, $at
+  srl $at, $t9, 17
+  xor $t9, $t9, $at
+  sll $at, $t9, 5
+  xor $t9, $t9, $at
+  move $t0, $0            # lo index
+  li $t1, 4095            # hi index
+search:
+  slt $at, $t1, $t0
+  bne $at, $0, done       # lo > hi: not found
+  addu $t2, $t0, $t1
+  srl $t2, $t2, 1         # mid
+  sll $t3, $t2, 2
+  addu $t3, $s0, $t3
+  lw $t4, 0($t3)          # table[mid]
+  beq $t4, $t9, done      # found (rare)
+  sltu $at, $t4, $t9
+  beq $at, $0, go_left
+  addiu $t0, $t2, 1       # lo = mid+1
+  b search
+go_left:
+  addiu $t1, $t2, -1      # hi = mid-1
+  b search
+done:
+  addiu $s7, $s7, -1
+  bgtz $s7, outer
+  li $v0, 10
+  li $a0, 0
+  syscall
+.data
+table:
+)";
+  for (std::size_t i = 0; i < sorted.size(); i += 8) {
+    os << "  .word ";
+    for (std::size_t j = i; j < i + 8; ++j)
+      os << sorted[j] << (j + 1 < i + 8 ? ", " : "\n");
+  }
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  using namespace bsp;
+
+  // 1. Assemble.
+  const AsmResult assembled = assemble(make_binary_search_kernel());
+  if (!assembled.ok()) {
+    std::cerr << assembled.error_text();
+    return 1;
+  }
+  const Program& program = assembled.program;
+  std::cout << "binary-search kernel: " << program.text.size()
+            << " instructions, " << program.data.size() << " data bytes\n\n";
+
+  // 2. Trace-driven characterisation, exactly as for the paper's suite.
+  LsqAliasStudy lsq(32);
+  PartialTagStudy tags(CacheGeometry{64 * 1024, 64, 4});
+  EarlyBranchStudy branches;
+  run_trace(program, 10'000, 300'000, [&](const ExecRecord& rec) {
+    lsq.observe(rec);
+    tags.observe(rec);
+    branches.observe(rec);
+    return true;
+  });
+  std::cout << "gshare accuracy:                    "
+            << Table::pct(branches.accuracy()) << "\n"
+            << "loads resolved after 9 addr bits:   "
+            << Table::pct(lsq.resolved_fraction(8)) << "\n"
+            << "mispredicts detectable by bit 7:    "
+            << Table::pct(branches.detected_by_bit(7)) << "\n"
+            << "partial-tag unique hit at 2 bits:   "
+            << Table::pct(tags.fraction(2, PartialTagStudy::Outcome::SingleHit))
+            << "\n\n";
+
+  // 3. Timing: the paper's headline comparison on this kernel.
+  Table table({"machine", "IPC", "vs base"});
+  const double base =
+      simulate(base_machine(), program, 150'000, 50'000).stats.ipc();
+  table.add_row({"base (ideal EX)", Table::num(base, 3), "-"});
+  for (const unsigned slices : {2u, 4u}) {
+    const double simple =
+        simulate(simple_pipelined_machine(slices), program, 150'000, 50'000)
+            .stats.ipc();
+    const double full =
+        simulate(bitsliced_machine(slices, kAllTechniques), program, 150'000,
+                 50'000)
+            .stats.ipc();
+    table.add_row({"slice-by-" + std::to_string(slices) + " simple",
+                   Table::num(simple, 3), Table::pct(simple / base - 1.0)});
+    table.add_row({"slice-by-" + std::to_string(slices) + " full",
+                   Table::num(full, 3), Table::pct(full / base - 1.0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nBinary search is branch- and load-latency-bound: watch the "
+               "partial-operand techniques close most of the naive-pipelining "
+               "gap.\n";
+  return 0;
+}

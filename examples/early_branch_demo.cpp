@@ -1,0 +1,64 @@
+// Figure 5 demo: early branch misprediction detection on the li kernel.
+//
+// The paper's motivating example is a `lbu / andi / bne` sequence from the
+// lisp interpreter: the andi clears every bit of $2 except bit 0, so the
+// moment slice 0 of $2 exists, a predicted-not-taken bne can be proven
+// mispredicted — the upper 24 bits are irrelevant. This program shows
+// (a) the static code, (b) the per-bit detectability histogram for li, and
+// (c) the IPC effect of turning early branch resolution on.
+#include <iostream>
+
+#include "config/machine_config.hpp"
+#include "core/simulator.hpp"
+#include "trace/studies.hpp"
+#include "trace/trace.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  using namespace bsp;
+
+  // (a) The Figure 5 idiom inside the generated li kernel.
+  const std::string src = workload_source("li");
+  const auto pos = src.find("lbu $3");
+  std::cout << "li kernel mark loop (paper Figure 5 idiom):\n";
+  std::cout << src.substr(pos, src.find("b next_node", pos) - pos) << "\n";
+
+  // (b) How early are li's mispredictions provable?
+  const Workload w = build_workload("li");
+  EarlyBranchStudy study;
+  run_trace(w.program, 10'000, 300'000, [&](const ExecRecord& rec) {
+    study.observe(rec);
+    return true;
+  });
+  std::cout << "branches: " << study.branches()
+            << ", mispredictions: " << study.mispredictions()
+            << " (gshare accuracy "
+            << 100.0 * study.accuracy() << "%)\n";
+  for (const unsigned k : {0u, 3u, 7u, 15u, 30u, 31u}) {
+    std::cout << "  detectable with operand bits [0.." << k
+              << "]: " << 100.0 * study.detected_by_bit(k) << "%\n";
+  }
+
+  // (c) Timing effect: slice-by-4 machine with and without early branch
+  // resolution (on top of partial operand bypassing).
+  const TechniqueSet bypass =
+      static_cast<unsigned>(Technique::PartialBypass) |
+      static_cast<unsigned>(Technique::OooSlices);
+  const TechniqueSet with_eb =
+      bypass | static_cast<unsigned>(Technique::EarlyBranch);
+  const SimResult off = simulate(bitsliced_machine(4, bypass), w.program,
+                                 200'000);
+  const SimResult on = simulate(bitsliced_machine(4, with_eb), w.program,
+                                200'000);
+  if (!off.ok() || !on.ok()) {
+    std::cerr << off.error << on.error << "\n";
+    return 1;
+  }
+  std::cout << "\nslice-by-4 timing (200k instructions):\n"
+            << "  without early branch resolution: IPC " << off.stats.ipc()
+            << "\n"
+            << "  with early branch resolution:    IPC " << on.stats.ipc()
+            << "  (" << on.stats.early_resolved_branches
+            << " branches resolved before their last slice)\n";
+  return 0;
+}

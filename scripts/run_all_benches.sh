@@ -1,0 +1,38 @@
+#!/bin/sh
+# Runs every table/figure/ablation driver with its default (publication)
+# parameters, writing one output file per bench into results/.
+#
+#   scripts/run_all_benches.sh [build-dir] [results-dir]
+#
+# Defaults assume the standard layout: ./build and ./results.
+set -eu
+
+BUILD="${1:-build}"
+OUT="${2:-results}"
+mkdir -p "$OUT"
+
+BENCHES="
+table1_characteristics
+table_operand_profile
+fig2_lsq_disambiguation
+fig4_partial_tag
+fig6_early_branch
+fig11_ipc
+fig12_speedup
+abl_lsq_depth
+abl_way_policy
+abl_slice_width
+abl_stability
+abl_extensions
+abl_seeds
+abl_sam
+abl_predictor
+abl_fp_corner
+abl_window
+"
+
+for b in $BENCHES; do
+  echo "== $b"
+  "$BUILD/bench/$b" > "$OUT/$b.txt" 2>&1
+done
+echo "done: $OUT/"

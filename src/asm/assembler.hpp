@@ -1,0 +1,46 @@
+// Two-pass assembler for the BSP-32 ISA.
+//
+// Supports:
+//   * sections:    .text  .data
+//   * labels:      `name:` (text labels become code addresses, data labels
+//                  data addresses)
+//   * directives:  .word .half .byte .space .align .asciiz .globl (ignored)
+//   * all native instructions per OperandSig (see isa/opcodes.def)
+//   * pseudo-instructions: nop, move, li, la, b, beqz, bnez
+//   * operands:    registers ($t0 / $8 / t0), decimal/hex immediates,
+//                  labels, label+offset, %hi(label), %lo(label)
+//   * comments:    `#` to end of line
+//
+// Pass 1 lays out sections and records label addresses (pseudo-instruction
+// expansions have fixed sizes so layout is stable); pass 2 encodes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asm/program.hpp"
+
+namespace bsp {
+
+struct AsmError {
+  unsigned line = 0;        // 1-based source line
+  std::string message;
+};
+
+struct AsmResult {
+  Program program;
+  std::vector<AsmError> errors;
+  bool ok() const { return errors.empty(); }
+  // All error messages joined, for test assertions and CLI output.
+  std::string error_text() const;
+};
+
+struct AsmOptions {
+  u32 text_base = kDefaultTextBase;
+  u32 data_base = kDefaultDataBase;
+};
+
+AsmResult assemble(std::string_view source, const AsmOptions& opts = {});
+
+}  // namespace bsp

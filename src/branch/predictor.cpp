@@ -1,0 +1,172 @@
+#include "branch/predictor.hpp"
+
+#include <cassert>
+
+namespace bsp {
+
+// ---------------------------------------------------------------------------
+// Bimodal
+// ---------------------------------------------------------------------------
+
+BimodalPredictor::BimodalPredictor(unsigned entries) : table_(entries) {
+  assert(is_pow2(entries));
+}
+
+bool BimodalPredictor::predict(u32 pc) const {
+  return table_[index(pc)].taken();
+}
+
+void BimodalPredictor::update(u32 pc, bool taken) {
+  table_[index(pc)].update(taken);
+}
+
+// ---------------------------------------------------------------------------
+// Gshare
+// ---------------------------------------------------------------------------
+
+GsharePredictor::GsharePredictor(unsigned entries) : table_(entries) {
+  assert(is_pow2(entries));
+  history_mask_ = u32(entries) - 1;
+}
+
+bool GsharePredictor::predict(u32 pc) const {
+  return table_[index(pc)].taken();
+}
+
+void GsharePredictor::update(u32 pc, bool taken) {
+  table_[index(pc)].update(taken);
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+}
+
+// ---------------------------------------------------------------------------
+// BTB
+// ---------------------------------------------------------------------------
+
+BranchTargetBuffer::BranchTargetBuffer(unsigned sets, unsigned ways)
+    : sets_(sets), ways_(ways), entries_(sets * ways) {
+  assert(is_pow2(sets));
+}
+
+std::optional<u32> BranchTargetBuffer::lookup(u32 pc) const {
+  const unsigned set = set_of(pc);
+  const u32 tag = tag_of(pc);
+  for (unsigned w = 0; w < ways_; ++w) {
+    const Entry* e = way(set, w);
+    if (e->valid && e->tag == tag) return e->target;
+  }
+  return std::nullopt;
+}
+
+void BranchTargetBuffer::update(u32 pc, u32 target) {
+  const unsigned set = set_of(pc);
+  const u32 tag = tag_of(pc);
+  ++tick_;
+  Entry* victim = way(set, 0);
+  for (unsigned w = 0; w < ways_; ++w) {
+    Entry* e = way(set, w);
+    if (e->valid && e->tag == tag) {
+      e->target = target;
+      e->lru = tick_;
+      return;
+    }
+    if (!e->valid) {
+      victim = e;  // prefer an invalid way
+    } else if (victim->valid && e->lru < victim->lru) {
+      victim = e;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->target = target;
+  victim->lru = tick_;
+}
+
+// ---------------------------------------------------------------------------
+// Front-end bundle
+// ---------------------------------------------------------------------------
+
+FrontEndPredictor::FrontEndPredictor(const Config& cfg)
+    : btb_(cfg.btb_sets, cfg.btb_ways), ras_(cfg.ras_depth) {
+  if (cfg.use_bimodal)
+    dir_ = std::make_unique<BimodalPredictor>(cfg.bimodal_entries);
+  else
+    dir_ = std::make_unique<GsharePredictor>(cfg.gshare_entries);
+}
+
+BranchPrediction FrontEndPredictor::predict(u32 pc, const DecodedInst& inst) {
+  BranchPrediction p;
+  p.history_checkpoint = dir_->checkpoint();
+  switch (inst.cls()) {
+    case ExecClass::Jump:
+      p.taken = true;
+      p.target = inst.branch_target(pc);
+      if (inst.op == Op::JAL) ras_.push(pc + 4);
+      return p;
+
+    case ExecClass::JumpReg: {
+      p.taken = true;
+      // jr $ra is (by convention) a return: consult the RAS first.
+      if (inst.op == Op::JR && inst.rs == R_RA) {
+        if (const auto r = ras_.pop()) {
+          p.target = *r;
+          return p;
+        }
+      }
+      if (inst.op == Op::JALR) ras_.push(pc + 4);
+      if (const auto t = btb_.lookup(pc)) {
+        p.target = *t;
+      } else {
+        // No target knowledge: fall through until resolution (modelled as a
+        // "predicted" next-pc that the core will flush on).
+        p.target = pc + 4;
+      }
+      return p;
+    }
+
+    case ExecClass::BranchEq:
+    case ExecClass::BranchSign:
+    case ExecClass::FpBranch: {
+      p.taken = dir_->predict(pc);
+      dir_->speculate(p.taken);
+      if (p.taken) {
+        if (const auto t = btb_.lookup(pc)) {
+          p.target = *t;
+        } else {
+          // Direction says taken but the BTB has no target: the decoded
+          // instruction carries the target (direct branch), use it. Real
+          // hardware does this in decode; our front end pre-decodes.
+          p.target = inst.branch_target(pc);
+        }
+      } else {
+        p.target = pc + 4;
+      }
+      return p;
+    }
+
+    default:
+      p.taken = false;
+      p.target = pc + 4;
+      return p;
+  }
+}
+
+void FrontEndPredictor::resolve(u32 pc, const DecodedInst& inst, bool taken,
+                                u32 target, u32 history_checkpoint) {
+  if (inst.is_cond_branch()) {
+    dir_->train_at(pc, history_checkpoint, taken);
+    if (taken) btb_.update(pc, target);
+  } else if (inst.cls() == ExecClass::JumpReg) {
+    btb_.update(pc, target);
+  }
+}
+
+void FrontEndPredictor::repair_history(u32 history_checkpoint,
+                                       bool actual_taken) {
+  dir_->restore(history_checkpoint, actual_taken);
+}
+
+void FrontEndPredictor::repair_history_exact(u32 history_checkpoint) {
+  dir_->set_history(history_checkpoint);
+}
+
+}  // namespace bsp

@@ -1,0 +1,105 @@
+#include "config/machine_config.hpp"
+
+#include <sstream>
+
+namespace bsp {
+
+const char* technique_name(Technique t) {
+  switch (t) {
+    case Technique::PartialBypass: return "partial operand bypassing";
+    case Technique::OooSlices: return "out-of-order slices";
+    case Technique::EarlyBranch: return "early branch resolution";
+    case Technique::EarlyLsq: return "early l/s disambiguation";
+    case Technique::PartialTag: return "partial tag matching";
+    case Technique::SpecForward: return "speculative partial forwarding";
+    case Technique::NarrowWidth: return "narrow-width slice relaxation";
+    case Technique::SumAddressed: return "sum-addressed memory";
+  }
+  return "?";
+}
+
+const std::vector<Technique>& technique_order() {
+  static const std::vector<Technique> order = {
+      Technique::PartialBypass, Technique::OooSlices, Technique::EarlyBranch,
+      Technique::EarlyLsq, Technique::PartialTag};
+  return order;
+}
+
+std::string MachineConfig::describe() const {
+  std::ostringstream os;
+  os << "out-of-order: " << core.fetch_width << "-wide fetch/issue/commit, "
+     << core.ruu_entries << "-entry RUU, " << core.lsq_entries
+     << "-entry LSQ\n";
+  os << "pipeline: " << core.front_end_stages << " front-end + "
+     << core.issue_to_exec_stages << " issue/RF + " << core.slices
+     << " EX stage(s)\n";
+  os << "branch: " << (branch.use_bimodal ? "bimodal" : "gshare") << " "
+     << (branch.use_bimodal ? branch.bimodal_entries : branch.gshare_entries)
+     << " entries, " << branch.ras_depth << "-entry RAS, " << branch.btb_ways
+     << "-way " << branch.btb_sets << "-set BTB\n";
+  const auto cache_line = [&](const char* name, const CacheGeometry& g,
+                              unsigned lat) {
+    os << name << ": " << g.size_bytes / 1024 << "KB (" << g.ways << "-way, "
+       << g.line_bytes << "B line), " << lat << "-cycle\n";
+  };
+  cache_line("L1 I$", memory.l1i, memory.l1i_latency);
+  cache_line("L1 D$", memory.l1d, memory.l1d_latency);
+  cache_line("L2 unified", memory.l2, memory.l2_latency);
+  os << "main memory: " << memory.memory_latency << "-cycle latency\n";
+  os << "FUs: " << core.int_alus << " int ALU (per-slice), "
+     << core.int_mul_div << " int mult/div (" << core.mul_latency << "/"
+     << core.div_latency << "-cycle), " << core.fp_alus << " FP ALU ("
+     << core.fp_alu_latency << "-cycle), " << core.fp_mul_div
+     << " FP mult/div/sqrt (" << core.fp_mul_latency << "/"
+     << core.fp_div_latency << "/" << core.fp_sqrt_latency << "-cycle)\n";
+  if (core.sliced()) {
+    os << "bit-slicing: " << core.slices << " x "
+       << core.slice_geometry().width() << "-bit slices; techniques:";
+    bool any = false;
+    for (const auto t :
+         {Technique::PartialBypass, Technique::OooSlices,
+          Technique::EarlyBranch, Technique::EarlyLsq, Technique::PartialTag,
+          Technique::SpecForward, Technique::NarrowWidth,
+          Technique::SumAddressed}) {
+      if (core.has(t)) {
+        os << (any ? ", " : " ") << technique_name(t);
+        any = true;
+      }
+    }
+    if (!any) os << " none (simple pipelining)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+MachineConfig base_machine() {
+  return MachineConfig{};  // defaults are Table 2 with a 1-cycle EX
+}
+
+MachineConfig simple_pipelined_machine(unsigned slices) {
+  MachineConfig cfg = base_machine();
+  cfg.core.slices = slices;
+  cfg.core.techniques = kNoTechniques;
+  if (slices >= 4) cfg.memory.l1d_latency = 2;  // §7.1
+  return cfg;
+}
+
+MachineConfig bitsliced_machine(unsigned slices, TechniqueSet techniques) {
+  MachineConfig cfg = simple_pipelined_machine(slices);
+  cfg.core.techniques = techniques;
+  return cfg;
+}
+
+std::string pipeline_diagram(const MachineConfig& cfg) {
+  std::ostringstream os;
+  os << "Fetch1 Fetch2 Dec1 Dec2 DP1 DP2 Sch1 Sch2 Sch3 Iss RF1 RF2";
+  if (cfg.core.slices == 1) {
+    os << " EX";
+  } else {
+    for (unsigned s = 1; s <= cfg.core.slices; ++s) os << " EX" << s;
+  }
+  os << " [Mem] RE CT";
+  return os.str();
+}
+
+}  // namespace bsp

@@ -1,0 +1,188 @@
+// In-flight instruction state for the bit-sliced out-of-order core.
+//
+// The core uses a unified RUU (register update unit: ROB + issue window, as
+// in SimpleScalar's sim-outorder) plus a unified load/store queue. Each RUU
+// entry carries per-slice-op scheduling state; values are supplied by the
+// dispatch-time oracle emulator, timing is decided here.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "core/sliced_value.hpp"
+#include "emu/emulator.hpp"
+#include "stats/stats.hpp"
+
+namespace bsp {
+
+// Rename-map ids are the ISA's extended-register ids: GPRs, HI, LO, the FP
+// registers, and the FP condition flag (see isa.hpp kExt*).
+inline constexpr unsigned kHiReg = kExtHi;
+inline constexpr unsigned kLoReg = kExtLo;
+inline constexpr unsigned kNumRenameRegs = kNumExtRegs;
+
+// Reference to a producing RUU entry; an entry index is only trusted while
+// the sequence numbers still agree (entries are recycled after commit).
+struct ProducerRef {
+  int index = -1;  // -1: value comes from the architectural register file
+  u64 seq = 0;
+
+  bool from_regfile() const { return index < 0; }
+};
+
+// One schedulable micro-operation: a bit-slice of an instruction's execution
+// (or the whole instruction for full-collect classes / unsliced machines).
+struct SliceOp {
+  Cycle select_cycle = kNever;  // cycle the scheduler picked it
+  Cycle done_cycle = kNever;    // cycle its result slice(s) broadcast
+
+  bool selected() const { return select_cycle != kNever; }
+  bool done_by(Cycle now) const { return done_cycle <= now; }
+  void reset() { select_cycle = done_cycle = kNever; }
+};
+
+// Progress of a load/store through the memory system.
+enum class MemPhase : u8 {
+  Agen,      // effective address still being generated / LSQ undecided
+  Access,    // (loads) cache access in flight, data time is speculative
+  Done,      // data final (loads) / address+data complete (stores)
+};
+
+struct RuuEntry {
+  bool valid = false;
+  u64 seq = 0;
+  bool bogus = false;      // wrong-path: occupies resources, no effects
+  u32 pc = 0;
+  DecodedInst inst;
+  ExecRecord oracle;       // architectural effects (valid when !bogus)
+
+  Cycle dispatch_cycle = 0;
+
+  // Register sources resolved at dispatch: [0]=src1, [1]=src2, [2]=HI/LO.
+  std::array<ProducerRef, 3> sources;
+
+  unsigned num_ops = 1;          // slice-ops (geometry count) or 1 (collect)
+  unsigned op_latency = 1;       // cycles from select to done, per op
+  SliceOrder order = SliceOrder::Collect;
+  std::array<SliceOp, kMaxSlices> ops;
+
+  // --- memory state (loads & stores) ---
+  MemPhase mem_phase = MemPhase::Agen;
+  Cycle lsq_decision_cycle = kNever;  // when the LSQ let the load proceed
+  Cycle access_start_cycle = kNever;  // cache probe start (loads)
+  Cycle data_cycle = kNever;          // load data availability (speculative
+                                      // until verified)
+  bool data_final = false;            // verification complete
+  bool forwarded = false;             // data came from an older store
+  int forward_store = -1;             // RUU index of that store
+  u64 forward_store_seq = 0;
+  bool used_partial_lsq = false;      // issued before full address compare
+  bool used_partial_tag = false;      // accessed cache with partial tag
+  bool early_miss = false;            // partial tag proved a miss early
+  int predicted_way = -1;             // way-predictor choice; -2 marks a
+                                      // plain hit-speculated miss, -3 a
+                                      // speculative partial-match forward
+  Cycle true_data_cycle = kNever;     // actual data time on a known miss
+  u32 spec_forward_value = 0;         // value forwarded speculatively
+  bool narrow_result = false;         // result is a sign-extension of its
+                                      // low slice (NarrowWidth extension)
+
+  // --- control state (branches/jumps) ---
+  bool predicted_taken = false;
+  u32 predicted_target = 0;
+  u32 history_checkpoint = 0;  // gshare history at prediction time
+  bool mispredicted = false;     // prediction disagrees with the oracle
+  bool resolved = false;
+  Cycle resolve_cycle = kNever;
+  bool recovery_done = false;    // flush+redirect already performed
+
+  bool is_load() const { return !bogus ? oracle.is_load : inst.is_load(); }
+  bool is_store() const { return !bogus ? oracle.is_store : inst.is_store(); }
+
+  // All slice-ops complete by `now`?
+  bool ops_done(Cycle now) const {
+    for (unsigned i = 0; i < num_ops; ++i)
+      if (!ops[i].done_by(now)) return false;
+    return true;
+  }
+  Cycle last_op_done() const {
+    Cycle m = 0;
+    for (unsigned i = 0; i < num_ops; ++i) {
+      if (ops[i].done_cycle == kNever) return kNever;
+      m = std::max(m, ops[i].done_cycle);
+    }
+    return m;
+  }
+  void reset_ops() {
+    for (auto& op : ops) op.reset();
+  }
+};
+
+// A pre-decoded instruction travelling down the front end.
+struct FetchSlot {
+  u32 pc = 0;
+  DecodedInst inst;
+  Cycle dispatch_ready = 0;  // earliest cycle it can enter the RUU
+  bool predicted_taken = false;
+  u32 predicted_target = 0;
+  u32 history_checkpoint = 0;
+};
+
+// Aggregate counters reported after a timing run.
+struct SimStats {
+  u64 cycles = 0;
+  u64 committed = 0;
+  u64 dispatched = 0;
+  u64 bogus_dispatched = 0;
+
+  u64 branches = 0;             // committed conditional branches
+  u64 branch_mispredicts = 0;
+  u64 early_resolved_branches = 0;  // mispredicts signalled before last slice
+
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 load_forwards = 0;
+  u64 loads_issued_partial_lsq = 0;
+  u64 partial_tag_accesses = 0;
+  u64 way_mispredicts = 0;      // partial-tag way prediction replays
+  u64 early_miss_detects = 0;
+  u64 load_replays = 0;         // any load-latency mis-speculation replay
+  u64 op_replays = 0;           // slice-ops squashed by selective replay
+  u64 spec_forwards = 0;        // speculative partial-match forwards tried
+  u64 spec_forward_misses = 0;  // ... that verification refuted
+  u64 narrow_operands = 0;      // results eligible for narrow-width release
+
+  u64 l1d_hits = 0;
+  u64 l1d_misses = 0;
+
+  double ipc() const {
+    return cycles ? static_cast<double>(committed) / cycles : 0.0;
+  }
+  double branch_accuracy() const {
+    return branches
+               ? 1.0 - static_cast<double>(branch_mispredicts) / branches
+               : 1.0;
+  }
+  double way_mispredict_rate() const {
+    return partial_tag_accesses
+               ? static_cast<double>(way_mispredicts) / partial_tag_accesses
+               : 0.0;
+  }
+  double load_fraction() const {
+    return committed ? static_cast<double>(loads) / committed : 0.0;
+  }
+};
+
+// Optional per-cycle/per-event histograms (Simulator::enable_detail()):
+// queue occupancies, load-to-use latencies and branch resolution delays —
+// the distributions behind the headline IPC numbers.
+struct DetailedStats {
+  Histogram ruu_occupancy{64};         // sampled every cycle
+  Histogram lsq_occupancy{32};
+  Histogram load_to_use{200};          // load data time - dispatch cycle
+  Histogram branch_resolve_delay{100}; // resolve cycle - dispatch cycle
+  Histogram commit_width{4};           // commits per cycle
+};
+
+}  // namespace bsp

@@ -1,0 +1,1160 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "lsq/disambig.hpp"
+
+namespace bsp {
+
+namespace {
+
+// Deadlock watchdog: abort a run if nothing commits for this many cycles.
+constexpr Cycle kWatchdogCycles = 100000;
+
+// Memory ports into the L1 D-cache (load accesses started per cycle).
+constexpr unsigned kDCachePorts = 2;
+
+// Classes whose execution can be decomposed into per-slice micro-ops.
+bool is_sliceable(ExecClass cls) {
+  switch (cls) {
+    case ExecClass::Logic:
+    case ExecClass::Add:
+    case ExecClass::ShiftLeft:
+    case ExecClass::ShiftRight:
+    case ExecClass::Compare:
+    case ExecClass::MfHiLo:
+    case ExecClass::Load:
+    case ExecClass::Store:
+    case ExecClass::BranchEq:
+    case ExecClass::BranchSign:
+      return true;
+    case ExecClass::Mul:
+    case ExecClass::Div:
+    case ExecClass::Jump:
+    case ExecClass::JumpReg:
+    case ExecClass::Syscall:
+    case ExecClass::FpAlu:
+    case ExecClass::FpMul:
+    case ExecClass::FpDiv:
+    case ExecClass::FpSqrt:
+    case ExecClass::FpCompare:
+    case ExecClass::FpBranch:
+      return false;  // FP executes on full-collect units (paper §6)
+  }
+  return false;
+}
+
+bool uses_fp_mul_div_unit(ExecClass cls) {
+  return cls == ExecClass::FpMul || cls == ExecClass::FpDiv ||
+         cls == ExecClass::FpSqrt;
+}
+
+bool uses_fp_alu(ExecClass cls) {
+  return cls == ExecClass::FpAlu || cls == ExecClass::FpCompare ||
+         cls == ExecClass::FpBranch;
+}
+
+}  // namespace
+
+struct Simulator::Impl {
+  // --- construction ---------------------------------------------------------
+
+  Impl(const MachineConfig& config, const Program& program)
+      : cfg(config),
+        core(cfg.core),
+        geom(core.slice_geometry()),
+        sliced_sched(core.has(Technique::PartialBypass)),
+        prog(program),
+        oracle(program),
+        checker(program),
+        predictor(cfg.branch),
+        mem(cfg.memory),
+        ruu(core.ruu_entries),
+        ifq_capacity(std::max<unsigned>(32, 8 * core.fetch_width)) {
+    rename.fill(ProducerRef{});
+    fetch_pc = program.entry;
+  }
+
+  const MachineConfig cfg;
+  const CoreConfig& core;
+  const SliceGeometry geom;
+  const bool sliced_sched;
+  Program prog;
+
+  Emulator oracle;   // steps at dispatch: supplies values & outcomes
+  Emulator checker;  // steps at commit: co-simulation reference
+  FrontEndPredictor predictor;
+  MemoryHierarchy mem;
+
+  // RUU: circular buffer, `head` = oldest, `count` entries in flight.
+  std::vector<RuuEntry> ruu;
+  unsigned ruu_head = 0;
+  unsigned ruu_count = 0;
+
+  // Unified LSQ: RUU indices of in-flight memory ops, oldest first.
+  std::deque<int> lsq;
+
+  std::array<ProducerRef, kNumRenameRegs> rename;
+
+  // Front end.
+  std::deque<FetchSlot> fetch_q;
+  const unsigned ifq_capacity;
+  u32 fetch_pc = 0;
+  Cycle fetch_stall_until = 0;
+  bool wrong_path = false;
+  bool halted = false;  // exit syscall dispatched: stop fetching
+
+  Cycle now = 0;
+  u64 next_seq = 1;
+  Cycle mul_div_busy_until = 0;
+  Cycle fp_mul_div_busy_until = 0;
+
+  // Optional detailed histograms.
+  std::unique_ptr<DetailedStats> detail;
+
+  // Pipeview trace.
+  std::ostream* trace = nullptr;
+  Cycle trace_start = 0;
+  Cycle trace_end = kNever;
+  bool tracing() const {
+    return trace && now >= trace_start && now < trace_end;
+  }
+  std::ostream& tlog() { return *trace << "cyc " << now << ": "; }
+  SimStats stats;
+  std::string error;
+  bool exited = false;
+  int exit_code = 0;
+  Cycle last_commit_cycle = 0;
+
+  // ---------------------------------------------------------------------------
+  // small helpers
+  // ---------------------------------------------------------------------------
+
+  unsigned ruu_index(unsigned pos) const {
+    return (ruu_head + pos) % core.ruu_entries;
+  }
+  RuuEntry& entry_at(unsigned pos) { return ruu[ruu_index(pos)]; }
+  RuuEntry& youngest() { return entry_at(ruu_count - 1); }
+
+  void fail(const std::string& why) {
+    if (error.empty()) error = "cycle " + std::to_string(now) + ": " + why;
+  }
+
+  // When each slice of `e`'s *result* becomes available.
+  Cycle result_slice_time(const RuuEntry& e, unsigned slice) const {
+    if (e.is_load() && !e.inst.is_store()) return e.data_cycle;
+    switch (e.inst.cls()) {
+      case ExecClass::Compare:
+        return e.last_op_done();  // sign/borrow defined only at the end
+      default:
+        break;
+    }
+    if (e.num_ops == 1) return e.ops[0].done_cycle;
+    // Narrow-width extension: a result that is just the sign extension of
+    // its low slice releases every slice the moment the low slice exists
+    // (its significance tag says the rest is all-0s/all-1s).
+    if (slice > 0 && e.narrow_result && core.has(Technique::NarrowWidth))
+      return e.ops[0].done_cycle;
+    return e.ops[slice].done_cycle;
+  }
+
+  // Availability of slice `k` of source operand `which` of entry `e`.
+  Cycle source_slice_time(const RuuEntry& e, unsigned which,
+                          unsigned k) const {
+    const ProducerRef& ref = e.sources[which];
+    if (ref.from_regfile()) return 0;
+    const RuuEntry& p = ruu[ref.index];
+    if (!p.valid || p.seq != ref.seq) return 0;  // producer committed
+    return result_slice_time(p, k);
+  }
+
+  // Source-slice requirement for op `op_idx` of entry `e` on source `which`.
+  u32 source_need_mask(const RuuEntry& e, unsigned which,
+                       unsigned op_idx) const {
+    const ExecClass cls = e.inst.cls();
+    if (e.order == SliceOrder::Collect) return low_mask(geom.count);
+    if (which == 0 && reads_amount_slice0(e.inst.op))
+      return 0x1;  // variable-shift amount lives in the low slice of rs
+    if (which == 2) {
+      // HI/LO source: produced atomically by mul/div; positional need.
+      return u32{1} << op_idx;
+    }
+    return needed_source_slices(cls, op_idx, geom);
+  }
+
+  // Latest cycle at which every operand slice op `op_idx` needs exists; or
+  // kNever if some requirement is still unproduced.
+  Cycle op_ready_time(const RuuEntry& e, unsigned op_idx) const {
+    Cycle ready = 0;
+    for (unsigned which = 0; which < 3; ++which) {
+      if (e.sources[which].from_regfile() &&
+          e.sources[which].index < 0)  // regfile: ready at 0
+        continue;
+      const u32 mask = source_need_mask(e, which, op_idx);
+      for (unsigned k = 0; k < geom.count; ++k) {
+        if (!(mask & (u32{1} << k))) continue;
+        const Cycle t = source_slice_time(e, which, k);
+        if (t == kNever) return kNever;
+        ready = std::max(ready, t);
+      }
+    }
+    // Inter-slice chain (carry / shifted-in bits / forced in-order slices).
+    if (e.num_ops > 1) {
+      int prev = -1;
+      if (e.order == SliceOrder::LowToHigh)
+        prev = static_cast<int>(op_idx) - 1;
+      else if (e.order == SliceOrder::HighToLow)
+        prev = static_cast<int>(op_idx) + 1;
+      if (prev >= 0 && prev < static_cast<int>(e.num_ops)) {
+        const Cycle t = e.ops[prev].done_cycle;
+        if (t == kNever) return kNever;
+        ready = std::max(ready, t);
+      }
+    }
+    // Sch1..RF2 depth: nothing selects before this.
+    ready = std::max(ready, e.dispatch_cycle + core.issue_to_exec_stages);
+    return ready;
+  }
+
+  // Number of low effective-address bits produced by cycle `c`.
+  unsigned addr_bits_known_at(const RuuEntry& e, Cycle c) const {
+    if (e.order == SliceOrder::Collect)
+      return (e.ops[0].done_cycle != kNever && e.ops[0].done_cycle <= c) ? 32
+                                                                         : 0;
+    unsigned n = 0;
+    while (n < e.num_ops && e.ops[n].done_cycle != kNever &&
+           e.ops[n].done_cycle <= c)
+      ++n;
+    return n * geom.width();
+  }
+
+  // Cycle the full effective address exists (kNever if not yet).
+  Cycle agen_complete_cycle(const RuuEntry& e) const { return e.last_op_done(); }
+
+  // Cycle the cache can consume the full effective address. With
+  // sum-addressed memory the base+offset add happens inside the array
+  // decoder, so the access overlaps the agen ops themselves: the address is
+  // usable the cycle the last agen op is *selected*.
+  Cycle full_addr_cycle(const RuuEntry& e) const {
+    if (!core.has(Technique::SumAddressed)) return agen_complete_cycle(e);
+    Cycle m = 0;
+    for (unsigned i = 0; i < e.num_ops; ++i) {
+      if (!e.ops[i].selected()) return kNever;
+      m = std::max(m, e.ops[i].select_cycle);
+    }
+    return m;
+  }
+
+  // When all slices of a store's *data* operand are available (kNever if the
+  // producer has not finished).
+  Cycle store_data_time(const RuuEntry& e) const {
+    Cycle t = 0;
+    for (unsigned k = 0; k < geom.count; ++k) {
+      const Cycle s = source_slice_time(e, 1, k);
+      if (s == kNever) return kNever;
+      t = std::max(t, s);
+    }
+    return t;
+  }
+
+  // ---------------------------------------------------------------------------
+  // dispatch-time setup
+  // ---------------------------------------------------------------------------
+
+  void init_entry_ops(RuuEntry& e) {
+    const ExecClass cls = e.inst.cls();
+    e.order = slice_order(cls, core);
+    const bool multi = sliced_sched && is_sliceable(cls);
+    e.num_ops = multi ? geom.count : 1;
+    switch (cls) {
+      case ExecClass::Mul:
+        e.op_latency = core.mul_latency;
+        break;
+      case ExecClass::Div:
+        e.op_latency = core.div_latency;
+        break;
+      case ExecClass::Jump:
+      case ExecClass::JumpReg:
+      case ExecClass::Syscall:
+        // Redirect/serialising ops: a single cycle once the (full) operand
+        // exists — these do not flow through the sliced ALU pipeline.
+        e.op_latency = sliced_sched ? 1 : core.slices;
+        break;
+      case ExecClass::FpAlu:
+      case ExecClass::FpCompare:
+        e.op_latency = core.fp_alu_latency;
+        break;
+      case ExecClass::FpBranch:
+        e.op_latency = 1;  // reads one condition bit
+        break;
+      case ExecClass::FpMul:
+        e.op_latency = core.fp_mul_latency;
+        break;
+      case ExecClass::FpDiv:
+        e.op_latency = core.fp_div_latency;
+        break;
+      case ExecClass::FpSqrt:
+        e.op_latency = core.fp_sqrt_latency;
+        break;
+      default:
+        e.op_latency = multi ? 1 : core.slices;
+        break;
+    }
+    e.reset_ops();
+  }
+
+  ProducerRef rename_source(unsigned reg) const {
+    if (reg == 0) return ProducerRef{};  // $zero is always ready
+    return rename[reg];
+  }
+
+  void dispatch_one(const FetchSlot& slot) {
+    const unsigned idx = ruu_index(ruu_count);
+    RuuEntry& e = ruu[idx];
+    e = RuuEntry{};
+    e.valid = true;
+    e.seq = next_seq++;
+    e.pc = slot.pc;
+    e.inst = slot.inst;
+    e.dispatch_cycle = now;
+    e.predicted_taken = slot.predicted_taken;
+    e.predicted_target = slot.predicted_target;
+    e.history_checkpoint = slot.history_checkpoint;
+
+    const bool correct_path = !wrong_path && slot.pc == oracle.pc();
+    e.bogus = !correct_path;
+    if (correct_path) {
+      const StepResult sr = oracle.step(&e.oracle);
+      if (sr.kind == StepResult::Kind::Fault) {
+        fail("oracle fault: " + sr.fault);
+        return;
+      }
+      // Re-decode from the oracle record (identical, but keeps `inst`
+      // authoritative even if fetch raced a (unsupported) code write).
+      e.inst = e.oracle.inst;
+      if (oracle.exited()) halted = true;
+
+      const u32 predicted_next =
+          slot.predicted_taken ? slot.predicted_target : slot.pc + 4;
+      if (e.inst.is_control() && predicted_next != e.oracle.next_pc) {
+        e.mispredicted = true;
+        wrong_path = true;
+      }
+      if (e.inst.cls() == ExecClass::Jump) {
+        // Direct jumps carry their target; resolved at dispatch.
+        e.resolved = true;
+        e.resolve_cycle = now;
+      }
+    } else {
+      ++stats.bogus_dispatched;
+    }
+
+    init_entry_ops(e);
+
+    if (!e.bogus && e.inst.dest() != 0 && !e.inst.is_fp() &&
+        core.has(Technique::NarrowWidth)) {
+      const u32 v = e.oracle.dest_value;
+      e.narrow_result = sign_extend(v & low_mask(geom.width()),
+                                    geom.width()) == v;
+      if (e.narrow_result) ++stats.narrow_operands;
+    }
+
+    // Source renaming (extended ids: GPR/HI/LO/FP/FCC).
+    e.sources[0] = rename_source(e.inst.src1_ext());
+    e.sources[1] = rename_source(e.inst.src2_ext());
+    if (e.inst.reads_hi_lo())
+      e.sources[2] = rename[e.inst.op == Op::MFHI ? kHiReg : kLoReg];
+
+    // Destination renaming (wrong-path results feed wrong-path consumers).
+    const unsigned dest = e.inst.dest_ext();
+    if (dest != 0) rename[dest] = ProducerRef{static_cast<int>(idx), e.seq};
+    if (e.inst.writes_hi_lo()) {
+      rename[kHiReg] = ProducerRef{static_cast<int>(idx), e.seq};
+      rename[kLoReg] = ProducerRef{static_cast<int>(idx), e.seq};
+    }
+
+    if (e.inst.is_mem()) lsq.push_back(static_cast<int>(idx));
+
+    ++ruu_count;
+    ++stats.dispatched;
+
+    if (tracing()) {
+      tlog() << "D    #" << e.seq << " pc=0x" << std::hex << e.pc << std::dec
+             << "  " << disassemble(e.inst, e.pc)
+             << (e.bogus ? "  [wrong-path]" : "")
+             << (e.mispredicted ? "  [mispredicted]" : "") << "\n";
+    }
+  }
+
+  void dispatch() {
+    unsigned n = 0;
+    while (n < core.fetch_width && !fetch_q.empty()) {
+      const FetchSlot& slot = fetch_q.front();
+      if (slot.dispatch_ready > now) break;
+      if (ruu_count >= core.ruu_entries) break;
+      if (slot.inst.is_mem() && lsq.size() >= core.lsq_entries) break;
+      if (halted) {
+        // Exit syscall already dispatched: drop drained slots.
+        fetch_q.pop_front();
+        continue;
+      }
+      dispatch_one(slot);
+      fetch_q.pop_front();
+      ++n;
+      if (!error.empty()) return;
+    }
+  }
+
+  // ---------------------------------------------------------------------------
+  // fetch
+  // ---------------------------------------------------------------------------
+
+  std::optional<DecodedInst> fetch_decode(u32 pc) const {
+    if (pc < prog.text_base || pc >= prog.text_end() || pc % 4 != 0)
+      return std::nullopt;
+    return decode(prog.text[(pc - prog.text_base) / 4]);
+  }
+
+  void fetch() {
+    if (halted || now < fetch_stall_until) return;
+    if (fetch_q.size() >= ifq_capacity) return;
+
+    const unsigned icache_lat = mem.fetch_latency(fetch_pc);
+    Cycle ready = now + core.front_end_stages;
+    if (icache_lat > cfg.memory.l1i_latency) {
+      // I$ miss: the group arrives late and fetch stalls for the duration.
+      ready += icache_lat - cfg.memory.l1i_latency;
+      fetch_stall_until = now + (icache_lat - cfg.memory.l1i_latency);
+    }
+
+    for (unsigned i = 0; i < core.fetch_width; ++i) {
+      FetchSlot slot;
+      slot.pc = fetch_pc;
+      slot.dispatch_ready = ready;
+      const auto inst = fetch_decode(fetch_pc);
+      slot.inst = inst ? *inst : make_nop();  // off-the-end wrong path
+      if (slot.inst.is_control()) {
+        const BranchPrediction p = predictor.predict(slot.pc, slot.inst);
+        slot.predicted_taken = p.taken;
+        slot.predicted_target = p.target;
+        slot.history_checkpoint = p.history_checkpoint;
+        fetch_q.push_back(slot);
+        if (p.taken && p.target != slot.pc + 4) {
+          fetch_pc = p.target;
+          break;  // group ends at a taken branch
+        }
+        fetch_pc = slot.pc + 4;
+      } else {
+        fetch_q.push_back(slot);
+        fetch_pc += 4;
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------------
+  // select & execute
+  // ---------------------------------------------------------------------------
+
+  void select_and_execute() {
+    // Per-slice-datapath issue slots this cycle. Unsliced machines and
+    // collect ops use datapath 0; FP ops use their own unit pool.
+    std::array<unsigned, kMaxSlices> slots{};
+    unsigned fp_alu_used = 0;
+    const unsigned per_slice_limit = std::min(core.issue_width, core.int_alus);
+
+    for (unsigned pos = 0; pos < ruu_count; ++pos) {
+      RuuEntry& e = entry_at(pos);
+      const ExecClass cls = e.inst.cls();
+      const bool fp_unit = uses_fp_alu(cls) || uses_fp_mul_div_unit(cls);
+      for (unsigned i = 0; i < e.num_ops; ++i) {
+        // Honour the slice execution order when picking which op to examine.
+        const unsigned op_idx =
+            e.order == SliceOrder::HighToLow ? e.num_ops - 1 - i : i;
+        SliceOp& op = e.ops[op_idx];
+        if (op.selected()) continue;
+
+        const unsigned datapath = e.num_ops > 1 ? op_idx : 0;
+        if (!fp_unit && slots[datapath] >= per_slice_limit) continue;
+
+        const Cycle ready = op_ready_time(e, op_idx);
+        if (ready == kNever || ready > now) continue;
+
+        // Structural hazards: single unpipelined integer and FP
+        // mul/div(/sqrt) units; a pool of `fp_alus` FP ALUs.
+        if (cls == ExecClass::Mul || cls == ExecClass::Div) {
+          if (now < mul_div_busy_until) continue;
+          mul_div_busy_until = now + e.op_latency;
+        }
+        if (uses_fp_mul_div_unit(cls)) {
+          if (now < fp_mul_div_busy_until) continue;
+          fp_mul_div_busy_until = now + e.op_latency;
+        }
+        if (uses_fp_alu(cls)) {
+          if (fp_alu_used >= core.fp_alus) continue;
+          ++fp_alu_used;
+        }
+
+        op.select_cycle = now;
+        op.done_cycle = now + e.op_latency;
+        if (!fp_unit) ++slots[datapath];
+        if (tracing()) {
+          tlog() << "X    #" << e.seq << (e.num_ops > 1 ? ".slice" : ".op")
+                 << op_idx << "  done@" << op.done_cycle << "\n";
+        }
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------------
+  // memory pipeline (loads & stores)
+  // ---------------------------------------------------------------------------
+
+  // Builds the views of stores older than LSQ position `load_pos`.
+  void older_store_views(std::size_t load_pos,
+                         std::vector<StoreView>& out) const {
+    out.clear();
+    for (std::size_t i = 0; i < load_pos; ++i) {
+      const RuuEntry& s = ruu[static_cast<unsigned>(lsq[i])];
+      if (!s.valid || !s.inst.is_store()) continue;
+      StoreView v;
+      v.id = lsq[i];
+      if (s.bogus) {
+        v.addr_known_bits = 0;  // wrong-path store: address never produced
+      } else {
+        v.addr_known_bits = addr_bits_known_at(s, now);
+        v.addr = s.oracle.mem_addr;
+        v.bytes = s.oracle.mem_bytes;
+        const Cycle dt = store_data_time(s);
+        v.data_ready = dt != kNever && dt <= now;
+        v.data = s.oracle.store_value;
+      }
+      out.push_back(v);
+    }
+  }
+
+  void start_load_access(RuuEntry& e, unsigned bits_known) {
+    const u32 addr = e.oracle.mem_addr;
+    Cache& l1d = mem.l1d();
+    const unsigned tag_lo = l1d.geometry().tag_lo_bit();
+    e.access_start_cycle = now;
+
+    if (bits_known < 32) {
+      // Partial-tag early access (only reachable when the technique is on).
+      const unsigned avail_tag = bits_known - tag_lo;
+      assert(avail_tag >= 1 && avail_tag < l1d.geometry().tag_bits());
+      const u32 ways = l1d.partial_match_ways(addr, avail_tag);
+      if (ways == 0) {
+        // Early, non-speculative miss: start the L2 path immediately.
+        bool hit = false;
+        const unsigned lat = mem.data_latency(addr, false, &hit);
+        assert(!hit);
+        ++stats.l1d_misses;
+        ++stats.early_miss_detects;
+        e.early_miss = true;
+        e.used_partial_tag = true;
+        e.data_cycle = now + lat;
+        e.data_final = true;
+        e.mem_phase = MemPhase::Done;
+        return;
+      }
+      ++stats.partial_tag_accesses;
+      e.used_partial_tag = true;
+      u32 rng = static_cast<u32>(e.seq);
+      const auto way =
+          l1d.predict_way(addr, ways, core.way_policy, &rng);
+      e.forward_store = -1;
+      e.mem_phase = MemPhase::Access;
+      e.data_cycle = now + l1d.hit_latency();  // speculative return
+      e.data_final = false;
+      // Remember the prediction in `predicted_target` is taken; use a
+      // dedicated field instead:
+      e.predicted_way = way ? static_cast<int>(*way) : -1;
+      return;
+    }
+
+    // Conventional access with the complete address. Dependents are woken
+    // assuming an L1 hit (speculative scheduling); a miss retimes the data
+    // and replays them.
+    bool hit = false;
+    const unsigned lat = mem.data_latency(addr, false, &hit);
+    if (hit) {
+      ++stats.l1d_hits;
+      e.data_cycle = now + lat;
+      e.data_final = true;
+      e.mem_phase = MemPhase::Done;
+    } else {
+      ++stats.l1d_misses;
+      e.data_cycle = now + l1d.hit_latency();  // optimistic wakeup
+      e.true_data_cycle = now + lat;
+      e.data_final = false;
+      e.mem_phase = MemPhase::Access;
+      e.predicted_way = -2;  // marker: plain hit-speculation, not way pred.
+    }
+  }
+
+  void verify_load(RuuEntry& e) {
+    // Called when the full address exists (partial-tag path) or at the
+    // optimistic wakeup time (hit-speculation path).
+    Cache& l1d = mem.l1d();
+    const u32 addr = e.oracle.mem_addr;
+
+    if (e.predicted_way == -2) {
+      // Hit-speculation on a known miss: retime and replay consumers.
+      ++stats.load_replays;
+      retime_load(e, e.true_data_cycle);
+      return;
+    }
+
+    const auto actual = l1d.find(addr);
+    bool hit = false;
+    const unsigned lat = mem.data_latency(addr, false, &hit);
+    if (hit) ++stats.l1d_hits; else ++stats.l1d_misses;
+
+    if (hit && actual && e.predicted_way == static_cast<int>(*actual)) {
+      e.data_final = true;  // speculation confirmed, data time stands
+      e.mem_phase = MemPhase::Done;
+      return;
+    }
+    if (hit) {
+      // Way misprediction: one replayed access.
+      ++stats.way_mispredicts;
+      ++stats.load_replays;
+      retime_load(e, now + l1d.hit_latency());
+    } else {
+      ++stats.load_replays;
+      retime_load(e, now + lat);
+    }
+  }
+
+  void retime_load(RuuEntry& e, Cycle new_data_cycle) {
+    e.data_cycle = new_data_cycle;
+    e.data_final = true;
+    e.mem_phase = MemPhase::Done;
+    relax();
+  }
+
+  void memory_progress() {
+    unsigned ports_used = 0;
+    std::vector<StoreView> views;
+    for (std::size_t i = 0; i < lsq.size(); ++i) {
+      RuuEntry& e = ruu[static_cast<unsigned>(lsq[i])];
+      if (!e.valid) continue;
+
+      if (e.inst.is_store()) {
+        if (e.mem_phase == MemPhase::Done) continue;
+        if (e.bogus) {
+          if (e.ops_done(now)) e.mem_phase = MemPhase::Done;
+          continue;
+        }
+        const Cycle addr_t = agen_complete_cycle(e);
+        const Cycle data_t = store_data_time(e);
+        if (addr_t != kNever && addr_t <= now && data_t != kNever &&
+            data_t <= now)
+          e.mem_phase = MemPhase::Done;
+        continue;
+      }
+
+      if (!e.inst.is_load()) continue;
+      if (e.bogus) {
+        // Wrong-path load: occupies the queue; completes after agen.
+        if (e.mem_phase == MemPhase::Agen && e.ops_done(now)) {
+          e.data_cycle = now + mem.l1d().hit_latency();
+          e.data_final = true;
+          e.mem_phase = MemPhase::Done;
+        }
+        continue;
+      }
+
+      switch (e.mem_phase) {
+        case MemPhase::Agen: {
+          const unsigned bits = addr_bits_known_at(e, now);
+          if (bits == 0) break;
+
+          // LSQ disambiguation.
+          older_store_views(i, views);
+          LoadQuery q{bits, e.oracle.mem_addr, e.oracle.mem_bytes};
+          const DisambigResult d = disambiguate_load(
+              q, views, core.has(Technique::EarlyLsq),
+              core.has(Technique::SpecForward));
+          if (d.decision == LoadDecision::WaitStore) break;
+          if (e.lsq_decision_cycle == kNever) {
+            e.lsq_decision_cycle = now;
+            if (d.used_partial) {
+              e.used_partial_lsq = true;
+              ++stats.loads_issued_partial_lsq;
+            }
+          }
+
+          if (d.decision == LoadDecision::Forward) {
+            ++stats.load_forwards;
+            e.forwarded = true;
+            e.forward_store = d.store_id;
+            e.forward_store_seq = ruu[d.store_id].seq;
+            e.data_cycle = now + 1;
+            e.data_final = true;
+            e.mem_phase = MemPhase::Done;
+            break;
+          }
+          if (d.decision == LoadDecision::SpecForward) {
+            ++stats.spec_forwards;
+            e.forwarded = true;
+            e.forward_store = d.store_id;
+            e.forward_store_seq = ruu[d.store_id].seq;
+            e.spec_forward_value = d.forwarded;
+            e.data_cycle = now + 1;
+            e.data_final = false;
+            e.predicted_way = -3;
+            e.mem_phase = MemPhase::Access;
+            break;
+          }
+
+          // decision == Issue: start the cache access when enough address
+          // bits exist.
+          const unsigned tag_lo = mem.l1d().geometry().tag_lo_bit();
+          const Cycle full_at = full_addr_cycle(e);
+          const bool full_now = full_at != kNever && full_at <= now;
+          const bool can_partial = core.has(Technique::PartialTag) &&
+                                   bits > tag_lo && bits < 32 && !full_now;
+          if (full_now || can_partial) {
+            if (ports_used >= kDCachePorts) break;  // port conflict: retry
+            ++ports_used;
+            start_load_access(e, full_now ? 32 : bits);
+            if (tracing()) {
+              tlog() << "M    #" << e.seq << " D$ access ("
+                     << (bits < 32 ? "partial tag" : "full address")
+                     << (e.early_miss ? ", early miss" : "")
+                     << ") data@" << e.data_cycle << "\n";
+            }
+          }
+          break;
+        }
+        case MemPhase::Access: {
+          // Verification happens the cycle *after* the speculative data
+          // return (paper Figure 3: "verify with full tag bits on next
+          // cycle"), so dependents selected against the speculative time are
+          // genuinely in flight and must replay on a mis-speculation.
+          const Cycle full_at = full_addr_cycle(e);
+          const bool full_addr = full_at != kNever && full_at <= now;
+          if (now < e.data_cycle + 1) break;
+          if (e.predicted_way == -3) {
+            // Speculative partial-match forward: the full address settles
+            // whether the forwarded value was the architecturally loaded
+            // one.
+            if (!full_addr) break;
+            if (e.spec_forward_value == e.oracle.load_value) {
+              e.data_final = true;
+              e.mem_phase = MemPhase::Done;
+            } else {
+              ++stats.spec_forward_misses;
+              reset_load(e);
+              relax();
+            }
+            break;
+          }
+          if (e.predicted_way == -2 || full_addr) verify_load(e);
+          break;
+        }
+        case MemPhase::Done:
+          break;
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------------
+  // selective replay: relaxation to a legal schedule
+  // ---------------------------------------------------------------------------
+
+  void relax() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (unsigned pos = 0; pos < ruu_count; ++pos) {
+        RuuEntry& e = entry_at(pos);
+        // Revert slice-ops whose select is no longer legal.
+        for (unsigned i = 0; i < e.num_ops; ++i) {
+          SliceOp& op = e.ops[i];
+          if (!op.selected()) continue;
+          const Cycle ready = op_ready_time_for_replay(e, i, op.select_cycle);
+          if (ready == kNever || ready > op.select_cycle) {
+            op.reset();
+            ++stats.op_replays;
+            changed = true;
+          }
+        }
+        if (e.inst.is_load() && !e.bogus) {
+          changed |= revalidate_load(e);
+        }
+        if (e.inst.is_store() && e.mem_phase == MemPhase::Done && !e.bogus) {
+          const Cycle addr_t = agen_complete_cycle(e);
+          const Cycle data_t = store_data_time(e);
+          if (addr_t == kNever || addr_t > now || data_t == kNever ||
+              data_t > now) {
+            e.mem_phase = MemPhase::Agen;
+            changed = true;
+          }
+        }
+        if (e.inst.is_cond_branch() && e.resolved && !e.recovery_done) {
+          // Resolution may have been based on a reverted compare op; let the
+          // resolve scan recompute it. (A branch whose recovery already
+          // redirected fetch keeps it: the direction was architecturally
+          // correct, only its timing was optimistic.)
+          if (resolve_time(e) > e.resolve_cycle) {
+            e.resolved = false;
+            e.resolve_cycle = kNever;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // op_ready_time, but evaluated against a historical select cycle: operand
+  // availability uses *current* times (values never become available earlier
+  // than currently recorded, so a select that is still >= every requirement
+  // remains legal).
+  Cycle op_ready_time_for_replay(const RuuEntry& e, unsigned op_idx,
+                                 Cycle select) const {
+    (void)select;
+    return op_ready_time(e, op_idx);
+  }
+
+  bool revalidate_load(RuuEntry& e) {
+    bool changed = false;
+    // Forwarded data must still be legal: the decision cycle (data_cycle - 1)
+    // must postdate the store's address, the store's data and — for a
+    // confirmed (non-speculative) forward — the load's own full address.
+    // A committed forwarding store is always legal.
+    const bool spec_forward =
+        e.forwarded && e.mem_phase == MemPhase::Access &&
+        e.predicted_way == -3;
+    if (e.forwarded && (e.mem_phase == MemPhase::Done || spec_forward)) {
+      const Cycle decision = e.data_cycle - 1;
+      bool legal = spec_forward ||
+                   addr_bits_known_at(e, decision) == 32;
+      const RuuEntry& s = ruu[e.forward_store];
+      if (legal && s.valid && s.seq == e.forward_store_seq) {
+        const Cycle dt = store_data_time(s);
+        const Cycle at = agen_complete_cycle(s);
+        legal = dt != kNever && dt <= decision && at != kNever &&
+                at <= decision;
+      }
+      if (!legal) {
+        reset_load(e);
+        changed = true;
+      }
+    }
+    // An access that started before its address bits were really there.
+    if (e.access_start_cycle != kNever) {
+      bool legal;
+      if (e.used_partial_tag || e.early_miss) {
+        const unsigned tag_lo = mem.l1d().geometry().tag_lo_bit();
+        legal = addr_bits_known_at(e, e.access_start_cycle) > tag_lo;
+      } else {
+        const Cycle full_at = full_addr_cycle(e);
+        legal = full_at != kNever && full_at <= e.access_start_cycle;
+      }
+      if (!legal) {
+        reset_load(e);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  void reset_load(RuuEntry& e) {
+    e.mem_phase = MemPhase::Agen;
+    e.lsq_decision_cycle = kNever;
+    e.access_start_cycle = kNever;
+    e.data_cycle = kNever;
+    e.true_data_cycle = kNever;
+    e.data_final = false;
+    e.forwarded = false;
+    e.forward_store = -1;
+    e.predicted_way = -1;
+    ++stats.load_replays;
+  }
+
+  // ---------------------------------------------------------------------------
+  // branch resolution & recovery
+  // ---------------------------------------------------------------------------
+
+  // Earliest cycle at which the branch outcome is provable from the compare
+  // slice-ops that have executed; kNever if not yet provable.
+  Cycle resolve_time(const RuuEntry& e) const {
+    const ExecClass cls = e.inst.cls();
+    if (cls == ExecClass::JumpReg) return e.last_op_done();
+    if (cls == ExecClass::BranchSign || e.num_ops == 1 ||
+        !core.has(Technique::EarlyBranch))
+      return e.last_op_done();
+
+    // BranchEq with early resolution: a differing slice proves "not equal"
+    // the moment its comparison completes; equality needs all slices.
+    const u32 a = e.oracle.src1_value, b = e.oracle.src2_value;
+    if (a == b) return e.last_op_done();
+    Cycle best = kNever;
+    for (unsigned s = 0; s < e.num_ops; ++s) {
+      if (slice_get(geom, a, s) == slice_get(geom, b, s)) continue;
+      if (e.ops[s].done_cycle != kNever)
+        best = std::min(best, e.ops[s].done_cycle);
+    }
+    return best;
+  }
+
+  void squash_younger_than(u64 seq) {
+    while (ruu_count > 0 && youngest().seq > seq) {
+      RuuEntry& victim = youngest();
+      if (victim.inst.is_mem()) {
+        assert(!lsq.empty() &&
+               lsq.back() == static_cast<int>(ruu_index(ruu_count - 1)));
+        lsq.pop_back();
+      }
+      victim.valid = false;
+      --ruu_count;
+    }
+    // Rebuild the rename map from the survivors.
+    rename.fill(ProducerRef{});
+    for (unsigned pos = 0; pos < ruu_count; ++pos) {
+      RuuEntry& e = entry_at(pos);
+      const unsigned dest = e.inst.dest_ext();
+      const ProducerRef ref{static_cast<int>(ruu_index(pos)), e.seq};
+      if (dest != 0) rename[dest] = ref;
+      if (e.inst.writes_hi_lo()) {
+        rename[kHiReg] = ref;
+        rename[kLoReg] = ref;
+      }
+    }
+  }
+
+  void resolve_and_recover() {
+    for (unsigned pos = 0; pos < ruu_count; ++pos) {
+      RuuEntry& e = entry_at(pos);
+      if (e.bogus || e.resolved) continue;
+      if (!e.inst.is_cond_branch() && e.inst.cls() != ExecClass::JumpReg)
+        continue;
+
+      const Cycle rt = resolve_time(e);
+      if (rt == kNever || rt > now) continue;
+      e.resolved = true;
+      e.resolve_cycle = rt;
+      if (!e.ops_done(rt)) ++stats.early_resolved_branches;
+      if (tracing()) {
+        tlog() << "B    #" << e.seq << " resolved@" << rt
+               << (e.ops_done(rt) ? "" : " [early]")
+               << (e.mispredicted ? " MISPREDICT -> recover" : " ok") << "\n";
+      }
+
+      predictor.resolve(e.pc, e.inst, e.oracle.branch_taken,
+                        e.oracle.next_pc, e.history_checkpoint);
+
+      if (e.mispredicted && !e.recovery_done) {
+        e.recovery_done = true;
+        if (e.inst.is_cond_branch())
+          predictor.repair_history(e.history_checkpoint,
+                                   e.oracle.branch_taken);
+        else
+          predictor.repair_history_exact(e.history_checkpoint);
+        squash_younger_than(e.seq);
+        fetch_q.clear();
+        fetch_pc = e.oracle.next_pc;
+        fetch_stall_until = now + 1;
+        wrong_path = false;
+        // Resolution scan restarts: positions changed after the squash.
+        break;
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------------
+  // commit
+  // ---------------------------------------------------------------------------
+
+  bool committable(const RuuEntry& e) const {
+    if (e.bogus) return false;
+    if (!e.ops_done(now)) return false;
+    if (e.inst.is_load())
+      return e.data_final && e.data_cycle <= now;
+    if (e.inst.is_store()) return e.mem_phase == MemPhase::Done;
+    if (e.inst.is_cond_branch() || e.inst.cls() == ExecClass::JumpReg)
+      return e.resolved && e.resolve_cycle <= now;
+    return true;
+  }
+
+  void commit() {
+    unsigned n = 0;
+    while (n < core.commit_width && ruu_count > 0 &&
+           stats.committed < max_commits_) {
+      RuuEntry& e = entry_at(0);
+      if (e.bogus) {
+        fail("bogus entry reached commit");
+        return;
+      }
+      if (!committable(e)) break;
+
+      // Co-simulation: the independent checker must agree on every effect.
+      ExecRecord ref;
+      const StepResult sr = checker.step(&ref);
+      if (sr.kind == StepResult::Kind::Fault) {
+        fail("checker fault: " + sr.fault);
+        return;
+      }
+      if (ref.pc != e.oracle.pc || ref.next_pc != e.oracle.next_pc ||
+          ref.dest != e.oracle.dest || ref.dest_value != e.oracle.dest_value ||
+          ref.mem_addr != e.oracle.mem_addr ||
+          ref.store_value != e.oracle.store_value) {
+        std::ostringstream os;
+        os << "co-simulation divergence at pc 0x" << std::hex << e.oracle.pc;
+        fail(os.str());
+        return;
+      }
+
+      // Stores drain to the cache at commit (write buffer hides latency).
+      if (e.inst.is_store()) {
+        bool hit = false;
+        mem.data_latency(e.oracle.mem_addr, true, &hit);
+        if (hit) ++stats.l1d_hits; else ++stats.l1d_misses;
+        ++stats.stores;
+      }
+      if (e.inst.is_load()) {
+        ++stats.loads;
+        if (detail && e.data_cycle >= e.dispatch_cycle)
+          detail->load_to_use.add(e.data_cycle - e.dispatch_cycle);
+      }
+      if (e.inst.is_cond_branch()) {
+        ++stats.branches;
+        if (e.mispredicted) ++stats.branch_mispredicts;
+        if (detail && e.resolve_cycle >= e.dispatch_cycle)
+          detail->branch_resolve_delay.add(e.resolve_cycle - e.dispatch_cycle);
+      }
+
+      // Free the rename mapping if still pointing here.
+      const unsigned idx = ruu_index(0);
+      const unsigned dest = e.inst.dest_ext();
+      if (dest != 0 && rename[dest].index == static_cast<int>(idx) &&
+          rename[dest].seq == e.seq)
+        rename[dest] = ProducerRef{};
+      for (const unsigned hr : {kHiReg, kLoReg})
+        if (rename[hr].index == static_cast<int>(idx) &&
+            rename[hr].seq == e.seq)
+          rename[hr] = ProducerRef{};
+
+      if (e.inst.is_mem()) {
+        assert(!lsq.empty() && lsq.front() == static_cast<int>(idx));
+        lsq.pop_front();
+      }
+
+      if (tracing()) {
+        tlog() << "C    #" << e.seq << " pc=0x" << std::hex << e.pc
+               << std::dec << "\n";
+      }
+      e.valid = false;
+      ruu_head = (ruu_head + 1) % core.ruu_entries;
+      --ruu_count;
+      ++stats.committed;
+      ++n;
+      last_commit_cycle = now;
+
+      if (checker.exited()) {
+        exited = true;
+        exit_code = checker.exit_code();
+        return;
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------------
+  // main loop
+  // ---------------------------------------------------------------------------
+
+  u64 max_commits_ = 0;
+  Cycle measure_base_cycle = 0;
+
+  SimResult run(u64 max_commits, u64 warmup_commits) {
+    max_commits_ = warmup_commits + max_commits;
+    bool warm = warmup_commits == 0;
+    SimResult result;
+    while (error.empty() && !exited && stats.committed < max_commits_) {
+      if (!warm && stats.committed >= warmup_commits) {
+        // Discard warm-up statistics; microarchitectural state stays hot.
+        warm = true;
+        max_commits_ = max_commits;
+        measure_base_cycle = now;
+        const u64 extra = stats.committed - warmup_commits;
+        stats = SimStats{};
+        stats.committed = extra;
+      }
+      if (detail) {
+        detail->ruu_occupancy.add(ruu_count);
+        detail->lsq_occupancy.add(lsq.size());
+      }
+      const u64 committed_before = stats.committed;
+      commit();
+      if (detail) detail->commit_width.add(stats.committed - committed_before);
+      if (!error.empty() || exited) break;
+      resolve_and_recover();
+      select_and_execute();
+      // After select so sum-addressed accesses can overlap the agen op that
+      // was picked this very cycle; the done-based (conventional/partial)
+      // paths see identical timing either way.
+      memory_progress();
+      dispatch();
+      fetch();
+      ++now;
+      if (now - last_commit_cycle > kWatchdogCycles) {
+        fail("watchdog: no instruction committed for " +
+             std::to_string(kWatchdogCycles) + " cycles");
+      }
+    }
+    stats.cycles = now - measure_base_cycle;
+    result.stats = stats;
+    result.exited = exited;
+    result.exit_code = exit_code;
+    result.error = error;
+    return result;
+  }
+};
+
+Simulator::Simulator(const MachineConfig& config, const Program& program)
+    : cfg_(config), impl_(std::make_unique<Impl>(config, program)) {}
+
+Simulator::Simulator(const MachineConfig& config, const Program& program,
+                     const Checkpoint& start)
+    : Simulator(config, program) {
+  restore_checkpoint(impl_->oracle, start);
+  restore_checkpoint(impl_->checker, start);
+  impl_->fetch_pc = start.pc;
+}
+
+Simulator::Simulator(Simulator&&) noexcept = default;
+Simulator& Simulator::operator=(Simulator&&) noexcept = default;
+Simulator::~Simulator() = default;
+
+SimResult Simulator::run(u64 max_commits, u64 warmup_commits) {
+  return impl_->run(max_commits, warmup_commits);
+}
+
+void Simulator::set_pipe_trace(std::ostream& os, Cycle start, Cycle end) {
+  impl_->trace = &os;
+  impl_->trace_start = start;
+  impl_->trace_end = end;
+}
+
+void Simulator::enable_detail() {
+  if (!impl_->detail) impl_->detail = std::make_unique<DetailedStats>();
+}
+
+const DetailedStats& Simulator::detail() const {
+  assert(impl_->detail && "enable_detail() before run()");
+  return *impl_->detail;
+}
+
+SimResult simulate(const MachineConfig& config, const Program& program,
+                   u64 max_commits, u64 warmup_commits) {
+  return Simulator(config, program).run(max_commits, warmup_commits);
+}
+
+}  // namespace bsp

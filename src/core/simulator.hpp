@@ -1,0 +1,92 @@
+// Cycle-level simulator of the bit-sliced out-of-order core (paper §6/§7).
+//
+// Model summary
+// -------------
+// * 15-stage pipeline per Figure 10: 6 front-end stages (Fetch1..DP2) before
+//   an instruction enters the RUU, then at least 6 more (Sch1..RF2) before its
+//   first slice-op can execute. Dependent slice-ops chain back-to-back
+//   (1 cycle/slice) through the bypass network.
+// * 4-wide fetch/dispatch/commit; 64-entry RUU; 32-entry unified LSQ;
+//   per-slice issue queues with `int_alus` slice-ALUs each.
+// * Oracle-driven front end: a functional emulator steps at dispatch, giving
+//   each correct-path entry its operand values, memory address and branch
+//   outcome. Wrong-path fetch dispatches "bogus" entries that occupy
+//   resources but have no architectural effects (as in sim-outorder).
+// * Speculative scheduling with selective replay: load consumers are woken
+//   assuming an L1 hit; when a load's data is re-timed (miss, way
+//   mispredict, LSQ violation), a relaxation pass reverts every slice-op
+//   whose select cycle is no longer legal and they re-issue later.
+// * Co-simulation: a second emulator steps at commit and every architectural
+//   effect is compared; any divergence aborts the run.
+//
+// The five partial-operand techniques of Figures 11/12 are independent
+// switches in CoreConfig::techniques; slices=1 with no techniques is the
+// paper's "best case" machine, slices>1 with no techniques its "simple
+// pipelining" baseline.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "asm/program.hpp"
+#include "branch/predictor.hpp"
+#include "config/machine_config.hpp"
+#include "core/pipeline.hpp"
+#include "emu/checkpoint.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace bsp {
+
+struct SimResult {
+  SimStats stats;
+  bool exited = false;       // program executed SYS_EXIT
+  int exit_code = 0;
+  std::string error;         // non-empty on co-simulation divergence / fault
+  bool ok() const { return error.empty(); }
+};
+
+class Simulator {
+ public:
+  Simulator(const MachineConfig& config, const Program& program);
+  // Starts from a captured architectural state (see emu/checkpoint.hpp)
+  // instead of the program's entry point: the oracle, the co-simulation
+  // checker and the fetch pc all begin at the checkpoint. Caches and
+  // predictors start cold — combine with run()'s warm-up to heat them.
+  Simulator(const MachineConfig& config, const Program& program,
+            const Checkpoint& start);
+  Simulator(Simulator&&) noexcept;
+  Simulator& operator=(Simulator&&) noexcept;
+  ~Simulator();
+
+  // Runs until `max_commits` instructions commit *after* the first
+  // `warmup_commits` (whose statistics are discarded — caches, predictors
+  // and queues stay warm, mirroring the paper's 1 B-instruction
+  // fast-forward), the program exits, or an internal error occurs. May be
+  // called once per Simulator instance.
+  SimResult run(u64 max_commits, u64 warmup_commits = 0);
+
+  // Enables a cycle-by-cycle event trace ("pipeview") on `os` for cycles in
+  // [start, end): dispatches, slice-op selections, memory events, branch
+  // resolutions/recoveries and commits. Must be called before run().
+  void set_pipe_trace(std::ostream& os, Cycle start = 0, Cycle end = kNever);
+
+  // Enables occupancy/latency histogram collection (small per-cycle cost).
+  // Must be called before run(); read the result with detail() afterwards.
+  void enable_detail();
+  const DetailedStats& detail() const;
+
+  const MachineConfig& config() const { return cfg_; }
+
+ private:
+  struct Impl;
+  MachineConfig cfg_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Convenience: build a simulator and run `max_commits` measured instructions
+// (after an optional discarded warm-up).
+SimResult simulate(const MachineConfig& config, const Program& program,
+                   u64 max_commits, u64 warmup_commits = 0);
+
+}  // namespace bsp

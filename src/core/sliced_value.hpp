@@ -1,0 +1,78 @@
+// Slice-level dependence rules of the bit-sliced datapath (paper Figure 8).
+//
+// Each RUU entry's result is produced slice by slice; SliceTimes records the
+// cycle each slice became available. The rules below say, for every ExecClass,
+// in which order an instruction's slice-ops execute and which *source* slices
+// a given slice-op consumes. They are pure functions so the scheduler, the
+// tests and the documentation all share one definition.
+#pragma once
+
+#include <array>
+#include <limits>
+
+#include "config/machine_config.hpp"
+#include "isa/isa.hpp"
+#include "util/bitops.hpp"
+
+namespace bsp {
+
+using Cycle = u64;
+inline constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+
+// Per-slice completion times of a value (or of an instruction's slice-ops).
+struct SliceTimes {
+  std::array<Cycle, kMaxSlices> done;
+
+  SliceTimes() { done.fill(kNever); }
+
+  // All slices complete at a single cycle (atomic result).
+  static SliceTimes all_at(Cycle c, unsigned count) {
+    SliceTimes t;
+    for (unsigned s = 0; s < count; ++s) t.done[s] = c;
+    return t;
+  }
+  static SliceTimes ready(unsigned count) { return all_at(0, count); }
+
+  Cycle last(unsigned count) const {
+    Cycle m = 0;
+    for (unsigned s = 0; s < count; ++s) m = std::max(m, done[s]);
+    return m;
+  }
+  bool complete(unsigned count) const { return last(count) != kNever; }
+
+  // Number of contiguous completed low slices by cycle `now` (how many low
+  // bits of an address are known).
+  unsigned contiguous_low_done(unsigned count, Cycle now) const {
+    unsigned n = 0;
+    while (n < count && done[n] != kNever && done[n] <= now) ++n;
+    return n;
+  }
+};
+
+// How an instruction's slice-ops are ordered.
+enum class SliceOrder : u8 {
+  LowToHigh,  // carry-style serial chain (add, left shift, compare)
+  HighToLow,  // right shifts: bits move downward
+  Any,        // logic-style: slices independent (needs OooSlices, else
+              // the issue logic serialises them low-to-high)
+  Collect,    // full-collect unit (mul/div): one op needing all source slices
+};
+
+// Ordering for `cls` under the given technique set. When PartialBypass is
+// off, everything behaves as Collect (atomic operands, paper Figure 8a).
+SliceOrder slice_order(ExecClass cls, const CoreConfig& cfg);
+
+// Source slices consumed by result-slice `s` of class `cls`, as a bitmask
+// over source slices. The scheduler applies it to both register sources.
+// For Collect, every slice-op needs all source slices.
+u32 needed_source_slices(ExecClass cls, unsigned s, const SliceGeometry& g);
+
+// Does slice-op `s` additionally require the *previous* slice-op of the same
+// instruction (carry / shifted-in bits), i.e. an inter-slice dependence?
+// "Previous" means s-1 for LowToHigh, s+1 for HighToLow.
+bool has_inter_slice_dep(ExecClass cls);
+
+// Variable shifts consume the shift amount from the low slice of rs.
+bool reads_amount_slice0(Op op);
+
+}  // namespace bsp

@@ -1,0 +1,148 @@
+#include "emu/checkpoint.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace bsp {
+
+namespace {
+
+constexpr u32 kMagic = 0x43505342;  // "BSPC"
+constexpr u32 kVersion = 2;  // v2 added FP registers + condition flag
+constexpr u32 kMaxPages = 1u << 20;
+
+void put_u32(std::ostream& os, u32 v) {
+  const char bytes[4] = {
+      static_cast<char>(v), static_cast<char>(v >> 8),
+      static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  os.write(bytes, 4);
+}
+
+bool get_u32(std::istream& is, u32* v) {
+  unsigned char bytes[4];
+  if (!is.read(reinterpret_cast<char*>(bytes), 4)) return false;
+  *v = u32{bytes[0]} | (u32{bytes[1]} << 8) | (u32{bytes[2]} << 16) |
+       (u32{bytes[3]} << 24);
+  return true;
+}
+
+std::optional<Checkpoint> fail(std::string* error, const char* why) {
+  if (error) *error = why;
+  return std::nullopt;
+}
+
+}  // namespace
+
+Checkpoint capture_checkpoint(const Emulator& emu) {
+  Checkpoint c;
+  c.pc = emu.pc();
+  for (unsigned i = 0; i < kNumRegs; ++i) c.regs[i] = emu.reg(i);
+  for (unsigned i = 0; i < 32; ++i) c.fp_regs[i] = emu.fp_reg(i);
+  c.fcc = emu.fcc();
+  c.hi = emu.hi();
+  c.lo = emu.lo();
+  c.retired = emu.instructions_retired();
+  emu.memory().for_each_page([&](u32 base, const u8* bytes) {
+    Checkpoint::Page page;
+    page.base = base;
+    page.bytes.assign(bytes, bytes + SparseMemory::kPageSize);
+    c.pages.push_back(std::move(page));
+  });
+  return c;
+}
+
+void restore_checkpoint(Emulator& emu, const Checkpoint& ckpt) {
+  emu.set_pc(ckpt.pc);
+  for (unsigned i = 1; i < kNumRegs; ++i) emu.set_reg(i, ckpt.regs[i]);
+  for (unsigned i = 0; i < 32; ++i) emu.set_fp_reg(i, ckpt.fp_regs[i]);
+  emu.set_fcc(ckpt.fcc);
+  emu.set_hi(ckpt.hi);
+  emu.set_lo(ckpt.lo);
+  emu.set_retired(ckpt.retired);
+  for (const auto& page : ckpt.pages)
+    emu.memory().write_block(page.base, page.bytes.data(),
+                             page.bytes.size());
+}
+
+bool save_checkpoint(const Checkpoint& ckpt, std::ostream& os) {
+  put_u32(os, kMagic);
+  put_u32(os, kVersion);
+  put_u32(os, ckpt.pc);
+  for (const u32 r : ckpt.regs) put_u32(os, r);
+  for (const u32 r : ckpt.fp_regs) put_u32(os, r);
+  put_u32(os, ckpt.fcc ? 1 : 0);
+  put_u32(os, ckpt.hi);
+  put_u32(os, ckpt.lo);
+  put_u32(os, static_cast<u32>(ckpt.retired));
+  put_u32(os, static_cast<u32>(ckpt.retired >> 32));
+  put_u32(os, static_cast<u32>(ckpt.pages.size()));
+  for (const auto& page : ckpt.pages) {
+    put_u32(os, page.base);
+    os.write(reinterpret_cast<const char*>(page.bytes.data()),
+             static_cast<std::streamsize>(page.bytes.size()));
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<Checkpoint> load_checkpoint(std::istream& is,
+                                          std::string* error) {
+  u32 magic = 0, version = 0;
+  if (!get_u32(is, &magic) || magic != kMagic)
+    return fail(error, "not a BSPC checkpoint");
+  if (!get_u32(is, &version) || version != kVersion)
+    return fail(error, "unsupported BSPC version");
+
+  Checkpoint c;
+  if (!get_u32(is, &c.pc)) return fail(error, "truncated header");
+  for (u32& r : c.regs)
+    if (!get_u32(is, &r)) return fail(error, "truncated registers");
+  for (u32& r : c.fp_regs)
+    if (!get_u32(is, &r)) return fail(error, "truncated FP registers");
+  u32 fcc_word = 0;
+  if (!get_u32(is, &fcc_word)) return fail(error, "truncated FP flag");
+  c.fcc = fcc_word != 0;
+  u32 lo32 = 0, hi32 = 0, page_count = 0;
+  if (!get_u32(is, &c.hi) || !get_u32(is, &c.lo) || !get_u32(is, &lo32) ||
+      !get_u32(is, &hi32) || !get_u32(is, &page_count))
+    return fail(error, "truncated header");
+  c.retired = (u64{hi32} << 32) | lo32;
+  if (page_count > kMaxPages) return fail(error, "implausible page count");
+
+  for (u32 i = 0; i < page_count; ++i) {
+    Checkpoint::Page page;
+    if (!get_u32(is, &page.base)) return fail(error, "truncated page header");
+    page.bytes.resize(SparseMemory::kPageSize);
+    if (!is.read(reinterpret_cast<char*>(page.bytes.data()),
+                 SparseMemory::kPageSize))
+      return fail(error, "truncated page data");
+    c.pages.push_back(std::move(page));
+  }
+  return c;
+}
+
+bool save_checkpoint_file(const Checkpoint& ckpt, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  return os && save_checkpoint(ckpt, os);
+}
+
+std::optional<Checkpoint> load_checkpoint_file(const std::string& path,
+                                               std::string* error) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return load_checkpoint(is, error);
+}
+
+std::optional<Checkpoint> fast_forward(const Program& program,
+                                       u64 instructions) {
+  Emulator emu(program);
+  StepResult final;
+  const u64 done = emu.run(instructions, &final);
+  if (done < instructions) return std::nullopt;
+  return capture_checkpoint(emu);
+}
+
+}  // namespace bsp

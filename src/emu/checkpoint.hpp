@@ -1,0 +1,51 @@
+// Architectural checkpoints: capture an emulator's complete architectural
+// state (pc, registers, HI/LO, every touched memory page) so a long
+// fast-forward can be done once and reused — the workflow the paper's
+// 1 B-instruction fast-forwards imply. Checkpoints serialise to "BSPC"
+// files; the timing core can start directly from one.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "emu/emulator.hpp"
+
+namespace bsp {
+
+struct Checkpoint {
+  u32 pc = 0;
+  std::array<u32, kNumRegs> regs{};
+  std::array<u32, 32> fp_regs{};
+  bool fcc = false;
+  u32 hi = 0, lo = 0;
+  u64 retired = 0;  // instructions executed before the capture
+  struct Page {
+    u32 base = 0;  // page-aligned address
+    std::vector<u8> bytes;
+  };
+  std::vector<Page> pages;
+};
+
+// Captures the emulator's current architectural state.
+Checkpoint capture_checkpoint(const Emulator& emu);
+
+// Replaces `emu`'s architectural state (the program image must already be
+// loaded; touched pages are overwritten, so capture+restore round-trips).
+void restore_checkpoint(Emulator& emu, const Checkpoint& ckpt);
+
+// Serialisation ("BSPC" format, little-endian).
+bool save_checkpoint(const Checkpoint& ckpt, std::ostream& os);
+std::optional<Checkpoint> load_checkpoint(std::istream& is,
+                                          std::string* error = nullptr);
+bool save_checkpoint_file(const Checkpoint& ckpt, const std::string& path);
+std::optional<Checkpoint> load_checkpoint_file(const std::string& path,
+                                               std::string* error = nullptr);
+
+// Convenience: run `program` for `instructions` on a fresh emulator and
+// capture the state (nullopt if the program exits or faults first).
+std::optional<Checkpoint> fast_forward(const Program& program,
+                                       u64 instructions);
+
+}  // namespace bsp

@@ -1,0 +1,216 @@
+#include "emu/debugger.hpp"
+
+#include <charconv>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace bsp {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream ss(line);
+  std::vector<std::string> tokens;
+  std::string t;
+  while (ss >> t) tokens.push_back(t);
+  return tokens;
+}
+
+std::optional<u64> parse_number(const std::string& s) {
+  int base = 10;
+  std::size_t start = 0;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    start = 2;
+  }
+  u64 v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data() + start, s.data() + s.size(), v, base);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+Debugger::Debugger(Program program, std::ostream& out)
+    : program_(std::move(program)), emu_(program_), out_(out) {}
+
+std::optional<u32> Debugger::resolve(const std::string& token) const {
+  if (const auto n = parse_number(token)) return static_cast<u32>(*n);
+  if (program_.has_symbol(token)) return program_.symbol(token);
+  return std::nullopt;
+}
+
+void Debugger::print_instruction(u32 pc) const {
+  const u32 raw = emu_.memory().load_u32(pc);
+  const auto d = decode(raw);
+  out_ << (breakpoint_at(pc) ? "*" : " ") << "0x" << std::hex
+       << std::setw(8) << std::setfill('0') << pc << std::dec << ":  "
+       << (d ? disassemble(*d, pc) : "<illegal>") << "\n";
+}
+
+bool Debugger::step_once() {
+  const StepResult r = emu_.step(&last_);
+  has_last_ = true;
+  if (r.kind == StepResult::Kind::Fault) {
+    out_ << "fault: " << r.fault << " (pc 0x" << std::hex << emu_.pc()
+         << std::dec << ")\n";
+    return false;
+  }
+  if (emu_.exited()) {
+    out_ << "program exited with code " << emu_.exit_code() << "\n";
+    return false;
+  }
+  return true;
+}
+
+void Debugger::cmd_step(u64 n) {
+  for (u64 i = 0; i < n; ++i) {
+    const u32 pc = emu_.pc();
+    print_instruction(pc);
+    if (!step_once()) return;
+  }
+}
+
+void Debugger::cmd_run() {
+  for (u64 i = 0; i < run_limit_; ++i) {
+    if (!step_once()) return;
+    if (breakpoints_.count(emu_.pc())) {
+      out_ << "breakpoint:\n";
+      print_instruction(emu_.pc());
+      return;
+    }
+  }
+  out_ << "stopped after " << run_limit_ << " instructions\n";
+}
+
+void Debugger::cmd_break(const std::string& where) {
+  const auto addr = resolve(where);
+  if (!addr) {
+    out_ << "unknown address or symbol '" << where << "'\n";
+    return;
+  }
+  if (breakpoints_.erase(*addr)) {
+    out_ << "breakpoint removed at 0x" << std::hex << *addr << std::dec
+         << "\n";
+  } else {
+    breakpoints_.insert(*addr);
+    out_ << "breakpoint set at 0x" << std::hex << *addr << std::dec << "\n";
+  }
+}
+
+void Debugger::cmd_disasm(u32 addr, unsigned n) {
+  for (unsigned i = 0; i < n; ++i) print_instruction(addr + i * 4);
+}
+
+void Debugger::cmd_print(const std::string& what) {
+  if (what.empty()) {
+    for (unsigned i = 0; i < kNumRegs; ++i) {
+      out_ << std::setw(5) << std::setfill(' ') << reg_name(i) << " = 0x"
+           << std::hex << std::setw(8) << std::setfill('0') << emu_.reg(i)
+           << std::dec << ((i % 4 == 3) ? "\n" : "   ");
+    }
+    out_ << "   pc = 0x" << std::hex << emu_.pc() << "   hi = 0x"
+         << emu_.hi() << "   lo = 0x" << emu_.lo() << std::dec << "\n";
+    return;
+  }
+  const auto r = parse_reg(what);
+  if (!r) {
+    out_ << "unknown register '" << what << "'\n";
+    return;
+  }
+  out_ << reg_name(*r) << " = 0x" << std::hex << emu_.reg(*r) << std::dec
+       << " (" << static_cast<i32>(emu_.reg(*r)) << ")\n";
+}
+
+void Debugger::cmd_memory(u32 addr, unsigned n) {
+  for (unsigned i = 0; i < n; ++i) {
+    const u32 a = addr + i * 4;
+    out_ << "0x" << std::hex << std::setw(8) << std::setfill('0') << a
+         << ": 0x" << std::setw(8) << emu_.memory().load_u32(a) << std::dec
+         << "\n";
+  }
+}
+
+void Debugger::cmd_trace() {
+  if (!has_last_) {
+    out_ << "nothing executed yet\n";
+    return;
+  }
+  out_ << "0x" << std::hex << last_.pc << std::dec << ": "
+       << disassemble(last_.inst, last_.pc) << "\n";
+  if (last_.dest != 0)
+    out_ << "  " << reg_name(last_.dest) << " <- 0x" << std::hex
+         << last_.dest_value << std::dec << "\n";
+  if (last_.is_load)
+    out_ << "  loaded 0x" << std::hex << last_.load_value << " from 0x"
+         << last_.mem_addr << std::dec << "\n";
+  if (last_.is_store)
+    out_ << "  stored 0x" << std::hex << last_.store_value << " to 0x"
+         << last_.mem_addr << std::dec << "\n";
+  if (last_.is_cond_branch)
+    out_ << "  branch " << (last_.branch_taken ? "taken" : "not taken")
+         << " -> 0x" << std::hex << last_.next_pc << std::dec << "\n";
+}
+
+bool Debugger::execute(const std::string& line) {
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) return true;
+  const std::string& cmd = tokens[0];
+  const auto arg_num = [&](std::size_t i, u64 fallback) {
+    if (tokens.size() <= i) return fallback;
+    const auto v = resolve(tokens[i]);
+    return v ? u64{*v} : fallback;
+  };
+
+  if (cmd == "q" || cmd == "quit") return false;
+  if (cmd == "s" || cmd == "step") {
+    cmd_step(arg_num(1, 1));
+  } else if (cmd == "r" || cmd == "run") {
+    cmd_run();
+  } else if (cmd == "b" || cmd == "break") {
+    if (tokens.size() < 2)
+      out_ << "usage: b <addr|symbol>\n";
+    else
+      cmd_break(tokens[1]);
+  } else if (cmd == "d" || cmd == "disasm") {
+    cmd_disasm(static_cast<u32>(arg_num(1, emu_.pc())),
+               static_cast<unsigned>(arg_num(2, 8)));
+  } else if (cmd == "p" || cmd == "print") {
+    cmd_print(tokens.size() > 1 ? tokens[1] : "");
+  } else if (cmd == "m" || cmd == "mem") {
+    if (tokens.size() < 2)
+      out_ << "usage: m <addr> [words]\n";
+    else
+      cmd_memory(static_cast<u32>(arg_num(1, 0)),
+                 static_cast<unsigned>(arg_num(2, 4)));
+  } else if (cmd == "t" || cmd == "trace") {
+    cmd_trace();
+  } else if (cmd == "reset") {
+    emu_.load(program_);
+    has_last_ = false;
+    out_ << "reset; pc = 0x" << std::hex << emu_.pc() << std::dec << "\n";
+  } else if (cmd == "h" || cmd == "help") {
+    out_ << "commands: s [n], r, b <addr|sym>, d [addr] [n], p [$reg], "
+            "m <addr> [n], t, reset, q\n";
+  } else {
+    out_ << "unknown command '" << cmd << "' (h for help)\n";
+  }
+  return true;
+}
+
+void Debugger::repl(std::istream& in, const char* prompt) {
+  std::string line;
+  for (;;) {
+    if (prompt) out_ << prompt << std::flush;
+    if (!std::getline(in, line)) return;
+    if (!execute(line)) return;
+  }
+}
+
+}  // namespace bsp

@@ -1,0 +1,64 @@
+// Scriptable source-level debugger over the functional emulator: the engine
+// behind the bsp-dbg tool, structured as a library so the command loop is
+// unit-testable. Commands (one per line):
+//
+//   s [n]          step n instructions (default 1), printing each
+//   r              run until a breakpoint, exit, fault, or step limit
+//   b <addr|sym>   toggle a breakpoint
+//   d [addr] [n]   disassemble n instructions (default: around pc)
+//   p [$reg]       print one register, or all when omitted
+//   m <addr> [n]   dump n memory words (default 4)
+//   t              print the last executed instruction's effects
+//   reset          reload the program from scratch
+//   q              quit
+#pragma once
+
+#include <iosfwd>
+#include <set>
+#include <string>
+
+#include "asm/program.hpp"
+#include "emu/emulator.hpp"
+
+namespace bsp {
+
+class Debugger {
+ public:
+  Debugger(Program program, std::ostream& out);
+
+  // Executes one command line; returns false when the session should end
+  // (`q` or end of input).
+  bool execute(const std::string& line);
+
+  // Drives execute() over an input stream until it ends (the tool's main
+  // loop). `prompt` is printed before each read when non-null.
+  void repl(std::istream& in, const char* prompt = nullptr);
+
+  const Emulator& emulator() const { return emu_; }
+  bool breakpoint_at(u32 addr) const { return breakpoints_.count(addr) != 0; }
+
+ private:
+  void cmd_step(u64 n);
+  void cmd_run();
+  void cmd_break(const std::string& where);
+  void cmd_disasm(u32 addr, unsigned n);
+  void cmd_print(const std::string& what);
+  void cmd_memory(u32 addr, unsigned n);
+  void cmd_trace();
+  void print_instruction(u32 pc) const;
+  bool step_once();  // false on exit/fault (already reported)
+
+  // Resolves "0x400010", "1234", or a symbol name; nullopt + message on
+  // failure.
+  std::optional<u32> resolve(const std::string& token) const;
+
+  Program program_;
+  Emulator emu_;
+  std::ostream& out_;
+  std::set<u32> breakpoints_;
+  ExecRecord last_;
+  bool has_last_ = false;
+  u64 run_limit_ = 10'000'000;  // safety net for `r`
+};
+
+}  // namespace bsp

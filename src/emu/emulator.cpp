@@ -1,0 +1,334 @@
+#include "emu/emulator.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace bsp {
+
+void Emulator::load(const Program& program) {
+  regs_.fill(0);
+  fp_regs_.fill(0);
+  fcc_ = false;
+  hi_ = lo_ = 0;
+  mem_ = SparseMemory();
+  retired_ = 0;
+  output_.clear();
+  exited_ = false;
+  exit_code_ = 0;
+
+  for (std::size_t i = 0; i < program.text.size(); ++i)
+    mem_.store_u32(program.text_base + static_cast<u32>(i) * 4,
+                   program.text[i]);
+  if (!program.data.empty())
+    mem_.write_block(program.data_base, program.data.data(),
+                     program.data.size());
+
+  pc_ = program.entry;
+  regs_[R_SP] = kDefaultStackTop;
+  regs_[R_GP] = program.data_base;
+}
+
+bool branch_outcome(const DecodedInst& inst, u32 src1, u32 src2) {
+  switch (inst.op) {
+    case Op::BEQ:  return src1 == src2;
+    case Op::BNE:  return src1 != src2;
+    case Op::BLEZ: return static_cast<i32>(src1) <= 0;
+    case Op::BGTZ: return static_cast<i32>(src1) > 0;
+    case Op::BLTZ: return static_cast<i32>(src1) < 0;
+    case Op::BGEZ: return static_cast<i32>(src1) >= 0;
+    case Op::BC1T: return src1 != 0;  // src1 carries the FP condition flag
+    case Op::BC1F: return src1 == 0;
+    default:
+      assert(false && "not a conditional branch");
+      return false;
+  }
+}
+
+namespace {
+
+float as_float(u32 bits) {
+  float f;
+  std::memcpy(&f, &bits, sizeof f);
+  return f;
+}
+
+u32 as_bits(float f) {
+  u32 bits;
+  std::memcpy(&bits, &f, sizeof bits);
+  return bits;
+}
+
+}  // namespace
+
+u32 fp_alu_result(const DecodedInst& inst, u32 fs_bits, u32 ft_bits) {
+  const float a = as_float(fs_bits), b = as_float(ft_bits);
+  switch (inst.op) {
+    case Op::ADD_S: return as_bits(a + b);
+    case Op::SUB_S: return as_bits(a - b);
+    case Op::MUL_S: return as_bits(a * b);
+    case Op::DIV_S: return as_bits(a / b);
+    case Op::SQRT_S: return as_bits(std::sqrt(a));
+    case Op::ABS_S: return fs_bits & 0x7fffffffu;
+    case Op::NEG_S: return fs_bits ^ 0x80000000u;
+    case Op::MOV_S: return fs_bits;
+    case Op::CVT_S_W:
+      return as_bits(static_cast<float>(static_cast<i32>(fs_bits)));
+    case Op::CVT_W_S: {
+      // Truncate toward zero; out-of-range saturates to INT_MAX, as MIPS
+      // implementations commonly do.
+      if (std::isnan(a) || a >= 2147483648.0f)
+        return 0x7fffffffu;
+      if (a <= -2147483904.0f) return 0x80000000u;
+      return static_cast<u32>(static_cast<i32>(a));
+    }
+    default:
+      assert(false && "not an FP ALU op");
+      return 0;
+  }
+}
+
+bool fp_compare_result(const DecodedInst& inst, u32 fs_bits, u32 ft_bits) {
+  const float a = as_float(fs_bits), b = as_float(ft_bits);
+  switch (inst.op) {
+    case Op::C_EQ_S: return a == b;
+    case Op::C_LT_S: return a < b;
+    case Op::C_LE_S: return a <= b;
+    default:
+      assert(false && "not an FP compare");
+      return false;
+  }
+}
+
+u32 alu_result(const DecodedInst& inst, u32 src1, u32 src2) {
+  const u32 imm = inst.imm_value();
+  switch (inst.op) {
+    case Op::ADD: case Op::ADDU: return src1 + src2;
+    case Op::SUB: case Op::SUBU: return src1 - src2;
+    case Op::AND: return src1 & src2;
+    case Op::OR:  return src1 | src2;
+    case Op::XOR: return src1 ^ src2;
+    case Op::NOR: return ~(src1 | src2);
+    case Op::SLT: return static_cast<i32>(src1) < static_cast<i32>(src2);
+    case Op::SLTU: return src1 < src2 ? 1 : 0;
+    case Op::ADDI: case Op::ADDIU: return src1 + imm;
+    case Op::SLTI: return static_cast<i32>(src1) < static_cast<i32>(imm);
+    case Op::SLTIU: return src1 < imm ? 1 : 0;
+    case Op::ANDI: return src1 & imm;
+    case Op::ORI:  return src1 | imm;
+    case Op::XORI: return src1 ^ imm;
+    case Op::LUI:  return imm;
+    // Shifts: src2 carries the value (rt), src1 the variable amount (rs).
+    case Op::SLL:  return src2 << inst.shamt;
+    case Op::SRL:  return src2 >> inst.shamt;
+    case Op::SRA:  return static_cast<u32>(static_cast<i32>(src2) >> inst.shamt);
+    case Op::SLLV: return src2 << (src1 & 31);
+    case Op::SRLV: return src2 >> (src1 & 31);
+    case Op::SRAV:
+      return static_cast<u32>(static_cast<i32>(src2) >> (src1 & 31));
+    default:
+      assert(false && "not a simple ALU op");
+      return 0;
+  }
+}
+
+StepResult Emulator::step(ExecRecord* record) {
+  if (exited_) {
+    StepResult r;
+    r.kind = StepResult::Kind::Exited;
+    r.exit_code = exit_code_;
+    return r;
+  }
+  if (pc_ % 4 != 0) return fault("misaligned pc");
+
+  const u32 raw = mem_.load_u32(pc_);
+  const auto decoded = decode(raw);
+  if (!decoded) return fault("illegal instruction at pc");
+  const DecodedInst& d = *decoded;
+
+  ExecRecord rec;
+  rec.pc = pc_;
+  rec.inst = d;
+  rec.src1_value = regs_[d.src1()];
+  rec.src2_value = regs_[d.src2()];
+  rec.next_pc = pc_ + 4;
+
+  StepResult result;
+  u32 dest_value = 0;
+  unsigned dest = d.dest();
+
+  switch (d.cls()) {
+    case ExecClass::Logic:
+    case ExecClass::Add:
+    case ExecClass::ShiftLeft:
+    case ExecClass::ShiftRight:
+    case ExecClass::Compare:
+      dest_value = alu_result(d, rec.src1_value, rec.src2_value);
+      break;
+
+    case ExecClass::Mul: {
+      const u64 product =
+          d.op == Op::MULT
+              ? static_cast<u64>(static_cast<i64>(static_cast<i32>(rec.src1_value)) *
+                                 static_cast<i64>(static_cast<i32>(rec.src2_value)))
+              : u64{rec.src1_value} * u64{rec.src2_value};
+      lo_ = static_cast<u32>(product);
+      hi_ = static_cast<u32>(product >> 32);
+      break;
+    }
+    case ExecClass::Div: {
+      const u32 a = rec.src1_value, b = rec.src2_value;
+      if (b == 0) {
+        lo_ = 0;  // division by zero is defined as 0/0 remainder a
+        hi_ = a;
+      } else if (d.op == Op::DIV) {
+        lo_ = static_cast<u32>(static_cast<i32>(a) / static_cast<i32>(b));
+        hi_ = static_cast<u32>(static_cast<i32>(a) % static_cast<i32>(b));
+      } else {
+        lo_ = a / b;
+        hi_ = a % b;
+      }
+      break;
+    }
+    case ExecClass::MfHiLo:
+      dest_value = d.op == Op::MFHI ? hi_ : lo_;
+      break;
+
+    case ExecClass::FpAlu:
+    case ExecClass::FpMul:
+    case ExecClass::FpDiv:
+    case ExecClass::FpSqrt:
+      if (d.op == Op::MFC1) {
+        rec.src1_value = fp_regs_[d.fs()];
+        dest_value = rec.src1_value;  // generic tail writes the GPR
+      } else if (d.op == Op::MTC1) {
+        rec.src1_value = regs_[d.rt];
+        fp_regs_[d.fs()] = rec.src1_value;
+        rec.dest = kExtFpBase + d.fs();
+        rec.dest_value = rec.src1_value;
+      } else {
+        rec.src1_value = fp_regs_[d.fs()];
+        rec.src2_value = fp_regs_[d.ft()];
+        const u32 result = fp_alu_result(d, rec.src1_value, rec.src2_value);
+        fp_regs_[d.fd()] = result;
+        rec.dest = kExtFpBase + d.fd();
+        rec.dest_value = result;
+      }
+      break;
+
+    case ExecClass::FpCompare:
+      rec.src1_value = fp_regs_[d.fs()];
+      rec.src2_value = fp_regs_[d.ft()];
+      fcc_ = fp_compare_result(d, rec.src1_value, rec.src2_value);
+      rec.dest = kExtFcc;
+      rec.dest_value = fcc_ ? 1 : 0;
+      break;
+
+    case ExecClass::FpBranch:
+      rec.src1_value = fcc_ ? 1 : 0;
+      rec.is_cond_branch = true;
+      rec.branch_taken = branch_outcome(d, rec.src1_value, 0);
+      if (rec.branch_taken) rec.next_pc = d.branch_target(pc_);
+      break;
+
+    case ExecClass::Load: {
+      const u32 addr = rec.src1_value + d.imm_value();
+      const unsigned n = d.mem_bytes();
+      if (addr % n != 0) return fault("misaligned load");
+      u32 v = 0;
+      if (n == 1) v = mem_.load_u8(addr);
+      else if (n == 2) v = mem_.load_u16(addr);
+      else v = mem_.load_u32(addr);
+      if (d.mem_sign_extend() && d.op != Op::LWC1) v = sign_extend(v, n * 8);
+      if (d.op == Op::LWC1) {
+        fp_regs_[d.ft()] = v;
+        rec.dest = kExtFpBase + d.ft();
+        rec.dest_value = v;
+      } else {
+        dest_value = v;
+      }
+      rec.is_load = true;
+      rec.mem_addr = addr;
+      rec.mem_bytes = n;
+      rec.load_value = v;
+      break;
+    }
+    case ExecClass::Store: {
+      const u32 addr = rec.src1_value + d.imm_value();
+      const unsigned n = d.mem_bytes();
+      if (addr % n != 0) return fault("misaligned store");
+      if (d.op == Op::SWC1) rec.src2_value = fp_regs_[d.ft()];
+      const u32 v = rec.src2_value;
+      if (n == 1) mem_.store_u8(addr, static_cast<u8>(v));
+      else if (n == 2) mem_.store_u16(addr, static_cast<u16>(v));
+      else mem_.store_u32(addr, v);
+      rec.is_store = true;
+      rec.mem_addr = addr;
+      rec.mem_bytes = n;
+      rec.store_value = n == 4 ? v : (v & low_mask(n * 8));
+      break;
+    }
+
+    case ExecClass::BranchEq:
+    case ExecClass::BranchSign: {
+      rec.is_cond_branch = true;
+      rec.branch_taken = branch_outcome(d, rec.src1_value, rec.src2_value);
+      if (rec.branch_taken) rec.next_pc = d.branch_target(pc_);
+      break;
+    }
+    case ExecClass::Jump:
+      rec.next_pc = d.branch_target(pc_);
+      if (d.op == Op::JAL) dest_value = pc_ + 4;
+      break;
+    case ExecClass::JumpReg:
+      rec.next_pc = rec.src1_value;
+      if (d.op == Op::JALR) dest_value = pc_ + 4;
+      break;
+
+    case ExecClass::Syscall: {
+      const u32 code = regs_[R_V0];
+      const u32 arg = regs_[R_A0];
+      switch (code) {
+        case SYS_PRINT_INT:
+          output_ += std::to_string(static_cast<i32>(arg));
+          break;
+        case SYS_PRINT_CHAR:
+          output_ += static_cast<char>(arg & 0xff);
+          break;
+        case SYS_EXIT:
+          exited_ = true;
+          exit_code_ = static_cast<int>(arg);
+          result.kind = StepResult::Kind::Exited;
+          result.exit_code = exit_code_;
+          break;
+        default:
+          return fault("unknown syscall " + std::to_string(code));
+      }
+      break;
+    }
+  }
+
+  if (dest != 0) {
+    regs_[dest] = dest_value;
+    rec.dest = dest;
+    rec.dest_value = dest_value;
+  }
+  pc_ = rec.next_pc;
+  ++retired_;
+  if (record) *record = rec;
+  return result;
+}
+
+u64 Emulator::run(u64 max_instructions, StepResult* final_result) {
+  u64 n = 0;
+  StepResult r;
+  while (n < max_instructions) {
+    r = step();
+    if (!r.ok()) break;
+    ++n;
+  }
+  if (final_result) *final_result = r;
+  return n;
+}
+
+}  // namespace bsp

@@ -1,0 +1,135 @@
+// Functional (architectural-state) emulator for BSP-32.
+//
+// Three consumers:
+//   * the golden reference the timing core co-simulates against at commit,
+//   * the producer of dynamic traces for the characterisation studies
+//     (Figures 2, 4, 6),
+//   * standalone program execution for tests, examples and workload bring-up.
+//
+// step() executes exactly one instruction and returns a full ExecRecord of
+// its architectural effects, which is also the trace record format.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "asm/program.hpp"
+#include "emu/memory.hpp"
+#include "isa/isa.hpp"
+
+namespace bsp {
+
+// System calls ($v0 selects; arguments in $a0).
+enum Syscall : u32 {
+  SYS_PRINT_INT = 1,
+  SYS_PRINT_CHAR = 11,
+  SYS_EXIT = 10,
+};
+
+// Everything one dynamic instruction did. Kept plain so millions of them can
+// be buffered cheaply by the trace layer.
+struct ExecRecord {
+  u32 pc = 0;
+  DecodedInst inst;
+
+  u32 src1_value = 0;  // value read for src1() (0 if unused)
+  u32 src2_value = 0;
+
+  unsigned dest = 0;   // architectural dest reg (0 = none)
+  u32 dest_value = 0;
+
+  bool is_load = false;
+  bool is_store = false;
+  u32 mem_addr = 0;
+  unsigned mem_bytes = 0;
+  u32 store_value = 0;  // value written (stores only)
+  u32 load_value = 0;   // value read (loads only)
+
+  bool is_cond_branch = false;
+  bool branch_taken = false;
+  u32 next_pc = 0;      // actual successor PC
+};
+
+struct StepResult {
+  enum class Kind { Ok, Exited, Fault } kind = Kind::Ok;
+  int exit_code = 0;
+  std::string fault;  // decode failure / misalignment description
+
+  bool ok() const { return kind == Kind::Ok; }
+  bool exited() const { return kind == Kind::Exited; }
+};
+
+class Emulator {
+ public:
+  Emulator() = default;
+  explicit Emulator(const Program& program) { load(program); }
+
+  // Resets all state and installs the program image.
+  void load(const Program& program);
+
+  // Executes the instruction at pc(); fills `record` (may be null).
+  StepResult step(ExecRecord* record = nullptr);
+
+  // Runs until exit/fault or `max_instructions`. Returns instructions run.
+  u64 run(u64 max_instructions, StepResult* final_result = nullptr);
+
+  u32 pc() const { return pc_; }
+  void set_pc(u32 pc) { pc_ = pc; }
+  u32 reg(unsigned i) const { return regs_[i]; }
+  void set_reg(unsigned i, u32 v) { if (i != 0) regs_[i] = v; }
+  u32 hi() const { return hi_; }
+  u32 lo() const { return lo_; }
+  void set_hi(u32 v) { hi_ = v; }
+  void set_lo(u32 v) { lo_ = v; }
+  void set_retired(u64 n) { retired_ = n; }
+
+  // Floating-point state: $f0..$f31 as raw single-precision bits, plus the
+  // condition flag written by c.eq/lt/le.s and read by bc1f/bc1t.
+  u32 fp_reg(unsigned i) const { return fp_regs_[i]; }
+  void set_fp_reg(unsigned i, u32 bits) { fp_regs_[i] = bits; }
+  bool fcc() const { return fcc_; }
+  void set_fcc(bool v) { fcc_ = v; }
+  SparseMemory& memory() { return mem_; }
+  const SparseMemory& memory() const { return mem_; }
+
+  u64 instructions_retired() const { return retired_; }
+  const std::string& output() const { return output_; }
+  bool exited() const { return exited_; }
+  int exit_code() const { return exit_code_; }
+
+ private:
+  StepResult fault(const std::string& why) {
+    StepResult r;
+    r.kind = StepResult::Kind::Fault;
+    r.fault = why;
+    return r;
+  }
+
+  std::array<u32, kNumRegs> regs_{};
+  std::array<u32, 32> fp_regs_{};
+  bool fcc_ = false;
+  u32 hi_ = 0, lo_ = 0;
+  u32 pc_ = 0;
+  SparseMemory mem_;
+  u64 retired_ = 0;
+  std::string output_;
+  bool exited_ = false;
+  int exit_code_ = 0;
+};
+
+// Evaluates a conditional branch's outcome from its operand values; shared
+// with the timing core so both sides use identical semantics.
+bool branch_outcome(const DecodedInst& inst, u32 src1, u32 src2);
+
+// Pure ALU result for non-memory, non-control ops (shared with the sliced
+// datapath verification tests). `src1`/`src2` follow DecodedInst::src1/src2
+// conventions; imm handled internally.
+u32 alu_result(const DecodedInst& inst, u32 src1, u32 src2);
+
+// FP datapath results over raw single-precision bits (host IEEE-754).
+u32 fp_alu_result(const DecodedInst& inst, u32 fs_bits, u32 ft_bits);
+bool fp_compare_result(const DecodedInst& inst, u32 fs_bits, u32 ft_bits);
+
+}  // namespace bsp

@@ -1,0 +1,85 @@
+// Sparse byte-addressable memory for the emulated 32-bit address space.
+//
+// Pages are allocated on first touch so a 4 GB address space costs only what
+// the program actually uses. Little-endian, matching the host so data-segment
+// images can be copied in directly. Unaligned u16/u32 accesses are supported
+// (assembled programs never produce them, but synthetic stress tests do).
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bitops.hpp"
+
+namespace bsp {
+
+class SparseMemory {
+ public:
+  static constexpr unsigned kPageShift = 12;
+  static constexpr u32 kPageSize = 1u << kPageShift;
+
+  u8 load_u8(u32 addr) const {
+    const Page* p = find_page(addr);
+    return p ? p->bytes[offset(addr)] : 0;
+  }
+  u16 load_u16(u32 addr) const {
+    return static_cast<u16>(load_u8(addr) | (u16{load_u8(addr + 1)} << 8));
+  }
+  u32 load_u32(u32 addr) const {
+    return u32{load_u16(addr)} | (u32{load_u16(addr + 2)} << 16);
+  }
+
+  void store_u8(u32 addr, u8 v) { page(addr).bytes[offset(addr)] = v; }
+  void store_u16(u32 addr, u16 v) {
+    store_u8(addr, static_cast<u8>(v));
+    store_u8(addr + 1, static_cast<u8>(v >> 8));
+  }
+  void store_u32(u32 addr, u32 v) {
+    store_u16(addr, static_cast<u16>(v));
+    store_u16(addr + 2, static_cast<u16>(v >> 16));
+  }
+
+  void write_block(u32 addr, const void* src, std::size_t n) {
+    const u8* b = static_cast<const u8*>(src);
+    for (std::size_t i = 0; i < n; ++i) store_u8(addr + static_cast<u32>(i), b[i]);
+  }
+
+  std::size_t pages_allocated() const { return pages_.size(); }
+
+  // Visits every allocated page in ascending page-id order (deterministic,
+  // for checkpoint serialisation). The callback receives the page's base
+  // address and kPageSize bytes.
+  template <typename Fn>
+  void for_each_page(Fn&& fn) const {
+    std::vector<u32> ids;
+    ids.reserve(pages_.size());
+    for (const auto& [id, page] : pages_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const u32 id : ids)
+      fn(id << kPageShift, pages_.at(id)->bytes.data());
+  }
+
+ private:
+  struct Page {
+    std::vector<u8> bytes = std::vector<u8>(kPageSize, 0);
+  };
+
+  static u32 page_id(u32 addr) { return addr >> kPageShift; }
+  static u32 offset(u32 addr) { return addr & (kPageSize - 1); }
+
+  const Page* find_page(u32 addr) const {
+    const auto it = pages_.find(page_id(addr));
+    return it == pages_.end() ? nullptr : it->second.get();
+  }
+  Page& page(u32 addr) {
+    auto& slot = pages_[page_id(addr)];
+    if (!slot) slot = std::make_unique<Page>();
+    return *slot;
+  }
+
+  std::unordered_map<u32, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace bsp

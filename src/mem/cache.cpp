@@ -1,0 +1,131 @@
+#include "mem/cache.hpp"
+
+namespace bsp {
+
+Cache::Cache(CacheGeometry g, unsigned hit_latency)
+    : geom_(g), hit_latency_(hit_latency), lines_(g.num_sets() * g.ways) {
+  assert(g.valid());
+  assert(g.ways <= 32 && "way masks are 32-bit");
+}
+
+std::optional<unsigned> Cache::find(u32 addr) const {
+  const u32 set = index_of(addr);
+  const u32 tag = tag_of(addr);
+  for (unsigned w = 0; w < geom_.ways; ++w) {
+    const Line& l = line(set, w);
+    if (l.valid && l.tag == tag) return w;
+  }
+  return std::nullopt;
+}
+
+u32 Cache::partial_match_ways(u32 addr, unsigned n_tag_bits) const {
+  assert(n_tag_bits <= geom_.tag_bits());
+  const u32 set = index_of(addr);
+  const u32 tag = tag_of(addr);
+  const u32 mask = low_mask(n_tag_bits);
+  u32 result = 0;
+  for (unsigned w = 0; w < geom_.ways; ++w) {
+    const Line& l = line(set, w);
+    if (l.valid && ((l.tag ^ tag) & mask) == 0) result |= u32{1} << w;
+  }
+  return result;
+}
+
+std::optional<unsigned> Cache::mru_way_among(u32 set, u32 way_mask) const {
+  std::optional<unsigned> best;
+  u64 best_lru = 0;
+  for (unsigned w = 0; w < geom_.ways; ++w) {
+    if (!(way_mask & (u32{1} << w))) continue;
+    const Line& l = line(set, w);
+    if (!l.valid) continue;
+    if (!best || l.lru > best_lru) {
+      best = w;
+      best_lru = l.lru;
+    }
+  }
+  return best;
+}
+
+std::optional<unsigned> Cache::predict_way(u32 addr, u32 way_mask,
+                                           WayPolicy policy,
+                                           u32* random_state) const {
+  if (way_mask == 0) return std::nullopt;
+  const u32 set = index_of(addr);
+  switch (policy) {
+    case WayPolicy::MRU:
+      return mru_way_among(set, way_mask);
+    case WayPolicy::FirstMatch:
+      return static_cast<unsigned>(std::countr_zero(way_mask));
+    case WayPolicy::Random: {
+      // xorshift over the caller-provided state: deterministic per run.
+      u32 x = *random_state ? *random_state : 0x2545f491u;
+      x ^= x << 13; x ^= x >> 17; x ^= x << 5;
+      *random_state = x;
+      const unsigned n = static_cast<unsigned>(std::popcount(way_mask));
+      unsigned pick = x % n;
+      for (unsigned w = 0; w < geom_.ways; ++w) {
+        if (way_mask & (u32{1} << w)) {
+          if (pick == 0) return w;
+          --pick;
+        }
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+Cache::AccessResult Cache::access(u32 addr, bool is_write) {
+  ++accesses_;
+  ++tick_;
+  const u32 set = index_of(addr);
+  const u32 tag = tag_of(addr);
+
+  AccessResult r;
+  if (const auto w = find(addr)) {
+    Line& l = line(set, *w);
+    l.lru = tick_;
+    if (is_write) l.dirty = true;
+    r.hit = true;
+    r.way = *w;
+    return r;
+  }
+
+  ++misses_;
+  // Victim: an invalid way if any, else the LRU way.
+  unsigned victim = 0;
+  u64 victim_lru = ~u64{0};
+  for (unsigned w = 0; w < geom_.ways; ++w) {
+    const Line& l = line(set, w);
+    if (!l.valid) {
+      victim = w;
+      victim_lru = 0;
+      break;
+    }
+    if (l.lru < victim_lru) {
+      victim = w;
+      victim_lru = l.lru;
+    }
+  }
+  Line& v = line(set, victim);
+  if (v.valid) {
+    r.evicted = true;
+    r.victim_addr = (v.tag << geom_.tag_lo_bit()) |
+                    (set << geom_.offset_bits());
+    r.victim_dirty = v.dirty;
+  }
+  v.valid = true;
+  v.dirty = is_write;
+  v.tag = tag;
+  v.lru = tick_;
+  r.hit = false;
+  r.way = victim;
+  return r;
+}
+
+void Cache::flush() {
+  for (auto& l : lines_) l = Line{};
+  tick_ = 0;
+}
+
+}  // namespace bsp

@@ -1,0 +1,34 @@
+#include "mem/hierarchy.hpp"
+
+namespace bsp {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& cfg)
+    : cfg_(cfg),
+      l1i_(cfg.l1i, cfg.l1i_latency),
+      l1d_(cfg.l1d, cfg.l1d_latency),
+      l2_(cfg.l2, cfg.l2_latency) {}
+
+unsigned MemoryHierarchy::below_l1(u32 addr, bool is_write) {
+  const auto l2r = l2_.access(addr, is_write);
+  unsigned lat = l2_.hit_latency();
+  if (!l2r.hit) lat += cfg_.memory_latency;
+  return lat;
+}
+
+unsigned MemoryHierarchy::fetch_latency(u32 addr) {
+  const auto r = l1i_.access(addr, /*is_write=*/false);
+  unsigned lat = l1i_.hit_latency();
+  if (!r.hit) lat += below_l1(addr, false);
+  return lat;
+}
+
+unsigned MemoryHierarchy::data_latency(u32 addr, bool is_write,
+                                       bool* l1_hit_out) {
+  const auto r = l1d_.access(addr, is_write);
+  if (l1_hit_out) *l1_hit_out = r.hit;
+  unsigned lat = l1d_.hit_latency();
+  if (!r.hit) lat += below_l1(addr, is_write);
+  return lat;
+}
+
+}  // namespace bsp

@@ -1,0 +1,101 @@
+// Lightweight statistics primitives for the simulator and benches: fixed-
+// range histograms and running means with deterministic output.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitops.hpp"
+
+namespace bsp {
+
+// Histogram over the integer range [0, buckets); values past the end land in
+// the final overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t buckets) : counts_(buckets + 1, 0) {}
+
+  void add(u64 value, u64 weight = 1) {
+    const std::size_t i =
+        value < counts_.size() - 1 ? static_cast<std::size_t>(value)
+                                   : counts_.size() - 1;
+    counts_[i] += weight;
+    total_ += weight;
+    sum_ += value * weight;
+  }
+
+  u64 count(std::size_t bucket) const { return counts_[bucket]; }
+  u64 overflow() const { return counts_.back(); }
+  u64 total() const { return total_; }
+  double mean() const {
+    return total_ ? static_cast<double>(sum_) / total_ : 0.0;
+  }
+  double fraction(std::size_t bucket) const {
+    return total_ ? static_cast<double>(counts_[bucket]) / total_ : 0.0;
+  }
+  // Fraction of samples <= bucket.
+  double cumulative(std::size_t bucket) const {
+    u64 s = 0;
+    for (std::size_t i = 0; i <= bucket && i < counts_.size(); ++i)
+      s += counts_[i];
+    return total_ ? static_cast<double>(s) / total_ : 0.0;
+  }
+  // Smallest bucket b with cumulative(b) >= p (p in [0,1]); the overflow
+  // bucket index when even it is needed.
+  std::size_t percentile(double p) const {
+    u64 s = 0;
+    const u64 target =
+        static_cast<u64>(p * static_cast<double>(total_) + 0.5);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      s += counts_[i];
+      if (s >= target) return i;
+    }
+    return counts_.size() - 1;
+  }
+  std::size_t buckets() const { return counts_.size() - 1; }
+
+ private:
+  std::vector<u64> counts_;
+  u64 total_ = 0;
+  u64 sum_ = 0;
+};
+
+class RunningMean {
+ public:
+  void add(double v) {
+    ++n_;
+    sum_ += v;
+    min_ = n_ == 1 ? v : (v < min_ ? v : min_);
+    max_ = n_ == 1 ? v : (v > max_ ? v : max_);
+  }
+  u64 count() const { return n_; }
+  double mean() const { return n_ ? sum_ / n_ : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  u64 n_ = 0;
+  double sum_ = 0, min_ = 0, max_ = 0;
+};
+
+// Geometric mean accumulator (speedups are averaged geometrically in the
+// ablation reports; the paper's averages are arithmetic and we report both).
+class GeoMean {
+ public:
+  void add(double v) {
+    assert(v > 0);
+    ++n_;
+    log_sum_ += std::log(v);
+  }
+  u64 count() const { return n_; }
+  double mean() const { return n_ ? std::exp(log_sum_ / n_) : 0.0; }
+
+ private:
+  u64 n_ = 0;
+  double log_sum_ = 0;
+};
+
+}  // namespace bsp

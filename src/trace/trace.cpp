@@ -1,0 +1,22 @@
+#include "trace/trace.hpp"
+
+namespace bsp {
+
+TraceResult run_trace(const Program& program, u64 skip, u64 limit,
+                      const TraceVisitor& visit) {
+  Emulator emu(program);
+  TraceResult result;
+  result.skipped = emu.run(skip, &result.final);
+  if (result.skipped < skip) return result;  // exited/faulted during warm-up
+
+  ExecRecord rec;
+  while (result.visited < limit) {
+    result.final = emu.step(&rec);
+    if (!result.final.ok()) break;
+    ++result.visited;
+    if (!visit(rec)) break;
+  }
+  return result;
+}
+
+}  // namespace bsp

@@ -1,0 +1,28 @@
+// Trace-driven execution: runs the functional emulator and streams one
+// ExecRecord per dynamic instruction to a visitor. This is the substrate for
+// the paper's characterisation studies (Figures 2, 4, 6), which the authors
+// ran on a trace-driven version of SimpleScalar.
+#pragma once
+
+#include <functional>
+
+#include "asm/program.hpp"
+#include "emu/emulator.hpp"
+
+namespace bsp {
+
+// Return false from the visitor to stop early.
+using TraceVisitor = std::function<bool(const ExecRecord&)>;
+
+struct TraceResult {
+  u64 skipped = 0;    // fast-forwarded instructions (not visited)
+  u64 visited = 0;    // instructions delivered to the visitor
+  StepResult final;   // why execution stopped
+};
+
+// Executes `program`, skipping the first `skip` instructions (warm-up /
+// fast-forward) and then visiting up to `limit` instructions.
+TraceResult run_trace(const Program& program, u64 skip, u64 limit,
+                      const TraceVisitor& visit);
+
+}  // namespace bsp

@@ -1,0 +1,140 @@
+// Bit- and slice-level helpers shared by the whole simulator.
+//
+// A "slice" is a contiguous group of bits of a 32-bit register operand, as
+// defined by a SliceGeometry: slicing by 2 gives two 16-bit slices, slicing
+// by 4 gives four 8-bit slices. Slice 0 always holds the least significant
+// bits. These helpers are the single source of truth for slice boundaries so
+// the scheduler, the ALUs, the LSQ and the cache all agree on them.
+#pragma once
+
+#include <cstdint>
+#include <cassert>
+#include <array>
+#include <bit>
+
+namespace bsp {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+inline constexpr unsigned kWordBits = 32;
+inline constexpr unsigned kMaxSlices = 8;
+
+// Mask with the low `n` bits set; n may be 0..32.
+constexpr u32 low_mask(unsigned n) {
+  assert(n <= 32);
+  return n >= 32 ? ~u32{0} : ((u32{1} << n) - 1);
+}
+
+// Bits [lo, lo+n) of v, right-aligned.
+constexpr u32 bits(u32 v, unsigned lo, unsigned n) {
+  assert(lo < 32 && lo + n <= 32);
+  return (v >> lo) & low_mask(n);
+}
+
+constexpr bool bit(u32 v, unsigned i) {
+  assert(i < 32);
+  return (v >> i) & 1u;
+}
+
+constexpr u32 sign_extend(u32 v, unsigned from_bits) {
+  assert(from_bits >= 1 && from_bits <= 32);
+  if (from_bits == 32) return v;
+  const u32 m = u32{1} << (from_bits - 1);
+  return ((v & low_mask(from_bits)) ^ m) - m;
+}
+
+// Geometry of the bit-sliced datapath: how a 32-bit operand is decomposed.
+struct SliceGeometry {
+  unsigned count = 1;  // number of slices: 1 (atomic), 2, or 4 (8 supported)
+
+  constexpr unsigned width() const { return kWordBits / count; }
+  constexpr unsigned lo_bit(unsigned slice) const {
+    assert(slice < count);
+    return slice * width();
+  }
+  constexpr u32 mask(unsigned slice) const {
+    return low_mask(width()) << lo_bit(slice);
+  }
+  // Which slice contains absolute bit position `b`.
+  constexpr unsigned slice_of_bit(unsigned b) const {
+    assert(b < kWordBits);
+    return b / width();
+  }
+  constexpr bool valid() const {
+    return count >= 1 && count <= kMaxSlices && (kWordBits % count) == 0;
+  }
+};
+
+// Extract slice `s` of value v, right-aligned.
+constexpr u32 slice_get(SliceGeometry g, u32 v, unsigned s) {
+  return bits(v, g.lo_bit(s), g.width());
+}
+
+// Insert right-aligned slice value `sv` into position `s` of v.
+constexpr u32 slice_set(SliceGeometry g, u32 v, unsigned s, u32 sv) {
+  const u32 m = g.mask(s);
+  return (v & ~m) | ((sv << g.lo_bit(s)) & m);
+}
+
+// Result of adding one slice with carry-in: the slice of the sum plus the
+// carry-out that an adjacent higher slice needs. This is exactly the
+// inter-slice dependence of paper Figure 8(b).
+struct SliceAdd {
+  u32 sum;     // right-aligned slice of the result
+  bool carry;  // carry out of the slice's top bit
+};
+
+constexpr SliceAdd slice_add(SliceGeometry g, u32 a_slice, u32 b_slice,
+                             bool carry_in) {
+  const u32 w = g.width();
+  const u64 s = u64{a_slice} + u64{b_slice} + (carry_in ? 1 : 0);
+  return {static_cast<u32>(s) & low_mask(w), ((s >> w) & 1) != 0};
+}
+
+// Full 32-bit add decomposed into slices; returns final value. Used by tests
+// to prove the sliced datapath equals the atomic one for all inputs.
+constexpr u32 sliced_add(SliceGeometry g, u32 a, u32 b, bool carry_in = false) {
+  u32 r = 0;
+  bool c = carry_in;
+  for (unsigned s = 0; s < g.count; ++s) {
+    const SliceAdd sa = slice_add(g, slice_get(g, a, s), slice_get(g, b, s), c);
+    r = slice_set(g, r, s, sa.sum);
+    c = sa.carry;
+  }
+  return r;
+}
+
+// Subtraction as add of one's complement with carry-in 1 (how the sliced
+// datapath implements it, so borrows ride the same carry chain).
+constexpr u32 sliced_sub(SliceGeometry g, u32 a, u32 b) {
+  return sliced_add(g, a, ~b, true);
+}
+
+// Number of low-order bits of `a` and `b` that are known to be equal, i.e.
+// index of the lowest differing bit (32 if identical). The early branch
+// resolution and LSQ disambiguation studies are built on this.
+constexpr unsigned lowest_diff_bit(u32 a, u32 b) {
+  const u32 x = a ^ b;
+  return x == 0 ? 32u : static_cast<unsigned>(std::countr_zero(x));
+}
+
+// Do `a` and `b` agree on bits [lo, lo+n)?
+constexpr bool match_bits(u32 a, u32 b, unsigned lo, unsigned n) {
+  return bits(a, lo, n) == bits(b, lo, n);
+}
+
+constexpr bool is_pow2(u32 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr unsigned log2_exact(u32 v) {
+  assert(is_pow2(v));
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+}  // namespace bsp

@@ -1,0 +1,150 @@
+#include "util/chart.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace bsp {
+
+namespace {
+
+// Series glyphs, cycled; overlapping points show the later series.
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '~'};
+
+std::string format_num(double v) {
+  char buf[32];
+  if (std::abs(v) >= 100 || v == std::floor(v))
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  else
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+LineChart::LineChart(std::string title, unsigned width, unsigned height)
+    : title_(std::move(title)), width_(width), height_(height) {
+  assert(width_ >= 8 && height_ >= 4);
+}
+
+void LineChart::add_series(std::string name, std::vector<double> values) {
+  series_.push_back({std::move(name), std::move(values)});
+}
+
+void LineChart::set_y_range(double lo, double hi) {
+  fixed_range_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+void LineChart::print(std::ostream& os) const {
+  os << title_ << "\n";
+  if (series_.empty()) {
+    os << "  (no data)\n";
+    return;
+  }
+
+  double lo = y_lo_, hi = y_hi_;
+  std::size_t max_n = 0;
+  if (!fixed_range_) {
+    lo = series_[0].values.empty() ? 0.0 : series_[0].values[0];
+    hi = lo;
+    for (const auto& s : series_)
+      for (const double v : s.values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+  }
+  for (const auto& s : series_) max_n = std::max(max_n, s.values.size());
+  if (max_n == 0) {
+    os << "  (no data)\n";
+    return;
+  }
+  if (hi <= lo) hi = lo + 1;
+
+  // Raster: rows top (hi) to bottom (lo).
+  std::vector<std::string> raster(height_, std::string(width_, ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const auto& vals = series_[si].values;
+    if (vals.empty()) continue;
+    const char glyph = kGlyphs[si % (sizeof kGlyphs)];
+    for (unsigned col = 0; col < width_; ++col) {
+      // Resample: nearest source index for this column.
+      const std::size_t idx =
+          vals.size() == 1
+              ? 0
+              : static_cast<std::size_t>(
+                    std::llround(static_cast<double>(col) * (vals.size() - 1) /
+                                 (width_ - 1)));
+      const double v = std::clamp(vals[idx], lo, hi);
+      const unsigned row = static_cast<unsigned>(std::llround(
+          (hi - v) / (hi - lo) * (height_ - 1)));
+      raster[row][col] = glyph;
+    }
+  }
+
+  const std::string top = format_num(hi), bottom = format_num(lo);
+  const std::size_t lw = std::max(top.size(), bottom.size());
+  for (unsigned row = 0; row < height_; ++row) {
+    std::string label(lw, ' ');
+    if (row == 0) label = std::string(lw - top.size(), ' ') + top;
+    if (row == height_ - 1)
+      label = std::string(lw - bottom.size(), ' ') + bottom;
+    os << label << " |" << raster[row] << "\n";
+  }
+  os << std::string(lw, ' ') << " +" << std::string(width_, '-') << "\n";
+  if (!x_label_.empty())
+    os << std::string(lw + 2, ' ') << x_label_ << "\n";
+  // Legend.
+  os << std::string(lw + 2, ' ');
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    os << kGlyphs[si % (sizeof kGlyphs)] << " " << series_[si].name
+       << (si + 1 < series_.size() ? "   " : "");
+  }
+  os << "\n";
+}
+
+BarChart::BarChart(std::string title, unsigned width)
+    : title_(std::move(title)), width_(width) {
+  assert(width_ >= 8);
+}
+
+void BarChart::add_bar(std::string label, double value) {
+  bars_.push_back({std::move(label), value});
+}
+
+void BarChart::print(std::ostream& os) const {
+  os << title_ << "\n";
+  if (bars_.empty()) {
+    os << "  (no data)\n";
+    return;
+  }
+  double hi = has_ref_ ? reference_ : 0;
+  std::size_t lw = 0;
+  for (const auto& b : bars_) {
+    hi = std::max(hi, b.value);
+    lw = std::max(lw, b.label.size());
+  }
+  if (hi <= 0) hi = 1;
+  const unsigned ref_col =
+      has_ref_ ? static_cast<unsigned>(std::llround(reference_ / hi *
+                                                    (width_ - 1)))
+               : width_;
+  for (const auto& b : bars_) {
+    const unsigned n = static_cast<unsigned>(
+        std::llround(std::clamp(b.value, 0.0, hi) / hi * (width_ - 1)));
+    std::string row(width_, ' ');
+    for (unsigned i = 0; i < n; ++i) row[i] = '=';
+    if (has_ref_ && ref_col < width_)
+      row[ref_col] = row[ref_col] == '=' ? '#' : '|';
+    os << "  " << b.label << std::string(lw - b.label.size(), ' ') << " |"
+       << row << " " << format_num(b.value) << "\n";
+  }
+  if (has_ref_)
+    os << "  " << std::string(lw, ' ') << "  ('|' marks "
+       << format_num(reference_) << ")\n";
+}
+
+}  // namespace bsp

@@ -1,0 +1,32 @@
+// Aligned-table / CSV printer used by every bench binary so that the
+// reproduced tables and figure series all share one output format.
+#pragma once
+
+#include <string>
+#include <vector>
+#include <iosfwd>
+
+namespace bsp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats doubles with `prec` decimals, ints as-is.
+  static std::string num(double v, int prec = 3);
+  static std::string pct(double fraction, int prec = 1);  // 0.42 -> "42.0%"
+
+  void print(std::ostream& os) const;      // aligned columns
+  void print_csv(std::ostream& os) const;  // comma separated
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bsp

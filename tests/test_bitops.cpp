@@ -1,0 +1,135 @@
+// Unit + property tests for the slice utilities: the sliced datapath must be
+// bit-identical to the atomic one for every geometry.
+#include <gtest/gtest.h>
+
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace bsp {
+namespace {
+
+TEST(Bitops, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(16), 0xffffu);
+  EXPECT_EQ(low_mask(31), 0x7fffffffu);
+  EXPECT_EQ(low_mask(32), 0xffffffffu);
+}
+
+TEST(Bitops, BitsExtract) {
+  EXPECT_EQ(bits(0xdeadbeef, 0, 8), 0xefu);
+  EXPECT_EQ(bits(0xdeadbeef, 8, 8), 0xbeu);
+  EXPECT_EQ(bits(0xdeadbeef, 16, 16), 0xdeadu);
+  EXPECT_EQ(bits(0xdeadbeef, 28, 4), 0xdu);
+}
+
+TEST(Bitops, SignExtend) {
+  EXPECT_EQ(sign_extend(0x8000, 16), 0xffff8000u);
+  EXPECT_EQ(sign_extend(0x7fff, 16), 0x7fffu);
+  EXPECT_EQ(sign_extend(0x1, 1), 0xffffffffu);
+  EXPECT_EQ(sign_extend(0xff, 8), 0xffffffffu);
+  EXPECT_EQ(sign_extend(0x7f, 8), 0x7fu);
+  EXPECT_EQ(sign_extend(0xabcd1234, 32), 0xabcd1234u);
+}
+
+TEST(Bitops, LowestDiffBit) {
+  EXPECT_EQ(lowest_diff_bit(0, 0), 32u);
+  EXPECT_EQ(lowest_diff_bit(0, 1), 0u);
+  EXPECT_EQ(lowest_diff_bit(0x10, 0x00), 4u);
+  EXPECT_EQ(lowest_diff_bit(0x80000000u, 0), 31u);
+  EXPECT_EQ(lowest_diff_bit(0xff00, 0xff01), 0u);
+}
+
+TEST(Bitops, MatchBits) {
+  EXPECT_TRUE(match_bits(0xab12, 0xcd12, 0, 8));
+  EXPECT_FALSE(match_bits(0xab12, 0xcd12, 8, 8));
+  EXPECT_TRUE(match_bits(0xffffffff, 0xffffffff, 0, 32));
+}
+
+class SliceGeometryTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SliceGeometryTest, GeometryInvariants) {
+  const SliceGeometry g{GetParam()};
+  ASSERT_TRUE(g.valid());
+  EXPECT_EQ(g.width() * g.count, kWordBits);
+  u32 all = 0;
+  for (unsigned s = 0; s < g.count; ++s) {
+    EXPECT_EQ(g.mask(s) & all, 0u) << "slices overlap";
+    all |= g.mask(s);
+    EXPECT_EQ(g.slice_of_bit(g.lo_bit(s)), s);
+  }
+  EXPECT_EQ(all, 0xffffffffu) << "slices must cover the word";
+}
+
+TEST_P(SliceGeometryTest, GetSetRoundTrip) {
+  const SliceGeometry g{GetParam()};
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const u32 v = rng.next();
+    u32 rebuilt = 0;
+    for (unsigned s = 0; s < g.count; ++s)
+      rebuilt = slice_set(g, rebuilt, s, slice_get(g, v, s));
+    EXPECT_EQ(rebuilt, v);
+  }
+}
+
+TEST_P(SliceGeometryTest, SlicedAddEqualsAtomicAdd) {
+  const SliceGeometry g{GetParam()};
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const u32 a = rng.next(), b = rng.next();
+    EXPECT_EQ(sliced_add(g, a, b), a + b);
+  }
+  // Carry-propagation corner cases.
+  EXPECT_EQ(sliced_add(g, 0xffffffffu, 1), 0u);
+  EXPECT_EQ(sliced_add(g, 0xffffu, 1), 0x10000u);
+  EXPECT_EQ(sliced_add(g, 0x00ffffffu, 1), 0x01000000u);
+}
+
+TEST_P(SliceGeometryTest, SlicedSubEqualsAtomicSub) {
+  const SliceGeometry g{GetParam()};
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const u32 a = rng.next(), b = rng.next();
+    EXPECT_EQ(sliced_sub(g, a, b), a - b);
+  }
+  EXPECT_EQ(sliced_sub(g, 0, 1), 0xffffffffu);
+}
+
+TEST_P(SliceGeometryTest, SliceAddCarryChain) {
+  const SliceGeometry g{GetParam()};
+  // A carry injected at the bottom ripples through all-ones slices.
+  bool carry = true;
+  for (unsigned s = 0; s < g.count; ++s) {
+    const SliceAdd r = slice_add(g, low_mask(g.width()), 0, carry);
+    EXPECT_EQ(r.sum, 0u);
+    EXPECT_TRUE(r.carry);
+    carry = r.carry;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGeometries, SliceGeometryTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(Rng, DeterministicAndFullRange) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Rng c(43);
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) differs |= (a2.next() != c.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+    const u32 r = rng.range(5, 9);
+    EXPECT_GE(r, 5u);
+    EXPECT_LE(r, 9u);
+  }
+}
+
+}  // namespace
+}  // namespace bsp

@@ -1,0 +1,173 @@
+// Cache model tests: geometry, LRU replacement, partial tag matching, way
+// prediction, and the two-level hierarchy latencies of Table 2.
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+#include "mem/hierarchy.hpp"
+#include "util/rng.hpp"
+
+namespace bsp {
+namespace {
+
+TEST(CacheGeometry, PaperConfigurations) {
+  const CacheGeometry l1d{64 * 1024, 64, 4};
+  EXPECT_TRUE(l1d.valid());
+  EXPECT_EQ(l1d.num_sets(), 256u);
+  EXPECT_EQ(l1d.offset_bits(), 6u);
+  EXPECT_EQ(l1d.index_bits(), 8u);
+  EXPECT_EQ(l1d.tag_lo_bit(), 14u);
+  EXPECT_EQ(l1d.tag_bits(), 18u);
+
+  const CacheGeometry small{8 * 1024, 32, 2};
+  EXPECT_EQ(small.num_sets(), 128u);
+  EXPECT_EQ(small.tag_lo_bit(), 12u);
+
+  const CacheGeometry l2{1024 * 1024, 64, 4};
+  EXPECT_EQ(l2.num_sets(), 4096u);
+}
+
+TEST(Cache, HitAfterFill) {
+  Cache c({1024, 64, 2});
+  EXPECT_FALSE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1020, false).hit);  // same 64B line
+  EXPECT_FALSE(c.access(0x1040, false).hit); // next line
+}
+
+TEST(Cache, LruEviction) {
+  Cache c({512, 64, 2});  // 4 sets, 2 ways
+  const u32 set_stride = 4 * 64;
+  const u32 a = 0, b = set_stride * 1000, d = set_stride * 2000;
+  // a, b fill both ways of set 0; touching a keeps it MRU; d evicts b.
+  c.access(a, false);
+  c.access(b, false);
+  c.access(a, false);
+  c.access(d, false);
+  EXPECT_TRUE(c.access(a, false).hit);
+  EXPECT_FALSE(c.access(b, false).hit);
+}
+
+TEST(Cache, EvictionReportsVictim) {
+  Cache c({128, 64, 1});  // 2 sets, direct-mapped
+  c.access(0x0, true);    // dirty fill
+  const auto r = c.access(0x1000, false);  // same set (bit 6 = 0)
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_TRUE(r.victim_dirty);
+  EXPECT_EQ(r.victim_addr, 0u);
+}
+
+TEST(Cache, FindDoesNotDisturbLru) {
+  Cache c({512, 64, 2});
+  const u32 set_stride = 4 * 64;
+  c.access(0, false);
+  c.access(set_stride * 7, false);
+  // find() on the older line must not refresh it...
+  EXPECT_TRUE(c.find(0).has_value());
+  c.access(set_stride * 9, false);  // evicts LRU = addr 0
+  EXPECT_FALSE(c.find(0).has_value());
+}
+
+TEST(Cache, PartialMatchConvergesToFullMatch) {
+  Cache c({64 * 1024, 64, 4});
+  Rng rng(3);
+  std::vector<u32> addrs;
+  for (int i = 0; i < 2000; ++i) {
+    const u32 a = rng.next();
+    c.access(a, false);
+    addrs.push_back(a);
+  }
+  const unsigned tbits = c.geometry().tag_bits();
+  for (int i = 0; i < 200; ++i) {
+    const u32 probe = addrs[rng.below(static_cast<u32>(addrs.size()))];
+    const auto full = c.find(probe);
+    const u32 full_ways = c.partial_match_ways(probe, tbits);
+    if (full) {
+      EXPECT_EQ(full_ways, u32{1} << *full);
+    } else {
+      EXPECT_EQ(full_ways, 0u);
+    }
+    // Monotonicity: more tag bits can only shrink the candidate set.
+    u32 prev = c.partial_match_ways(probe, 1);
+    for (unsigned t = 2; t <= tbits; ++t) {
+      const u32 cur = c.partial_match_ways(probe, t);
+      EXPECT_EQ(cur & ~prev, 0u) << "candidate set grew with more bits";
+      prev = cur;
+    }
+  }
+}
+
+TEST(Cache, MruWayPrediction) {
+  Cache c({512, 64, 4});  // 2 sets, 4 ways
+  const u32 stride = 2 * 64;
+  // Fill all four ways of set 0; the last touched is MRU.
+  for (u32 i = 0; i < 4; ++i) c.access(stride * i * 131, false);
+  const u32 set = c.index_of(0);
+  const auto mru = c.mru_way_among(set, 0xf);
+  ASSERT_TRUE(mru.has_value());
+  // Touch way of the first line again -> it becomes MRU.
+  const auto first = c.find(0);
+  ASSERT_TRUE(first.has_value());
+  c.access(0, false);
+  EXPECT_EQ(c.mru_way_among(set, 0xf).value(), *first);
+  // Restricting the mask excludes the MRU way.
+  const u32 mask_without_first = 0xfu & ~(u32{1} << *first);
+  const auto second = c.mru_way_among(set, mask_without_first);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(*second, *first);
+}
+
+TEST(Cache, PredictWayPolicies) {
+  Cache c({512, 64, 4});
+  for (u32 i = 0; i < 4; ++i) c.access(2 * 64 * i * 131, false);
+  u32 rng_state = 1;
+  EXPECT_EQ(c.predict_way(0, 0, WayPolicy::MRU, &rng_state), std::nullopt);
+  const auto first =
+      c.predict_way(0, 0b0110, WayPolicy::FirstMatch, &rng_state);
+  EXPECT_EQ(first.value(), 1u);
+  const auto rnd = c.predict_way(0, 0b1111, WayPolicy::Random, &rng_state);
+  ASSERT_TRUE(rnd.has_value());
+  EXPECT_LT(*rnd, 4u);
+}
+
+TEST(Cache, MissRateAccounting) {
+  Cache c({1024, 64, 2});
+  for (int i = 0; i < 10; ++i) c.access(0x40 * (i % 2), false);
+  EXPECT_EQ(c.accesses(), 10u);
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_DOUBLE_EQ(c.miss_rate(), 0.2);
+  c.flush();
+  EXPECT_FALSE(c.find(0).has_value());
+}
+
+TEST(Hierarchy, LatenciesMatchTable2) {
+  MemoryHierarchy h;  // default config = Table 2
+  bool hit = false;
+  // Cold: L1 miss + L2 miss + memory.
+  EXPECT_EQ(h.data_latency(0x1000, false, &hit), 1u + 6u + 100u);
+  EXPECT_FALSE(hit);
+  // Warm L1.
+  EXPECT_EQ(h.data_latency(0x1000, false, &hit), 1u);
+  EXPECT_TRUE(hit);
+  // Evict from L1 but not L2: thrash one L1 set with > 4 distinct lines.
+  const u32 l1_set_span = 64 * 256;
+  for (u32 i = 1; i <= 8; ++i) h.data_latency(0x1000 + i * l1_set_span, false);
+  EXPECT_EQ(h.data_latency(0x1000, false, &hit), 1u + 6u);
+  EXPECT_FALSE(hit);
+  // Instruction side mirrors the data side.
+  EXPECT_EQ(h.fetch_latency(0x00400000), 1u + 6u + 100u);
+  EXPECT_EQ(h.fetch_latency(0x00400000), 1u);
+}
+
+TEST(Hierarchy, SliceBy4RaisesL1DLatency) {
+  HierarchyConfig cfg;
+  cfg.l1d_latency = 2;
+  MemoryHierarchy h(cfg);
+  h.data_latency(0x2000, false);
+  bool hit = false;
+  EXPECT_EQ(h.data_latency(0x2000, false, &hit), 2u);
+  EXPECT_TRUE(hit);
+}
+
+}  // namespace
+}  // namespace bsp

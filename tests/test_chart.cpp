@@ -1,0 +1,102 @@
+// ASCII chart renderer tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/chart.hpp"
+
+namespace bsp {
+namespace {
+
+std::string render_line(LineChart& c) {
+  std::stringstream ss;
+  c.print(ss);
+  return ss.str();
+}
+
+TEST(LineChart, EmptyChartSaysSo) {
+  LineChart c("empty");
+  EXPECT_NE(render_line(c).find("(no data)"), std::string::npos);
+}
+
+TEST(LineChart, TitleLegendAndAxesAppear) {
+  LineChart c("my title", 32, 8);
+  c.add_series("alpha", {0, 1, 2, 3});
+  c.add_series("beta", {3, 2, 1, 0});
+  c.set_x_label("time");
+  const std::string out = render_line(c);
+  EXPECT_NE(out.find("my title"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("time"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(LineChart, MonotoneSeriesRendersMonotone) {
+  LineChart c("mono", 16, 8);
+  std::vector<double> v;
+  for (int i = 0; i < 16; ++i) v.push_back(i);
+  c.add_series("up", std::move(v));
+  const std::string out = render_line(c);
+  // Column of the first '*' on each row must decrease top to bottom being an
+  // increasing series: the topmost row holds the rightmost points.
+  std::vector<int> first_col;
+  std::stringstream ss(out);
+  std::string line;
+  std::getline(ss, line);  // title
+  while (std::getline(ss, line)) {
+    const auto bar = line.find('|');
+    if (bar == std::string::npos) break;
+    const auto star = line.find('*', bar);
+    if (star != std::string::npos) first_col.push_back(static_cast<int>(star));
+  }
+  ASSERT_GE(first_col.size(), 4u);
+  for (std::size_t i = 1; i < first_col.size(); ++i)
+    EXPECT_LT(first_col[i], first_col[i - 1]);
+}
+
+TEST(LineChart, FixedRangeClamps) {
+  LineChart c("clamped", 16, 6);
+  c.set_y_range(0.0, 1.0);
+  c.add_series("big", {5.0, 5.0, 5.0});  // all above the range: top row
+  const std::string out = render_line(c);
+  const auto first_row = out.find('|');
+  ASSERT_NE(first_row, std::string::npos);
+  EXPECT_NE(out.find('*', first_row), std::string::npos);
+  // y labels show the fixed range, not the data.
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(BarChart, RendersBarsProportionally) {
+  BarChart c("bars", 20);
+  c.add_bar("half", 0.5);
+  c.add_bar("full", 1.0);
+  std::stringstream ss;
+  c.print(ss);
+  const std::string out = ss.str();
+  const auto count_eq = [&](const char* label) {
+    const auto pos = out.find(label);
+    EXPECT_NE(pos, std::string::npos);
+    const auto start = out.find('|', pos);
+    const auto end = out.find('\n', start);
+    return std::count(out.begin() + static_cast<long>(start),
+                      out.begin() + static_cast<long>(end), '=');
+  };
+  const auto half = count_eq("half");
+  const auto full = count_eq("full");
+  EXPECT_GT(full, half);
+  EXPECT_NEAR(static_cast<double>(half) / full, 0.5, 0.15);
+}
+
+TEST(BarChart, ReferenceMarkerShown) {
+  BarChart c("ref", 20);
+  c.set_reference(1.0);
+  c.add_bar("x", 0.5);
+  std::stringstream ss;
+  c.print(ss);
+  EXPECT_NE(ss.str().find('|', ss.str().find("x ")), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bsp

@@ -1,0 +1,124 @@
+// Debugger engine tests: every command, breakpoints, and scripted sessions.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "asm/assembler.hpp"
+#include "emu/debugger.hpp"
+
+namespace bsp {
+namespace {
+
+Program sample() {
+  const AsmResult r = assemble(R"(
+.text
+main:
+  li $t0, 3
+loop:
+  addiu $t1, $t1, 5
+  addiu $t0, $t0, -1
+  bgtz $t0, loop
+  sw $t1, 0($gp)
+  lw $t2, 0($gp)
+  li $v0, 10
+  li $a0, 0
+  syscall
+.data
+slot: .word 0
+)");
+  EXPECT_TRUE(r.ok()) << r.error_text();
+  return r.program;
+}
+
+struct Session {
+  std::ostringstream out;
+  Debugger dbg;
+  explicit Session() : dbg(sample(), out) {}
+  std::string run(const std::string& script) {
+    std::istringstream in(script);
+    dbg.repl(in);
+    return out.str();
+  }
+};
+
+TEST(Debugger, StepPrintsInstructions) {
+  Session s;
+  const std::string out = s.run("s 3\nq\n");
+  EXPECT_NE(out.find("lui $t0, 0x0"), std::string::npos);
+  EXPECT_NE(out.find("ori $t0, $t0, 3"), std::string::npos);
+  EXPECT_NE(out.find("addiu $t1, $t1, 5"), std::string::npos);
+}
+
+TEST(Debugger, RunStopsAtBreakpoint) {
+  Session s;
+  const std::string out = s.run("b loop\nr\np $t0\nq\n");
+  EXPECT_NE(out.find("breakpoint set"), std::string::npos);
+  EXPECT_NE(out.find("breakpoint:"), std::string::npos);
+  // First arrival at `loop`: $t0 still 3.
+  EXPECT_NE(out.find("$t0 = 0x3 (3)"), std::string::npos);
+}
+
+TEST(Debugger, BreakpointToggles) {
+  Session s;
+  s.run("b loop\nb loop\nq\n");
+  EXPECT_FALSE(s.dbg.breakpoint_at(s.dbg.emulator().pc() + 8));
+  const std::string out = s.out.str();
+  EXPECT_NE(out.find("breakpoint removed"), std::string::npos);
+}
+
+TEST(Debugger, RunToExitReportsCode) {
+  Session s;
+  const std::string out = s.run("r\nq\n");
+  EXPECT_NE(out.find("program exited with code 0"), std::string::npos);
+}
+
+TEST(Debugger, PrintAllAndSingleRegisters) {
+  Session s;
+  const std::string out = s.run("r\np\np $t1\nq\n");
+  EXPECT_NE(out.find("$zero"), std::string::npos);
+  EXPECT_NE(out.find("pc = 0x"), std::string::npos);
+  EXPECT_NE(out.find("$t1 = 0xf (15)"), std::string::npos);  // 3 * 5
+}
+
+TEST(Debugger, MemoryDumpSeesTheStore) {
+  Session s;
+  // Run to completion: slot holds 15.
+  const std::string out = s.run("r\nm slot 1\nq\n");
+  EXPECT_NE(out.find(": 0x0000000f"), std::string::npos);
+}
+
+TEST(Debugger, TraceShowsLastEffects) {
+  Session s;
+  // Step through li(2) + 3 loop iterations (3 instr each) + sw = 12
+  // instructions; the 12th is the sw.
+  const std::string out = s.run("s 12\nt\nq\n");
+  EXPECT_NE(out.find("stored 0xf"), std::string::npos);
+}
+
+TEST(Debugger, DisassembleAtSymbol) {
+  Session s;
+  const std::string out = s.run("d loop 2\nq\n");
+  EXPECT_NE(out.find("addiu $t1, $t1, 5"), std::string::npos);
+  EXPECT_NE(out.find("addiu $t0, $t0, -1"), std::string::npos);
+}
+
+TEST(Debugger, ResetRestores) {
+  Session s;
+  const std::string out = s.run("s 4\nreset\np $t0\nq\n");
+  EXPECT_NE(out.find("reset; pc = 0x400000"), std::string::npos);
+  EXPECT_NE(out.find("$t0 = 0x0 (0)"), std::string::npos);
+}
+
+TEST(Debugger, HandlesUnknownInputGracefully) {
+  Session s;
+  const std::string out =
+      s.run("bogus\nb nosuchsymbol\np $t99\nm\nh\nq\n");
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+  EXPECT_NE(out.find("unknown address or symbol"), std::string::npos);
+  EXPECT_NE(out.find("unknown register"), std::string::npos);
+  EXPECT_NE(out.find("usage: m"), std::string::npos);
+  EXPECT_NE(out.find("commands:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bsp

@@ -1,0 +1,248 @@
+// Load-store disambiguation tests: the Figure-2 classifier and the timing
+// core's partial-address load decision logic.
+#include <gtest/gtest.h>
+
+#include "lsq/disambig.hpp"
+#include "util/rng.hpp"
+
+#include <vector>
+
+namespace bsp {
+namespace {
+
+// --- classify_aliasing (Figure 2 categories) -----------------------------------
+
+TEST(Aliasing, NoStores) {
+  EXPECT_EQ(classify_aliasing(0x1000, {}, 5),
+            AliasCategory::NoStoresInQueue);
+}
+
+TEST(Aliasing, ZeroMatch) {
+  const std::vector<u32> stores = {0x2000, 0x3000};
+  EXPECT_EQ(classify_aliasing(0x1000, stores, kDisambigBits),
+            AliasCategory::ZeroMatch);
+  // Even one bit can rule out stores whose low word-address bit differs.
+  EXPECT_EQ(classify_aliasing(0x0, std::vector<u32>{0x4}, 1),
+            AliasCategory::ZeroMatch);
+}
+
+TEST(Aliasing, SingleMatchCases) {
+  // One store, exact match.
+  EXPECT_EQ(classify_aliasing(0x1000, std::vector<u32>{0x1000}, 10),
+            AliasCategory::SingleMatchOneStore);
+  // Same match but with another (ruled-out) store in the queue.
+  EXPECT_EQ(classify_aliasing(0x1000, std::vector<u32>{0x1000, 0x2004}, 10),
+            AliasCategory::SingleMatchMultStores);
+  // One partial match that the full comparison refutes: addresses agree in
+  // the low bits but differ higher up.
+  const u32 load = 0x00001000, store = 0x00101000;
+  EXPECT_EQ(classify_aliasing(load, std::vector<u32>{store}, 8),
+            AliasCategory::SingleNonMatch);
+  EXPECT_EQ(classify_aliasing(load, std::vector<u32>{store}, kDisambigBits),
+            AliasCategory::ZeroMatch);  // full compare rules it out
+}
+
+TEST(Aliasing, MultMatchCases) {
+  // Two stores to the same address that matches the load.
+  EXPECT_EQ(classify_aliasing(0x1000, std::vector<u32>{0x1000, 0x1000}, 6),
+            AliasCategory::MultMatchSameAddr);
+  // Two different stores that both match the low bits.
+  EXPECT_EQ(
+      classify_aliasing(0x00001000, std::vector<u32>{0x00101000, 0x00201000},
+                        6),
+      AliasCategory::MultMatchDiffAddr);
+}
+
+TEST(Aliasing, ByteOffsetBitsAreIgnored) {
+  // Addresses differing only in bits 0..1 (byte in word) always match.
+  EXPECT_EQ(classify_aliasing(0x1001, std::vector<u32>{0x1002}, kDisambigBits),
+            AliasCategory::SingleMatchOneStore);
+}
+
+TEST(Aliasing, ResolvedPredicate) {
+  EXPECT_TRUE(aliasing_resolved(AliasCategory::NoStoresInQueue));
+  EXPECT_TRUE(aliasing_resolved(AliasCategory::ZeroMatch));
+  EXPECT_TRUE(aliasing_resolved(AliasCategory::SingleMatchOneStore));
+  EXPECT_TRUE(aliasing_resolved(AliasCategory::SingleMatchMultStores));
+  EXPECT_TRUE(aliasing_resolved(AliasCategory::MultMatchSameAddr));
+  EXPECT_FALSE(aliasing_resolved(AliasCategory::SingleNonMatch));
+  EXPECT_FALSE(aliasing_resolved(AliasCategory::MultMatchDiffAddr));
+}
+
+// Property: with the full 30 bits compared, the category exactly reflects
+// whole-word-address equality.
+TEST(Aliasing, FullComparisonIsExact) {
+  Rng rng(17);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const u32 load = rng.next();
+    std::vector<u32> stores;
+    const unsigned n = rng.below(6);
+    unsigned exact = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      u32 s = rng.next();
+      if (rng.chance(1, 3)) s = load ^ (rng.next() & 3);  // same word
+      stores.push_back(s);
+      if ((s >> 2) == (load >> 2)) ++exact;
+    }
+    const AliasCategory c = classify_aliasing(load, stores, kDisambigBits);
+    if (stores.empty()) {
+      EXPECT_EQ(c, AliasCategory::NoStoresInQueue);
+    } else if (exact == 0) {
+      EXPECT_EQ(c, AliasCategory::ZeroMatch);
+    } else if (exact == 1) {
+      EXPECT_TRUE(c == AliasCategory::SingleMatchOneStore ||
+                  c == AliasCategory::SingleMatchMultStores);
+    } else {
+      EXPECT_EQ(c, AliasCategory::MultMatchSameAddr);
+    }
+  }
+}
+
+// Property: categories are "monotone" — once a load is fully ruled out or
+// uniquely matched with more bits, fewer bits can only be less specific,
+// and ZeroMatch at k bits implies ZeroMatch at all k' > k.
+TEST(Aliasing, ZeroMatchIsMonotone) {
+  Rng rng(23);
+  for (int trial = 0; trial < 500; ++trial) {
+    const u32 load = rng.next();
+    std::vector<u32> stores;
+    for (unsigned i = 0; i < 4; ++i) stores.push_back(rng.next());
+    bool seen_zero = false;
+    for (unsigned k = 1; k <= kDisambigBits; ++k) {
+      const AliasCategory c = classify_aliasing(load, stores, k);
+      if (seen_zero) {
+        EXPECT_EQ(c, AliasCategory::ZeroMatch);
+      }
+      if (c == AliasCategory::ZeroMatch) seen_zero = true;
+    }
+  }
+}
+
+// --- forward_bytes / ranges_overlap ----------------------------------------------
+
+TEST(Forwarding, RangesOverlap) {
+  EXPECT_TRUE(ranges_overlap(0x100, 4, 0x100, 4));
+  EXPECT_TRUE(ranges_overlap(0x100, 4, 0x103, 1));
+  EXPECT_FALSE(ranges_overlap(0x100, 4, 0x104, 4));
+  EXPECT_FALSE(ranges_overlap(0x104, 4, 0x100, 4));
+  EXPECT_TRUE(ranges_overlap(0x102, 2, 0x100, 4));
+  EXPECT_TRUE(ranges_overlap(0xfffffffc, 4, 0xfffffffe, 2));
+}
+
+TEST(Forwarding, ExtractsCoveredBytes) {
+  // Word store 0x44332211 at 0x100 (little-endian bytes 11 22 33 44).
+  EXPECT_EQ(forward_bytes(0x100, 4, 0x100, 4, 0x44332211).value(),
+            0x44332211u);
+  EXPECT_EQ(forward_bytes(0x100, 1, 0x100, 4, 0x44332211).value(), 0x11u);
+  EXPECT_EQ(forward_bytes(0x102, 1, 0x100, 4, 0x44332211).value(), 0x33u);
+  EXPECT_EQ(forward_bytes(0x102, 2, 0x100, 4, 0x44332211).value(), 0x4433u);
+}
+
+TEST(Forwarding, RejectsPartialCoverage) {
+  EXPECT_FALSE(forward_bytes(0x100, 4, 0x100, 2, 0xaaaa).has_value());
+  EXPECT_FALSE(forward_bytes(0x0fe, 4, 0x100, 4, 0x1).has_value());
+  EXPECT_FALSE(forward_bytes(0x102, 4, 0x100, 4, 0x1).has_value());
+}
+
+// --- disambiguate_load -------------------------------------------------------------
+
+StoreView store(int id, unsigned bits, u32 addr, unsigned bytes,
+                bool data_ready, u32 data = 0) {
+  return StoreView{id, bits, addr, bytes, data_ready, data};
+}
+
+TEST(LoadDecision, NoOlderStoresIssues) {
+  const DisambigResult r =
+      disambiguate_load({32, 0x1000, 4}, {}, /*enable_partial=*/false);
+  EXPECT_EQ(r.decision, LoadDecision::Issue);
+}
+
+TEST(LoadDecision, UnknownStoreBlocks) {
+  const std::vector<StoreView> stores = {store(1, 0, 0, 4, false)};
+  EXPECT_EQ(disambiguate_load({32, 0x1000, 4}, stores, true).decision,
+            LoadDecision::WaitStore);
+  EXPECT_EQ(disambiguate_load({32, 0x1000, 4}, stores, false).decision,
+            LoadDecision::WaitStore);
+}
+
+TEST(LoadDecision, ConventionalNeedsFullAddresses) {
+  const std::vector<StoreView> stores = {store(1, 16, 0x2000, 4, true)};
+  // Partial knowledge rules the store out early...
+  EXPECT_EQ(disambiguate_load({16, 0x1000, 4}, stores, true).decision,
+            LoadDecision::Issue);
+  // ...but the conventional machine must wait for both full addresses.
+  EXPECT_EQ(disambiguate_load({16, 0x1000, 4}, stores, false).decision,
+            LoadDecision::WaitStore);
+  EXPECT_EQ(disambiguate_load({32, 0x1000, 4}, stores, false).decision,
+            LoadDecision::WaitStore);
+}
+
+TEST(LoadDecision, PartialIssueSetsUsedPartial) {
+  const std::vector<StoreView> stores = {store(1, 32, 0x2000, 4, true)};
+  const DisambigResult r = disambiguate_load({16, 0x1000, 4}, stores, true);
+  EXPECT_EQ(r.decision, LoadDecision::Issue);
+  EXPECT_TRUE(r.used_partial);
+  const DisambigResult full = disambiguate_load({32, 0x1000, 4}, stores, true);
+  EXPECT_EQ(full.decision, LoadDecision::Issue);
+  EXPECT_FALSE(full.used_partial);
+}
+
+TEST(LoadDecision, PartialMatchPendsUntilFullCompare) {
+  // Store matches the low 16 bits but differs above: with only 16 bits the
+  // load must wait; with the full address it can issue.
+  const std::vector<StoreView> stores = {store(1, 32, 0x00011000, 4, true)};
+  EXPECT_EQ(disambiguate_load({16, 0x00001000, 4}, stores, true).decision,
+            LoadDecision::WaitStore);
+  EXPECT_EQ(disambiguate_load({32, 0x00001000, 4}, stores, true).decision,
+            LoadDecision::Issue);
+}
+
+TEST(LoadDecision, ForwardFromUniqueMatch) {
+  const std::vector<StoreView> stores = {
+      store(7, 32, 0x1000, 4, true, 0xdeadbeef)};
+  const DisambigResult r = disambiguate_load({32, 0x1000, 4}, stores, true);
+  EXPECT_EQ(r.decision, LoadDecision::Forward);
+  EXPECT_EQ(r.store_id, 7);
+  EXPECT_EQ(r.forwarded, 0xdeadbeefu);
+}
+
+TEST(LoadDecision, ForwardTakesYoungestMatchingStore) {
+  const std::vector<StoreView> stores = {
+      store(1, 32, 0x1000, 4, true, 0x11111111),
+      store(2, 32, 0x1000, 4, true, 0x22222222)};
+  const DisambigResult r = disambiguate_load({32, 0x1000, 4}, stores, true);
+  EXPECT_EQ(r.decision, LoadDecision::Forward);
+  EXPECT_EQ(r.store_id, 2);
+  EXPECT_EQ(r.forwarded, 0x22222222u);
+}
+
+TEST(LoadDecision, MatchWithoutDataBlocks) {
+  const std::vector<StoreView> stores = {store(1, 32, 0x1000, 4, false)};
+  EXPECT_EQ(disambiguate_load({32, 0x1000, 4}, stores, true).decision,
+            LoadDecision::WaitStore);
+}
+
+TEST(LoadDecision, NarrowStoreCannotForwardWiderLoad) {
+  const std::vector<StoreView> stores = {store(1, 32, 0x1000, 1, true, 0xff)};
+  // Same word, overlapping, but the byte store cannot supply a word load.
+  EXPECT_EQ(disambiguate_load({32, 0x1000, 4}, stores, true).decision,
+            LoadDecision::WaitStore);
+}
+
+TEST(LoadDecision, SameWordNonOverlappingBytesIssue) {
+  // Store to byte 0, load from byte 2 of the same word: no conflict.
+  const std::vector<StoreView> stores = {store(1, 32, 0x1000, 1, true, 0xff)};
+  EXPECT_EQ(disambiguate_load({32, 0x1002, 1}, stores, true).decision,
+            LoadDecision::Issue);
+}
+
+TEST(LoadDecision, WideStoreForwardsNarrowLoad) {
+  const std::vector<StoreView> stores = {
+      store(3, 32, 0x1000, 4, true, 0x44332211)};
+  const DisambigResult r = disambiguate_load({32, 0x1001, 1}, stores, true);
+  EXPECT_EQ(r.decision, LoadDecision::Forward);
+  EXPECT_EQ(r.forwarded, 0x22u);
+}
+
+}  // namespace
+}  // namespace bsp

@@ -1,0 +1,247 @@
+// Tests for the paper-suggested extensions: speculative partial-match
+// forwarding (§5.1) and narrow-width slice relaxation (§6).
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "lsq/disambig.hpp"
+#include "workloads/workloads.hpp"
+
+#include "asm/assembler.hpp"
+
+namespace bsp {
+namespace {
+
+StoreView store(int id, unsigned bits, u32 addr, unsigned bytes,
+                bool data_ready, u32 data = 0) {
+  return StoreView{id, bits, addr, bytes, data_ready, data};
+}
+
+// --- disambiguator-level behaviour ---------------------------------------------
+
+TEST(SpecForward, UniquePartialMatchForwardsSpeculatively) {
+  // Store fully known; load has only 16 bits; they agree on those bits.
+  const std::vector<StoreView> stores = {
+      store(5, 32, 0x00011000, 4, true, 0xabcdef01)};
+  const LoadQuery load{16, 0x00001000, 4};  // same low 16 bits
+  const DisambigResult off = disambiguate_load(load, stores, true, false);
+  EXPECT_EQ(off.decision, LoadDecision::WaitStore);
+  const DisambigResult on = disambiguate_load(load, stores, true, true);
+  EXPECT_EQ(on.decision, LoadDecision::SpecForward);
+  EXPECT_EQ(on.store_id, 5);
+  EXPECT_EQ(on.forwarded, 0xabcdef01u);
+  EXPECT_TRUE(on.used_partial);
+}
+
+TEST(SpecForward, RequiresUniqueness) {
+  const std::vector<StoreView> stores = {
+      store(1, 32, 0x00011000, 4, true, 1),
+      store(2, 32, 0x00021000, 4, true, 2)};  // both match the low 16 bits
+  EXPECT_EQ(disambiguate_load({16, 0x00001000, 4}, stores, true, true)
+                .decision,
+            LoadDecision::WaitStore);
+}
+
+TEST(SpecForward, RequiresReadyDataAndFullStoreAddress) {
+  EXPECT_EQ(disambiguate_load({16, 0x1000, 4},
+                              std::vector<StoreView>{
+                                  store(1, 32, 0x00011000, 4, false)},
+                              true, true)
+                .decision,
+            LoadDecision::WaitStore);
+  EXPECT_EQ(disambiguate_load({16, 0x1000, 4},
+                              std::vector<StoreView>{
+                                  store(1, 16, 0x00001000, 4, true, 9)},
+                              true, true)
+                .decision,
+            LoadDecision::WaitStore);
+}
+
+TEST(SpecForward, ExtractsSubwordBytesUsingKnownLowBits) {
+  const std::vector<StoreView> stores = {
+      store(3, 32, 0x00011000, 4, true, 0x44332211)};
+  const DisambigResult r =
+      disambiguate_load({16, 0x00001002, 1}, stores, true, true);
+  ASSERT_EQ(r.decision, LoadDecision::SpecForward);
+  EXPECT_EQ(r.forwarded, 0x33u);
+}
+
+TEST(SpecForward, NarrowStoreCannotSpeculativelyCoverWiderLoad) {
+  const std::vector<StoreView> stores = {
+      store(3, 32, 0x00011000, 1, true, 0x11)};
+  EXPECT_EQ(disambiguate_load({16, 0x00001000, 4}, stores, true, true)
+                .decision,
+            LoadDecision::WaitStore);
+}
+
+TEST(SpecForward, FullMatchStillPreferred) {
+  // When the load address is complete, a real Forward must happen, not a
+  // speculative one.
+  const std::vector<StoreView> stores = {
+      store(4, 32, 0x1000, 4, true, 0x99)};
+  const DisambigResult r =
+      disambiguate_load({32, 0x1000, 4}, stores, true, true);
+  EXPECT_EQ(r.decision, LoadDecision::Forward);
+}
+
+// --- core-level behaviour ---------------------------------------------------------
+
+Program compile(const std::string& src) {
+  AsmResult r = assemble(src);
+  EXPECT_TRUE(r.ok()) << r.error_text();
+  return r.program;
+}
+
+// A store-then-load pattern where the load's upper address half arrives a
+// slice late: spec-forwarding should fire, essentially always confirm, and
+// never break co-simulation.
+TEST(SpecForward, CoreForwardsAndConfirms) {
+  const std::string src = R"(
+.text
+main:
+  li $t0, 4000
+  la $s0, buf
+loop:
+  andi $t1, $t0, 0xfc
+  addu $t2, $s0, $t1
+  sw $t0, 0($t2)
+  or $t6, $t2, $0         # delays the load's agen one slice behind the
+  lw $t3, 0($t6)          # store's: a unique *partial* match window opens
+  addu $t4, $t4, $t3
+  addiu $t0, $t0, -1
+  bgtz $t0, loop
+  li $v0, 10
+  li $a0, 0
+  syscall
+.data
+buf: .space 512
+)";
+  const TechniqueSet with_spec =
+      kAllTechniques | static_cast<unsigned>(Technique::SpecForward);
+  const SimResult r =
+      simulate(bitsliced_machine(4, with_spec), compile(src), 1u << 20);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.exited);
+  EXPECT_GT(r.stats.spec_forwards, 100u);
+  // Same-address forwards always confirm.
+  EXPECT_EQ(r.stats.spec_forward_misses, 0u);
+}
+
+// Adversarial aliasing: two regions 64 KB apart (identical low 16 bits).
+// Speculative forwards to the *wrong* region must be caught by verification
+// (misses counted) and the run must still co-simulate.
+TEST(SpecForward, CoreCatchesWrongSpeculation) {
+  const std::string src = R"(
+.text
+main:
+  li $t0, 4000
+  la $s0, a
+  la $s1, b
+loop:
+  andi $t1, $t0, 0xfc
+  addu $t2, $s0, $t1
+  addu $t3, $s1, $t1
+  sw $t0, 0($t2)          # store to region a
+  or $t6, $t3, $0         # delay opens the speculation window
+  lw $t4, 0($t6)          # load from region b: same low 16 bits!
+  addu $t5, $t5, $t4
+  addiu $t0, $t0, -1
+  bgtz $t0, loop
+  li $v0, 10
+  li $a0, 0
+  syscall
+.data
+a: .space 65536
+b: .space 1024
+)";
+  const TechniqueSet with_spec =
+      kAllTechniques | static_cast<unsigned>(Technique::SpecForward);
+  const SimResult r =
+      simulate(bitsliced_machine(2, with_spec), compile(src), 1u << 20);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.exited);
+  // b's words are never written, a's stores hold t0 != 0: every speculative
+  // forward that fired was wrong and must have been refuted.
+  EXPECT_EQ(r.stats.spec_forwards, r.stats.spec_forward_misses);
+}
+
+TEST(NarrowWidth, CountsNarrowResultsAndHelpsNarrowChains) {
+  // A chain of small-value adds: every result fits in the low slice, so the
+  // narrow-width machine releases high slices early and the dependent chain
+  // runs at base speed even at slice-by-4.
+  const std::string src = R"(
+.text
+main:
+  li $t0, 30000
+loop:
+  andi $t1, $t0, 0xff
+  addu $t2, $t1, $t1
+  addu $t3, $t2, $t1
+  addu $t4, $t3, $t2
+  addu $t5, $t4, $t3
+  addiu $t0, $t0, -1
+  bgtz $t0, loop
+  li $v0, 10
+  li $a0, 0
+  syscall
+)";
+  const Program p = compile(src);
+  // 16-bit slices: every value in this kernel (< 2^15) is "narrow".
+  const TechniqueSet with_nw =
+      kAllTechniques | static_cast<unsigned>(Technique::NarrowWidth);
+  const SimResult off =
+      simulate(bitsliced_machine(2, kAllTechniques), p, 150'000);
+  const SimResult on = simulate(bitsliced_machine(2, with_nw), p, 150'000);
+  ASSERT_TRUE(off.ok()) << off.error;
+  ASSERT_TRUE(on.ok()) << on.error;
+  EXPECT_EQ(off.stats.narrow_operands, 0u) << "counter gated on technique";
+  EXPECT_GT(on.stats.narrow_operands, 100'000u);
+  EXPECT_GE(on.stats.ipc(), off.stats.ipc());
+}
+
+TEST(SumAddressed, SpeedsUpLoadChainsWithoutPartialTag) {
+  // A pointer-chase where address generation is the critical path: SAM
+  // starts each cache access one agen stage earlier.
+  const std::string src = R"(
+.text
+main:
+  li $t0, 20000
+  la $t1, ring
+loop:
+  lw $t1, 0($t1)
+  lw $t1, 0($t1)
+  addiu $t0, $t0, -1
+  bgtz $t0, loop
+  li $v0, 10
+  li $a0, 0
+  syscall
+.data
+ring: .word ring
+)";
+  const Program p = compile(src);
+  const TechniqueSet without =
+      static_cast<unsigned>(Technique::PartialBypass) |
+      static_cast<unsigned>(Technique::EarlyLsq);
+  const TechniqueSet with_sam =
+      without | static_cast<unsigned>(Technique::SumAddressed);
+  const SimResult off = simulate(bitsliced_machine(4, without), p, 100'000);
+  const SimResult on = simulate(bitsliced_machine(4, with_sam), p, 100'000);
+  ASSERT_TRUE(off.ok()) << off.error;
+  ASSERT_TRUE(on.ok()) << on.error;
+  EXPECT_GT(on.stats.ipc(), 1.05 * off.stats.ipc())
+      << "SAM must shorten the load-to-load critical path";
+}
+
+TEST(Extensions, AllWorkloadsCoSimulateWithExtendedSet) {
+  const TechniqueSet everything =
+      kExtendedTechniques | static_cast<unsigned>(Technique::SumAddressed);
+  for (const char* name : {"vortex", "li", "gcc"}) {
+    const Workload w = build_workload(name);
+    const SimResult r =
+        simulate(bitsliced_machine(4, everything), w.program, 20'000);
+    ASSERT_TRUE(r.ok()) << name << ": " << r.error;
+    EXPECT_EQ(r.stats.committed, 20'000u);
+  }
+}
+
+}  // namespace
+}  // namespace bsp

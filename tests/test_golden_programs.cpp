@@ -1,0 +1,378 @@
+// Golden-program integration tests: complete, non-trivial assembly programs
+// (sieve, CRC-32, recursive quicksort, string routines, recursive fibonacci)
+// run end-to-end through the assembler, the emulator, and the timing core on
+// several machine configurations. The expected outputs are computed
+// independently in C++, so these tests pin down the whole stack at once.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "asm/assembler.hpp"
+#include "core/simulator.hpp"
+#include "emu/emulator.hpp"
+#include "util/rng.hpp"
+
+namespace bsp {
+namespace {
+
+Program compile(const std::string& src) {
+  AsmResult r = assemble(src);
+  EXPECT_TRUE(r.ok()) << r.error_text();
+  return r.program;
+}
+
+// Runs on the emulator, checks output; then runs on three timing configs,
+// relying on commit-time co-simulation plus output/exit checks.
+void check_everywhere(const Program& p, const std::string& expected_output,
+                      u64 budget = 10'000'000) {
+  Emulator emu(p);
+  emu.run(budget);
+  ASSERT_TRUE(emu.exited()) << "emulator did not finish";
+  EXPECT_EQ(emu.output(), expected_output);
+
+  for (const auto& cfg :
+       {base_machine(), bitsliced_machine(2, kAllTechniques),
+        bitsliced_machine(4, kExtendedTechniques)}) {
+    const SimResult r = simulate(cfg, p, budget);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.exited);
+    EXPECT_EQ(r.stats.committed, emu.instructions_retired());
+  }
+}
+
+TEST(GoldenPrograms, SieveOfEratosthenes) {
+  // Counts primes below 1000 (168) using a byte array of composite flags.
+  const Program p = compile(R"(
+.text
+main:
+  la $s0, flags
+  li $s1, 1000
+  li $t0, 2             # candidate
+  move $s2, $0          # prime count
+outer:
+  addu $t1, $s0, $t0
+  lbu $t2, 0($t1)
+  bne $t2, $0, next     # composite
+  addiu $s2, $s2, 1     # found a prime
+  # mark multiples starting at p*p
+  mult $t0, $t0
+  mflo $t3
+mark:
+  slt $t4, $t3, $s1
+  beq $t4, $0, next
+  addu $t5, $s0, $t3
+  li $t6, 1
+  sb $t6, 0($t5)
+  addu $t3, $t3, $t0
+  b mark
+next:
+  addiu $t0, $t0, 1
+  slt $t4, $t0, $s1
+  bne $t4, $0, outer
+  move $a0, $s2
+  li $v0, 1
+  syscall
+  li $v0, 10
+  li $a0, 0
+  syscall
+.data
+flags: .space 1000
+)");
+  check_everywhere(p, "168");
+}
+
+TEST(GoldenPrograms, Crc32OfBuffer) {
+  // Bitwise CRC-32 (polynomial 0xEDB88320) over 64 pseudo-random bytes,
+  // compared against an independent C++ computation of the same bytes.
+  Rng rng(2024);
+  std::vector<u8> bytes(64);
+  for (auto& b : bytes) b = static_cast<u8>(rng.next());
+
+  std::string data_words = "  .byte ";
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    data_words += std::to_string(bytes[i]);
+    data_words += (i + 1 == bytes.size()) ? "\n" : ", ";
+  }
+
+  u32 crc = 0xffffffffu;
+  for (const u8 b : bytes) {
+    crc ^= b;
+    for (int k = 0; k < 8; ++k)
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1)));
+  }
+  crc = ~crc;
+
+  const Program p = compile(std::string(R"(
+.text
+main:
+  la $s0, buf
+  li $s1, 64
+  li $s2, -1            # crc = 0xffffffff
+  li $s3, 0xEDB88320
+byte_loop:
+  lbu $t0, 0($s0)
+  xor $s2, $s2, $t0
+  li $t1, 8
+bit_loop:
+  andi $t2, $s2, 1
+  srl $s2, $s2, 1
+  beq $t2, $0, nbit
+  xor $s2, $s2, $s3
+nbit:
+  addiu $t1, $t1, -1
+  bgtz $t1, bit_loop
+  addiu $s0, $s0, 1
+  addiu $s1, $s1, -1
+  bgtz $s1, byte_loop
+  nor $s2, $s2, $0      # crc = ~crc
+  move $a0, $s2
+  li $v0, 1
+  syscall
+  li $v0, 10
+  li $a0, 0
+  syscall
+.data
+buf:
+)") + data_words);
+  check_everywhere(p, std::to_string(static_cast<i32>(crc)));
+}
+
+TEST(GoldenPrograms, RecursiveQuicksort) {
+  // Sorts 200 pseudo-random words with recursive quicksort (real stack
+  // frames, jal/jr, spills), then prints a positional checksum that only the
+  // correctly sorted order produces.
+  Rng rng(77);
+  std::vector<u32> values(200);
+  for (auto& v : values) v = rng.next() & 0x7fff;
+
+  std::string words = "";
+  for (std::size_t i = 0; i < values.size(); i += 8) {
+    words += "  .word ";
+    for (std::size_t j = i; j < std::min(i + 8, values.size()); ++j) {
+      words += std::to_string(values[j]);
+      words += (j + 1 == std::min(i + 8, values.size())) ? "\n" : ", ";
+    }
+  }
+  std::vector<u32> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  u32 checksum = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    checksum += sorted[i] * static_cast<u32>(i + 1);
+
+  const Program p = compile(std::string(R"(
+.text
+main:
+  la $a0, arr           # lo pointer
+  la $a1, arr+796       # hi pointer (inclusive, 200 words)
+  jal qsort
+  # checksum = sum(arr[i] * (i+1))
+  la $t0, arr
+  li $t1, 200
+  li $t2, 1
+  move $s0, $0
+cksum:
+  lw $t3, 0($t0)
+  mult $t3, $t2
+  mflo $t4
+  addu $s0, $s0, $t4
+  addiu $t0, $t0, 4
+  addiu $t2, $t2, 1
+  addiu $t1, $t1, -1
+  bgtz $t1, cksum
+  move $a0, $s0
+  li $v0, 1
+  syscall
+  li $v0, 10
+  li $a0, 0
+  syscall
+
+# qsort(lo=$a0, hi=$a1): Hoare-ish partition with last element as pivot.
+qsort:
+  sltu $t0, $a0, $a1
+  beq $t0, $0, qs_done   # size <= 1
+  addiu $sp, $sp, -12
+  sw $ra, 0($sp)
+  sw $a0, 4($sp)
+  sw $a1, 8($sp)
+  # partition: pivot = *hi, i = lo-4
+  lw $t1, 0($a1)         # pivot
+  addiu $t2, $a0, -4     # i
+  move $t3, $a0          # j
+part:
+  lw $t4, 0($t3)
+  sltu $t5, $t1, $t4     # pivot < arr[j] ?
+  bne $t5, $0, no_swap
+  addiu $t2, $t2, 4      # ++i
+  lw $t6, 0($t2)         # swap arr[i], arr[j]
+  sw $t4, 0($t2)
+  sw $t6, 0($t3)
+no_swap:
+  addiu $t3, $t3, 4
+  sltu $t5, $t3, $a1
+  bne $t5, $0, part
+  # place pivot: swap arr[i+1], *hi
+  addiu $t2, $t2, 4
+  lw $t6, 0($t2)
+  sw $t1, 0($t2)
+  sw $t6, 0($a1)
+  # recurse left: qsort(lo, i-4)
+  move $s6, $t2          # pivot slot (callee keeps it in $s6/$s7... save)
+  addiu $sp, $sp, -8
+  sw $s6, 0($sp)
+  sw $s7, 4($sp)
+  lw $a0, 12($sp)        # original lo
+  addiu $a1, $t2, -4
+  sltu $t0, $a0, $a1
+  beq $t0, $0, skip_left
+  jal qsort
+skip_left:
+  # recurse right: qsort(pivot+4, hi)
+  lw $s6, 0($sp)
+  addiu $a0, $s6, 4
+  lw $a1, 16($sp)        # original hi
+  sltu $t0, $a0, $a1
+  beq $t0, $0, skip_right
+  jal qsort
+skip_right:
+  lw $s6, 0($sp)
+  lw $s7, 4($sp)
+  addiu $sp, $sp, 8
+  lw $ra, 0($sp)
+  addiu $sp, $sp, 12
+qs_done:
+  jr $ra
+.data
+arr:
+)") + words);
+  check_everywhere(p, std::to_string(checksum), 50'000'000);
+}
+
+TEST(GoldenPrograms, StringRoutines) {
+  // strlen + strcpy + strcmp over .asciiz data; prints
+  // "<len>,<cmp_eq>,<cmp_ne>".
+  const Program p = compile(R"(
+.text
+main:
+  la $a0, hello
+  jal strlen
+  move $s0, $v0          # 13
+  la $a0, copybuf
+  la $a1, hello
+  jal strcpy
+  la $a0, copybuf
+  la $a1, hello
+  jal strcmp
+  move $s1, $v0          # 0 (equal)
+  la $a0, hello
+  la $a1, world
+  jal strcmp
+  move $s2, $v0          # nonzero
+  move $a0, $s0
+  li $v0, 1
+  syscall
+  li $a0, 44
+  li $v0, 11
+  syscall
+  move $a0, $s1
+  li $v0, 1
+  syscall
+  li $a0, 44
+  li $v0, 11
+  syscall
+  # normalise s2 to +/-1 for a stable answer
+  slt $a0, $s2, $0
+  beq $a0, $0, pos
+  li $a0, -1
+  b print2
+pos:
+  li $a0, 1
+print2:
+  li $v0, 1
+  syscall
+  li $v0, 10
+  li $a0, 0
+  syscall
+
+strlen:                   # ($a0) -> $v0
+  move $v0, $0
+sl_loop:
+  lbu $t0, 0($a0)
+  beq $t0, $0, sl_done
+  addiu $v0, $v0, 1
+  addiu $a0, $a0, 1
+  b sl_loop
+sl_done:
+  jr $ra
+
+strcpy:                   # (dst=$a0, src=$a1)
+sc_loop:
+  lbu $t0, 0($a1)
+  sb $t0, 0($a0)
+  addiu $a0, $a0, 1
+  addiu $a1, $a1, 1
+  bne $t0, $0, sc_loop
+  jr $ra
+
+strcmp:                   # ($a0, $a1) -> $v0 (difference of first mismatch)
+cmp_loop:
+  lbu $t0, 0($a0)
+  lbu $t1, 0($a1)
+  bne $t0, $t1, cmp_diff
+  beq $t0, $0, cmp_eq
+  addiu $a0, $a0, 1
+  addiu $a1, $a1, 1
+  b cmp_loop
+cmp_diff:
+  subu $v0, $t0, $t1
+  jr $ra
+cmp_eq:
+  move $v0, $0
+  jr $ra
+.data
+hello: .asciiz "hello, world!"
+world: .asciiz "hello, zorld!"
+copybuf: .space 32
+)");
+  check_everywhere(p, "13,0,-1");
+}
+
+TEST(GoldenPrograms, RecursiveFibonacci) {
+  // fib(16) = 987 via naive recursion: thousands of calls, deep return
+  // stacks (deliberately deeper than the 8-entry RAS).
+  const Program p = compile(R"(
+.text
+main:
+  li $a0, 16
+  jal fib
+  move $a0, $v0
+  li $v0, 1
+  syscall
+  li $v0, 10
+  li $a0, 0
+  syscall
+fib:
+  slti $t0, $a0, 2
+  beq $t0, $0, recurse
+  move $v0, $a0
+  jr $ra
+recurse:
+  addiu $sp, $sp, -12
+  sw $ra, 0($sp)
+  sw $a0, 4($sp)
+  addiu $a0, $a0, -1
+  jal fib
+  sw $v0, 8($sp)
+  lw $a0, 4($sp)
+  addiu $a0, $a0, -2
+  jal fib
+  lw $t1, 8($sp)
+  addu $v0, $v0, $t1
+  lw $ra, 0($sp)
+  addiu $sp, $sp, 12
+  jr $ra
+)");
+  check_everywhere(p, "987");
+}
+
+}  // namespace
+}  // namespace bsp

@@ -1,0 +1,68 @@
+// Thread-pool helper tests, including a threaded-simulation smoke test that
+// proves Simulator instances are safely independent.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/simulator.hpp"
+#include "util/parallel.hpp"
+#include "workloads/workloads.hpp"
+
+namespace bsp {
+namespace {
+
+TEST(Parallel, VisitsEveryIndexExactlyOnce) {
+  for (const unsigned jobs : {1u, 2u, 4u, 0u}) {
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for(hits.size(),
+                 [&](std::size_t i) { hits[i].fetch_add(1); }, jobs);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Parallel, ZeroTasksIsANoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(Parallel, MapCollectsInOrder) {
+  const auto squares = parallel_map<std::size_t>(
+      100, [](std::size_t i) { return i * i; }, 3);
+  for (std::size_t i = 0; i < squares.size(); ++i)
+    EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(Parallel, ConcurrentSimulationsAreIndependent) {
+  // Four simulators of the same program on different configs, concurrently;
+  // results must equal the serial ones.
+  const Workload w = build_workload("go");
+  const MachineConfig cfgs[] = {
+      base_machine(), simple_pipelined_machine(2),
+      bitsliced_machine(2, kAllTechniques),
+      bitsliced_machine(4, kAllTechniques)};
+
+  std::vector<SimStats> serial;
+  for (const auto& cfg : cfgs) {
+    const SimResult r = simulate(cfg, w.program, 15'000);
+    ASSERT_TRUE(r.ok()) << r.error;
+    serial.push_back(r.stats);
+  }
+
+  const auto threaded = parallel_map<SimStats>(
+      4,
+      [&](std::size_t i) {
+        const SimResult r = simulate(cfgs[i], w.program, 15'000);
+        EXPECT_TRUE(r.ok()) << r.error;
+        return r.stats;
+      },
+      4);
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(threaded[i].cycles, serial[i].cycles);
+    EXPECT_EQ(threaded[i].committed, serial[i].committed);
+    EXPECT_EQ(threaded[i].branch_mispredicts, serial[i].branch_mispredicts);
+  }
+}
+
+}  // namespace
+}  // namespace bsp

@@ -1,0 +1,301 @@
+// Tests for the trace-driven characterisation engines (Figures 2, 4, 6) and
+// the trace runner itself.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "trace/studies.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace bsp {
+namespace {
+
+ExecRecord load_rec(u32 addr, unsigned bytes = 4) {
+  ExecRecord r;
+  r.inst = make_mem(Op::LW, 1, 2, 0);
+  r.is_load = true;
+  r.mem_addr = addr;
+  r.mem_bytes = bytes;
+  return r;
+}
+
+ExecRecord store_rec(u32 addr, unsigned bytes = 4) {
+  ExecRecord r;
+  r.inst = make_mem(Op::SW, 1, 2, 0);
+  r.is_store = true;
+  r.mem_addr = addr;
+  r.mem_bytes = bytes;
+  return r;
+}
+
+ExecRecord branch_rec(Op op, u32 pc, u32 s1, u32 s2) {
+  ExecRecord r;
+  r.pc = pc;
+  r.inst = op_info(op).sig == OperandSig::Br2 ? make_br2(op, 1, 2, 4)
+                                              : make_br1(op, 1, 4);
+  r.is_cond_branch = true;
+  r.src1_value = s1;
+  r.src2_value = s2;
+  r.branch_taken = branch_outcome(r.inst, s1, s2);
+  return r;
+}
+
+// --- TraceRunner ------------------------------------------------------------------
+
+TEST(TraceRunner, SkipAndLimit) {
+  const AsmResult r = assemble(R"(
+.text
+main:
+  li $t0, 50
+loop:
+  addiu $t0, $t0, -1
+  bne $t0, $0, loop
+  li $v0, 10
+  syscall
+)");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  u64 seen = 0;
+  const TraceResult tr = run_trace(r.program, 10, 20, [&](const ExecRecord&) {
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(tr.skipped, 10u);
+  EXPECT_EQ(tr.visited, 20u);
+  EXPECT_EQ(seen, 20u);
+
+  // Visitor can stop the trace early.
+  seen = 0;
+  run_trace(r.program, 0, 1000, [&](const ExecRecord&) {
+    return ++seen < 5;
+  });
+  EXPECT_EQ(seen, 5u);
+
+  // Program exit ends the trace naturally.
+  const TraceResult whole =
+      run_trace(r.program, 0, 1u << 20, [](const ExecRecord&) { return true; });
+  EXPECT_LT(whole.visited, 1u << 20);
+  EXPECT_EQ(whole.final.kind, StepResult::Kind::Exited);
+}
+
+// --- LsqAliasStudy (Figure 2) ------------------------------------------------------
+
+TEST(LsqStudy, LoadWithEmptyWindowIsNoStores) {
+  LsqAliasStudy study(32);
+  study.observe(load_rec(0x1000));
+  EXPECT_EQ(study.loads(), 1u);
+  for (unsigned k = 0; k < kDisambigBits; ++k)
+    EXPECT_EQ(study.count(k, AliasCategory::NoStoresInQueue), 1u);
+}
+
+TEST(LsqStudy, MatchingStoreClassifiedAtEveryBitDepth) {
+  LsqAliasStudy study(32);
+  study.observe(store_rec(0x1000));
+  study.observe(load_rec(0x1000));
+  for (unsigned k = 0; k < kDisambigBits; ++k)
+    EXPECT_EQ(study.count(k, AliasCategory::SingleMatchOneStore), 1u)
+        << "bit index " << k;
+  EXPECT_DOUBLE_EQ(study.resolved_fraction(0), 1.0);
+}
+
+TEST(LsqStudy, DistantStoreRuledOutEarly) {
+  LsqAliasStudy study(32);
+  study.observe(store_rec(0x00001000));
+  study.observe(load_rec(0x00002000));  // differs at address bit 12
+  // Bits 2..11 match -> SingleNonMatch until bit 12 is compared.
+  EXPECT_EQ(study.count(0, AliasCategory::SingleNonMatch), 1u);
+  // Bit indices count from bit 2, so bit 12 is index 10.
+  EXPECT_EQ(study.count(10, AliasCategory::ZeroMatch), 1u);
+  EXPECT_EQ(study.count(kDisambigBits - 1, AliasCategory::ZeroMatch), 1u);
+}
+
+TEST(LsqStudy, WindowEvictsOldStores) {
+  LsqAliasStudy study(4);  // capacity 3 memory ops before the load
+  study.observe(store_rec(0x1000));
+  study.observe(store_rec(0x2000));
+  study.observe(store_rec(0x3000));
+  study.observe(store_rec(0x4000));  // pushes 0x1000 out
+  study.observe(load_rec(0x1000));
+  EXPECT_EQ(study.count(kDisambigBits - 1, AliasCategory::ZeroMatch), 1u);
+}
+
+TEST(LsqStudy, ResolvedFractionIsMonotone) {
+  LsqAliasStudy study(16);
+  Rng rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    const u32 addr = (rng.next() & 0xffff) << 2;
+    if (rng.chance(1, 3))
+      study.observe(store_rec(addr));
+    else
+      study.observe(load_rec(addr));
+  }
+  double prev = 0.0;
+  for (unsigned k = 0; k < kDisambigBits; ++k) {
+    const double f = study.resolved_fraction(k);
+    EXPECT_GE(f + 1e-12, prev) << "resolution must not regress with bits";
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(study.resolved_fraction(kDisambigBits - 1), 1.0)
+      << "the full comparison always resolves";
+  // Category fractions sum to 1 at every depth.
+  for (unsigned k = 0; k < kDisambigBits; ++k) {
+    double sum = 0;
+    for (unsigned c = 0; c < kNumAliasCategories; ++c)
+      sum += study.fraction(k, static_cast<AliasCategory>(c));
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+// --- PartialTagStudy (Figure 4) -----------------------------------------------------
+
+TEST(TagStudy, FullTagBitsGiveExactHitMiss) {
+  PartialTagStudy study(CacheGeometry{8 * 1024, 32, 2});
+  Rng rng(41);
+  std::vector<u32> pool;
+  for (int i = 0; i < 64; ++i) pool.push_back(rng.next());
+  for (int i = 0; i < 20000; ++i)
+    study.observe_access(pool[rng.below(64)] + (rng.next() & 0x1f), false);
+
+  const unsigned full = study.tag_bits();
+  // With all tag bits, "single hit" + "zero match" must cover everything:
+  // a unique full match is a hit and zero matches is a miss; SingleMiss and
+  // MultMatch are impossible.
+  EXPECT_EQ(study.count(full, PartialTagStudy::Outcome::SingleMiss), 0u);
+  EXPECT_EQ(study.count(full, PartialTagStudy::Outcome::MultMatch), 0u);
+  const u64 hits = study.count(full, PartialTagStudy::Outcome::SingleHit);
+  const u64 zero = study.count(full, PartialTagStudy::Outcome::ZeroMatch);
+  EXPECT_EQ(hits + zero, study.accesses());
+  // And they must agree with the cache's own miss accounting.
+  EXPECT_EQ(zero, study.cache().misses());
+}
+
+TEST(TagStudy, ZeroMatchIsMonotoneInBits) {
+  PartialTagStudy study(CacheGeometry{8 * 1024, 32, 4});
+  Rng rng(43);
+  for (int i = 0; i < 20000; ++i)
+    study.observe_access(rng.next() & 0xfffff, false);
+  u64 prev = 0;
+  for (unsigned t = 1; t <= study.tag_bits(); ++t) {
+    const u64 z = study.count(t, PartialTagStudy::Outcome::ZeroMatch);
+    EXPECT_GE(z, prev) << "more tag bits can only reveal more early misses";
+    prev = z;
+  }
+}
+
+TEST(TagStudy, CountsPartitionAccesses) {
+  PartialTagStudy study(CacheGeometry{64 * 1024, 64, 8});
+  Rng rng(47);
+  for (int i = 0; i < 5000; ++i)
+    study.observe_access(rng.next() & 0x3ffff, rng.chance(1, 4));
+  for (unsigned t = 1; t <= study.tag_bits(); ++t) {
+    u64 sum = 0;
+    for (unsigned o = 0; o < PartialTagStudy::kNumOutcomes; ++o)
+      sum += study.count(t, static_cast<PartialTagStudy::Outcome>(o));
+    EXPECT_EQ(sum, study.accesses());
+  }
+}
+
+// --- EarlyBranchStudy (Figure 6) ----------------------------------------------------
+
+TEST(BranchStudy, DetectionBitForEqualityBranches) {
+  const auto bne = make_br2(Op::BNE, 1, 2, 4);
+  // Operands differ in bit 0: provable immediately.
+  EXPECT_EQ(EarlyBranchStudy::detection_bit(bne, 0x1, 0x0, true), 0u);
+  // Operands differ first at bit 17.
+  EXPECT_EQ(EarlyBranchStudy::detection_bit(bne, 0x20000, 0x0, true), 17u);
+  // Equal operands: only the full comparison proves equality.
+  EXPECT_EQ(EarlyBranchStudy::detection_bit(bne, 5, 5, false), 31u);
+  const auto beq = make_br2(Op::BEQ, 1, 2, 4);
+  EXPECT_EQ(EarlyBranchStudy::detection_bit(beq, 0xf0, 0x70, false), 7u);
+}
+
+TEST(BranchStudy, SignBranchesNeedBit31) {
+  const auto blez = make_br1(Op::BLEZ, 1, 4);
+  EXPECT_EQ(EarlyBranchStudy::detection_bit(blez, 0x1, 0, false), 31u);
+  const auto bltz = make_br1(Op::BLTZ, 1, 4);
+  EXPECT_EQ(EarlyBranchStudy::detection_bit(bltz, 0x80000000u, 0, true), 31u);
+}
+
+TEST(BranchStudy, CountsMispredictionsAndAccuracy) {
+  EarlyBranchStudy study(1024);
+  // Alternating branch that gshare learns quickly, then a surprise.
+  bool outcome = false;
+  for (int i = 0; i < 200; ++i) {
+    outcome = !outcome;
+    study.observe(branch_rec(Op::BNE, 0x400100, outcome ? 1 : 0, 0));
+  }
+  EXPECT_EQ(study.branches(), 200u);
+  EXPECT_GT(study.accuracy(), 0.8);
+  EXPECT_GT(study.mispredictions(), 0u);  // warm-up mispredicts
+  EXPECT_EQ(study.eq_branches(), 200u);
+}
+
+TEST(BranchStudy, DetectedByBitIsCumulative) {
+  EarlyBranchStudy study(256);
+  Rng rng(53);
+  for (int i = 0; i < 5000; ++i) {
+    const Op op = rng.chance(1, 2) ? Op::BNE : Op::BEQ;
+    study.observe(
+        branch_rec(op, 0x400000 + (rng.next() & 0xff) * 4, rng.next(),
+                   rng.chance(1, 4) ? 0 : rng.next()));
+  }
+  ASSERT_GT(study.mispredictions(), 0u);
+  double prev = 0;
+  for (unsigned k = 0; k < kWordBits; ++k) {
+    const double d = study.detected_by_bit(k);
+    EXPECT_GE(d + 1e-12, prev);
+    prev = d;
+  }
+  EXPECT_DOUBLE_EQ(study.detected_by_bit(31), 1.0)
+      << "every misprediction is detectable with all 32 bits";
+}
+
+// --- OperandProfile (operand criticality) -------------------------------------
+
+ExecRecord alu_rec(Op op, unsigned dest, u32 dest_value) {
+  ExecRecord r;
+  r.inst = make_r3(op, dest, 1, 2);
+  r.dest = dest;
+  r.dest_value = dest_value;
+  return r;
+}
+
+TEST(OperandProfile, ClassifiesStartability) {
+  OperandProfile p;
+  p.observe(alu_rec(Op::ADDU, 3, 5));              // startable (carry chain)
+  ExecRecord mult;
+  mult.inst = make_rsrt(Op::MULT, 1, 2);
+  p.observe(mult);                                 // full collect
+  ExecRecord srl;
+  srl.inst = make_shift_imm(Op::SRL, 3, 1, 4);
+  srl.dest = 3;
+  srl.dest_value = 1;
+  p.observe(srl);                                  // starts high: neither
+  EXPECT_EQ(p.instructions(), 3u);
+  EXPECT_DOUBLE_EQ(p.startable_with_low_slice(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p.needs_full_operands(), 1.0 / 3.0);
+}
+
+TEST(OperandProfile, NarrownessUsesSignExtension) {
+  OperandProfile p;
+  p.observe(alu_rec(Op::ADDU, 3, 0x00000012));  // narrow @16 and @8
+  p.observe(alu_rec(Op::ADDU, 3, 0xffffffef));  // -17: narrow @16 and @8
+  p.observe(alu_rec(Op::ADDU, 3, 0x00001234));  // narrow @16 only
+  p.observe(alu_rec(Op::ADDU, 3, 0x00008000));  // not narrow @16 (sign flip)
+  p.observe(alu_rec(Op::ADDU, 3, 0xdeadbeef));  // wide
+  EXPECT_EQ(p.results(), 5u);
+  EXPECT_DOUBLE_EQ(p.narrow_results(16), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(p.narrow_results(8), 2.0 / 5.0);
+}
+
+TEST(OperandProfile, IgnoresNonResults) {
+  OperandProfile p;
+  ExecRecord store;
+  store.inst = make_mem(Op::SW, 1, 2, 0);
+  store.is_store = true;
+  p.observe(store);
+  EXPECT_EQ(p.instructions(), 1u);
+  EXPECT_EQ(p.results(), 0u);
+}
+
+}  // namespace
+}  // namespace bsp

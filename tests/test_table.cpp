@@ -1,0 +1,56 @@
+// Output-formatting tests for the Table utility used by every bench.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace bsp {
+namespace {
+
+TEST(Table, AlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"short", "1"});
+  t.add_row({"much longer name", "23456"});
+  std::stringstream ss;
+  t.print(ss);
+  std::stringstream lines(ss.str());
+  std::string header, rule, r1, r2;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, r1);
+  std::getline(lines, r2);
+  // The "value" column starts at the same offset in every row.
+  const auto col = header.find("value");
+  EXPECT_EQ(r1.find('1'), col);
+  EXPECT_EQ(r2.find('2'), col);
+  EXPECT_EQ(rule.find_first_not_of('-'), std::string::npos);
+}
+
+TEST(Table, CsvEscapesNothingButSeparatesFields) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  std::stringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+  EXPECT_EQ(Table::num(-0.5, 2), "-0.50");
+  EXPECT_EQ(Table::pct(0.4212), "42.1%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+  EXPECT_EQ(Table::pct(-0.05), "-5.0%");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace bsp

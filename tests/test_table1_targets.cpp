@@ -1,0 +1,79 @@
+// Regression guards for the Table-1 workload tuning: each kernel's gshare
+// accuracy must stay near its published target (where the archival paper
+// preserves it), and the qualitative orderings the reproduction depends on
+// must hold. Tolerances are loose enough to survive benign kernel edits but
+// tight enough to catch a de-tuned suite.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/studies.hpp"
+#include "trace/trace.hpp"
+#include "workloads/workloads.hpp"
+
+namespace bsp {
+namespace {
+
+struct Profile {
+  double accuracy = 0;
+  double loads = 0;
+  double stores = 0;
+};
+
+const Profile& profile(const std::string& name) {
+  static std::map<std::string, Profile> cache;
+  const auto it = cache.find(name);
+  if (it != cache.end()) return it->second;
+  const Workload w = build_workload(name);
+  EarlyBranchStudy study;
+  u64 n = 0, loads = 0, stores = 0;
+  run_trace(w.program, 10'000, 200'000, [&](const ExecRecord& rec) {
+    ++n;
+    loads += rec.is_load;
+    stores += rec.is_store;
+    study.observe(rec);
+    return true;
+  });
+  Profile p;
+  p.accuracy = study.accuracy();
+  p.loads = static_cast<double>(loads) / n;
+  p.stores = static_cast<double>(stores) / n;
+  return cache.emplace(name, p).first->second;
+}
+
+class Table1Targets : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Table1Targets, BranchAccuracyNearPaperTarget) {
+  const WorkloadInfo info = workload_info(GetParam());
+  if (!info.paper_branch_accuracy) GTEST_SKIP() << "target lost in archive";
+  EXPECT_NEAR(profile(GetParam()).accuracy, *info.paper_branch_accuracy,
+              0.06)
+      << GetParam();
+}
+
+TEST_P(Table1Targets, HasRealisticMemoryTraffic) {
+  const Profile& p = profile(GetParam());
+  EXPECT_GT(p.loads, 0.03) << GetParam() << " has too few loads";
+  EXPECT_LT(p.loads, 0.45) << GetParam() << " is loads-only";
+  EXPECT_GT(p.stores, 0.0) << GetParam() << " never stores";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, Table1Targets,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Table1Orderings, SuiteShapeMatchesThePaper) {
+  // go least predictable, mcf most; mcf is the memory-bound outlier.
+  double min_acc = 1.0, max_acc = 0.0;
+  std::string min_name, max_name;
+  for (const auto& name : workload_names()) {
+    const double a = profile(name).accuracy;
+    if (a < min_acc) { min_acc = a; min_name = name; }
+    if (a > max_acc) { max_acc = a; max_name = name; }
+  }
+  EXPECT_EQ(min_name, "go");
+  EXPECT_EQ(max_name, "mcf");
+}
+
+}  // namespace
+}  // namespace bsp

@@ -1,0 +1,164 @@
+// Workload tests: every kernel assembles, runs, terminates cleanly, and
+// exhibits the qualitative characteristics its SPEC namesake is modelled on.
+#include <gtest/gtest.h>
+
+#include "trace/studies.hpp"
+#include "trace/trace.hpp"
+#include "workloads/workloads.hpp"
+
+namespace bsp {
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadTest, AssemblesAndInfoIsConsistent) {
+  const WorkloadInfo info = workload_info(GetParam());
+  EXPECT_EQ(info.name, GetParam());
+  EXPECT_FALSE(info.description.empty());
+  const Workload w = build_workload(GetParam());
+  EXPECT_FALSE(w.program.text.empty());
+  EXPECT_TRUE(w.program.has_symbol("main"));
+}
+
+TEST_P(WorkloadTest, TerminatesCleanlyWithFewIterations) {
+  WorkloadParams params;
+  params.iterations = 2;
+  const Workload w = build_workload(GetParam(), params);
+  Emulator emu(w.program);
+  StepResult final;
+  emu.run(5'000'000, &final);
+  EXPECT_TRUE(emu.exited()) << GetParam() << " did not exit";
+  EXPECT_EQ(emu.exit_code(), 0);
+}
+
+TEST_P(WorkloadTest, RunsHalfAMillionInstructionsWithoutFault) {
+  const Workload w = build_workload(GetParam());
+  const TraceResult tr = run_trace(w.program, 0, 500'000,
+                                   [](const ExecRecord&) { return true; });
+  EXPECT_EQ(tr.visited, 500'000u)
+      << GetParam() << ": " << tr.final.fault;
+}
+
+TEST_P(WorkloadTest, DeterministicAcrossRuns) {
+  const Workload a = build_workload(GetParam());
+  const Workload b = build_workload(GetParam());
+  EXPECT_EQ(a.program.text, b.program.text);
+  EXPECT_EQ(a.program.data, b.program.data);
+}
+
+TEST_P(WorkloadTest, SeedChangesTheProgramOrItsData) {
+  WorkloadParams p1, p2;
+  p2.seed = p1.seed + 1;
+  const std::string s1 = workload_source(GetParam(), p1);
+  const std::string s2 = workload_source(GetParam(), p2);
+  EXPECT_NE(s1, s2) << "seed must influence the generated kernel";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, WorkloadTest,
+                         ::testing::ValuesIn(workload_names()));
+
+TEST(Workloads, ElevenBenchmarksInPaperOrder) {
+  const auto& names = workload_names();
+  ASSERT_EQ(names.size(), 11u);
+  EXPECT_EQ(names.front(), "bzip");
+  EXPECT_EQ(names.back(), "vpr");
+}
+
+TEST(Workloads, UnknownNameThrows) {
+  EXPECT_THROW(build_workload("specfp"), std::runtime_error);
+  EXPECT_THROW(workload_info("specfp"), std::runtime_error);
+}
+
+// Qualitative characteristics the characterisations rely on.
+
+struct Profile {
+  u64 instructions = 0;
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 branches = 0;
+  double branch_accuracy = 0;
+};
+
+Profile profile(const std::string& name, u64 n = 300'000) {
+  const Workload w = build_workload(name);
+  EarlyBranchStudy branches;
+  Profile p;
+  run_trace(w.program, 10'000, n, [&](const ExecRecord& rec) {
+    ++p.instructions;
+    p.loads += rec.is_load;
+    p.stores += rec.is_store;
+    branches.observe(rec);
+    return true;
+  });
+  p.branches = branches.branches();
+  p.branch_accuracy = branches.accuracy();
+  return p;
+}
+
+TEST(WorkloadCharacteristics, AllKernelsHaveLoadsAndBranches) {
+  for (const auto& name : workload_names()) {
+    const Profile p = profile(name, 100'000);
+    EXPECT_GT(p.loads, p.instructions / 50) << name;
+    EXPECT_GT(p.branches, p.instructions / 50) << name;
+  }
+}
+
+TEST(WorkloadCharacteristics, GoIsLeastPredictable) {
+  // The paper's Table 1: go has the suite's lowest accuracy (84 %), mcf the
+  // highest (98 %). Check the ordering, not absolute values.
+  const double go_acc = profile("go").branch_accuracy;
+  const double mcf_acc = profile("mcf").branch_accuracy;
+  EXPECT_LT(go_acc, 0.93);
+  EXPECT_GT(mcf_acc, 0.93);
+  EXPECT_LT(go_acc, mcf_acc);
+}
+
+TEST(WorkloadCharacteristics, McfThrashesTheL1) {
+  // Stream mcf's data accesses through the Table-2 L1D and expect a miss
+  // rate far above bzip's sequential scan.
+  const auto miss_rate = [](const std::string& name) {
+    const Workload w = build_workload(name);
+    Cache l1d(CacheGeometry{64 * 1024, 64, 4});
+    run_trace(w.program, 10'000, 200'000, [&](const ExecRecord& rec) {
+      if (rec.is_load || rec.is_store) l1d.access(rec.mem_addr, rec.is_store);
+      return true;
+    });
+    return l1d.miss_rate();
+  };
+  EXPECT_GT(miss_rate("mcf"), 0.25);
+  EXPECT_LT(miss_rate("bzip"), 0.05);
+}
+
+TEST(WorkloadCharacteristics, VortexExercisesStoreForwarding) {
+  // vortex writes a field and reads it straight back: its loads should find
+  // matching prior stores in a 32-entry window far more often than ijpeg's.
+  const auto forward_fraction = [](const std::string& name) {
+    const Workload w = build_workload(name);
+    LsqAliasStudy study(32);
+    run_trace(w.program, 10'000, 200'000, [&](const ExecRecord& rec) {
+      study.observe(rec);
+      return true;
+    });
+    return study.fraction(kDisambigBits - 1,
+                          AliasCategory::SingleMatchOneStore) +
+           study.fraction(kDisambigBits - 1,
+                          AliasCategory::SingleMatchMultStores) +
+           study.fraction(kDisambigBits - 1,
+                          AliasCategory::MultMatchSameAddr);
+  };
+  EXPECT_GT(forward_fraction("vortex"), 0.2);
+}
+
+TEST(WorkloadCharacteristics, LiReproducesFigure5Idiom) {
+  // The generated li kernel must contain the lbu/andi/bne sequence.
+  const std::string src = workload_source("li");
+  const auto lbu = src.find("lbu $3");
+  ASSERT_NE(lbu, std::string::npos);
+  const auto andi = src.find("andi $2, $3, 0x0001", lbu);
+  ASSERT_NE(andi, std::string::npos);
+  const auto bne = src.find("bne $2, $0", andi);
+  EXPECT_NE(bne, std::string::npos);
+}
+
+}  // namespace
+}  // namespace bsp

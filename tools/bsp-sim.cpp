@@ -1,0 +1,206 @@
+// bsp-sim: run a program (source, object file, or built-in workload) on the
+// cycle-level bit-sliced core.
+//
+//   bsp-sim <program.{s,bspo} | workload> [options]
+//     --slices N            1 (base), 2, 4, 8            [default 2]
+//     --techniques SPEC     none | all | extended | comma list of
+//                           bypass,ooo,branch,lsq,tag,specfwd,narrow
+//     --instructions N      commit budget                [default 200000]
+//     --trace [START END]   pipeview trace of cycles [START, END)
+//     --print-config        dump the machine configuration first
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "asm/assembler.hpp"
+#include "asm/objfile.hpp"
+#include "core/simulator.hpp"
+#include "emu/checkpoint.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace bsp;
+
+std::optional<Program> load_input(const std::string& spec) {
+  const auto ends_with = [&](const char* suffix) {
+    const std::string s = suffix;
+    return spec.size() > s.size() &&
+           spec.compare(spec.size() - s.size(), s.size(), s) == 0;
+  };
+  if (ends_with(".bspo")) {
+    std::string error;
+    auto p = load_object_file(spec, &error);
+    if (!p) std::cerr << "bsp-sim: " << error << "\n";
+    return p;
+  }
+  if (ends_with(".s")) {
+    std::ifstream in(spec);
+    if (!in) {
+      std::cerr << "bsp-sim: cannot open " << spec << "\n";
+      return std::nullopt;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    AsmResult r = assemble(ss.str());
+    if (!r.ok()) {
+      std::cerr << spec << ":\n" << r.error_text();
+      return std::nullopt;
+    }
+    return std::move(r.program);
+  }
+  try {
+    return build_workload(spec).program;
+  } catch (const std::exception& e) {
+    std::cerr << "bsp-sim: " << e.what() << "\n";
+    return std::nullopt;
+  }
+}
+
+std::optional<TechniqueSet> parse_techniques(const std::string& spec) {
+  if (spec == "none") return kNoTechniques;
+  if (spec == "all") return kAllTechniques;
+  if (spec == "extended") return kExtendedTechniques;
+  TechniqueSet set = kNoTechniques;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item == "bypass") set |= static_cast<unsigned>(Technique::PartialBypass);
+    else if (item == "ooo") set |= static_cast<unsigned>(Technique::OooSlices);
+    else if (item == "branch") set |= static_cast<unsigned>(Technique::EarlyBranch);
+    else if (item == "lsq") set |= static_cast<unsigned>(Technique::EarlyLsq);
+    else if (item == "tag") set |= static_cast<unsigned>(Technique::PartialTag);
+    else if (item == "specfwd") set |= static_cast<unsigned>(Technique::SpecForward);
+    else if (item == "narrow") set |= static_cast<unsigned>(Technique::NarrowWidth);
+    else return std::nullopt;
+  }
+  return set;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input, ckpt_path;
+  unsigned slices = 2;
+  TechniqueSet techniques = kAllTechniques;
+  u64 instructions = 200'000;
+  u64 warmup = 0;
+  bool print_config = false;
+  bool detail = false;
+  bool trace = false;
+  Cycle trace_start = 0, trace_end = 200;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "bsp-sim: " << a << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--slices") {
+      slices = static_cast<unsigned>(std::strtoul(value(), nullptr, 0));
+    } else if (a == "--techniques") {
+      const auto t = parse_techniques(value());
+      if (!t) {
+        std::cerr << "bsp-sim: bad technique spec\n";
+        return 2;
+      }
+      techniques = *t;
+    } else if (a == "--instructions" || a == "-n") {
+      instructions = std::strtoull(value(), nullptr, 0);
+    } else if (a == "--warmup") {
+      warmup = std::strtoull(value(), nullptr, 0);
+    } else if (a == "--checkpoint") {
+      ckpt_path = value();
+    } else if (a == "--trace") {
+      trace = true;
+      if (i + 2 < argc && argv[i + 1][0] != '-' && argv[i + 2][0] != '-') {
+        trace_start = std::strtoull(argv[++i], nullptr, 0);
+        trace_end = std::strtoull(argv[++i], nullptr, 0);
+      }
+    } else if (a == "--print-config") {
+      print_config = true;
+    } else if (a == "--detail") {
+      detail = true;
+    } else if (a == "-h" || a == "--help") {
+      std::cout << "usage: bsp-sim <program.{s,bspo} | workload> "
+                   "[--slices N] [--techniques SPEC] [-n N] [--warmup N] "
+                   "[--checkpoint in.bspc] [--trace [START END]] "
+                   "[--print-config]\n";
+      return 0;
+    } else if (!a.empty() && a[0] != '-' && input.empty()) {
+      input = a;
+    } else {
+      std::cerr << "bsp-sim: unknown argument '" << a << "'\n";
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    std::cerr << "bsp-sim: no input (try --help)\n";
+    return 2;
+  }
+
+  const auto program = load_input(input);
+  if (!program) return 1;
+
+  const MachineConfig cfg =
+      slices == 1 ? base_machine() : bitsliced_machine(slices, techniques);
+  if (print_config) std::cout << cfg.describe() << "\n";
+
+  std::optional<Checkpoint> ckpt;
+  if (!ckpt_path.empty()) {
+    std::string error;
+    ckpt = load_checkpoint_file(ckpt_path, &error);
+    if (!ckpt) {
+      std::cerr << "bsp-sim: " << error << "\n";
+      return 1;
+    }
+  }
+  Simulator sim = ckpt ? Simulator(cfg, *program, *ckpt)
+                       : Simulator(cfg, *program);
+  if (trace) sim.set_pipe_trace(std::cout, trace_start, trace_end);
+  if (detail) sim.enable_detail();
+  const SimResult r = sim.run(instructions, warmup);
+  if (!r.ok()) {
+    std::cerr << "bsp-sim: " << r.error << "\n";
+    return 1;
+  }
+  const SimStats& s = r.stats;
+  std::cout << "instructions: " << s.committed << "\n"
+            << "cycles:       " << s.cycles << "\n"
+            << "IPC:          " << s.ipc() << "\n"
+            << "branches:     " << s.branches << " ("
+            << 100.0 * s.branch_accuracy() << "% predicted)\n"
+            << "loads:        " << s.loads << " (" << s.load_forwards
+            << " forwarded, " << s.loads_issued_partial_lsq
+            << " issued on partial bits)\n"
+            << "L1D:          " << s.l1d_hits << " hits / " << s.l1d_misses
+            << " misses\n"
+            << "replays:      " << s.load_replays << " loads, "
+            << s.op_replays << " slice-ops, " << s.way_mispredicts
+            << " way mispredicts\n"
+            << "early:        " << s.early_resolved_branches
+            << " branch resolutions, " << s.early_miss_detects
+            << " miss detects\n";
+  if (s.spec_forwards || s.narrow_operands)
+    std::cout << "extensions:   " << s.spec_forwards << " spec forwards ("
+              << s.spec_forward_misses << " refuted), " << s.narrow_operands
+              << " narrow results\n";
+  if (detail) {
+    const DetailedStats& d = sim.detail();
+    const auto line = [](const char* name, const Histogram& h) {
+      std::cout << "  " << name << ": mean " << h.mean() << ", p50 "
+                << h.percentile(0.5) << ", p90 " << h.percentile(0.9)
+                << ", p99 " << h.percentile(0.99) << "\n";
+    };
+    std::cout << "distributions:\n";
+    line("RUU occupancy      ", d.ruu_occupancy);
+    line("LSQ occupancy      ", d.lsq_occupancy);
+    line("load-to-use cycles ", d.load_to_use);
+    line("branch resolve dly ", d.branch_resolve_delay);
+    line("commits per cycle  ", d.commit_width);
+  }
+  return r.exited ? r.exit_code : 0;
+}

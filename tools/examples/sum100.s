@@ -1,0 +1,16 @@
+# Sample program for the bsp-asm / bsp-run / bsp-sim tools:
+# prints the sum of the integers 1..100 (5050), then exits.
+.text
+main:
+  li $t0, 100
+  move $t1, $0
+loop:
+  addu $t1, $t1, $t0
+  addiu $t0, $t0, -1
+  bgtz $t0, loop
+  move $a0, $t1
+  li $v0, 1           # print_int
+  syscall
+  li $v0, 10          # exit
+  li $a0, 0
+  syscall
