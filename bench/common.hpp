@@ -1,16 +1,18 @@
-// Shared plumbing for the bench drivers: CLI parsing, the standard header
-// (Table 2 machine description), and the Figure 11/12 configuration stacks.
+// Shared plumbing for the bench drivers: CLI parsing (on the shared
+// util/cli.hpp parser the campaign tools also use), the standard header
+// (Table 2 machine description), and re-exports of the Figure 11/12
+// configuration stacks from src/config.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "config/machine_config.hpp"
 #include "core/simulator.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workloads/workloads.hpp"
 
@@ -32,57 +34,38 @@ struct Options {
   }
 };
 
+// Registers the options every driver shares on `parser`. The campaign CLI
+// (tools/bsp-sweep.cpp) registers the same core set plus its own; keeping
+// the flags and help text here is what keeps the two front ends consistent.
+inline void register_common_options(ArgParser& parser, Options& opt) {
+  parser.add_value("-n, --instructions", "N",
+                   "measured instructions per run (default " +
+                       std::to_string(opt.instructions) + ")",
+                   &opt.instructions);
+  parser.add_value("--warmup", "N",
+                   "discarded timing warm-up (default " +
+                       std::to_string(opt.warmup) + ")",
+                   &opt.warmup);
+  parser.add_value("--skip", "N", "trace warm-up instructions", &opt.skip);
+  parser.add_value("-j, --jobs", "N",
+                   "parallel simulations (default: hardware threads)",
+                   &opt.jobs);
+  parser.add_value("-w, --workload", "NAME",
+                   "restrict to one benchmark (repeatable)", &opt.workloads);
+  parser.add_flag("--csv", "machine-readable output", &opt.csv);
+}
+
 inline Options parse_options(int argc, char** argv, const char* what) {
   Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << a << " needs a value\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (a == "--instructions" || a == "-n") {
-      opt.instructions = std::strtoull(value(), nullptr, 0);
-    } else if (a == "--warmup") {
-      opt.warmup = std::strtoull(value(), nullptr, 0);
-    } else if (a == "--skip") {
-      opt.skip = std::strtoull(value(), nullptr, 0);
-    } else if (a == "--jobs" || a == "-j") {
-      opt.jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 0));
-    } else if (a == "--csv") {
-      opt.csv = true;
-    } else if (a == "--print-config") {
-      opt.print_config = true;
-    } else if (a == "--print-pipelines") {
-      opt.print_pipelines = true;
-    } else if (a == "--workload" || a == "-w") {
-      opt.workloads.push_back(value());
-    } else if (a == "--help" || a == "-h") {
-      std::cout << what << "\n\nOptions:\n"
-                << "  -n, --instructions N   measured instructions per run "
-                   "(default "
-                << opt.instructions << ")\n"
-                << "      --warmup N         discarded timing warm-up "
-                   "(default "
-                << opt.warmup << ")\n"
-                << "      --skip N           trace warm-up instructions\n"
-                << "  -j, --jobs N           parallel simulations (default: "
-                   "hardware threads)\n"
-                << "  -w, --workload NAME    restrict to one benchmark "
-                   "(repeatable)\n"
-                << "      --csv              machine-readable output\n"
-                << "      --print-config     dump the Table-2 machine "
-                   "configuration\n"
-                << "      --print-pipelines  dump the Figure-10 pipeline "
-                   "diagrams\n";
-      std::exit(0);
-    } else {
-      std::cerr << "unknown option " << a << " (try --help)\n";
-      std::exit(2);
-    }
-  }
+  ArgParser parser(what);
+  register_common_options(parser, opt);
+  parser.add_flag("--print-config",
+                  "dump the Table-2 machine configuration",
+                  &opt.print_config);
+  parser.add_flag("--print-pipelines",
+                  "dump the Figure-10 pipeline diagrams",
+                  &opt.print_pipelines);
+  parser.parse(argc, argv);
   return opt;
 }
 
@@ -110,27 +93,9 @@ inline void emit(const Options& opt, const Table& table) {
   std::cout << "\n";
 }
 
-// The cumulative technique stacks of Figures 11/12 for one slice count:
-// simple pipelining, then +bypass, +ooo slices, +early branch, +early lsq,
-// +partial tag (the paper's order).
-struct StackPoint {
-  std::string label;
-  MachineConfig config;
-};
-
-inline std::vector<StackPoint> technique_stack(unsigned slices) {
-  std::vector<StackPoint> stack;
-  stack.push_back({"simple pipelining", simple_pipelined_machine(slices)});
-  TechniqueSet set = kNoTechniques;
-  for (const Technique t : technique_order()) {
-    set |= static_cast<unsigned>(t);
-    stack.push_back({std::string("+") + technique_name(t),
-                     bitsliced_machine(slices, set)});
-  }
-  return stack;
-}
-
 // Runs one timing simulation, aborting the bench on any co-simulation error.
+// (The campaign engine deliberately does NOT use this: bsp-sweep records the
+// error and carries on — see src/campaign/scheduler.hpp.)
 inline SimStats run_sim(const MachineConfig& cfg, const Program& program,
                         u64 commits, u64 warmup = 0) {
   const SimResult r = simulate(cfg, program, commits, warmup);

@@ -1,15 +1,30 @@
 #!/bin/sh
-# Runs every table/figure/ablation driver with its default (publication)
-# parameters, writing one output file per bench into results/.
+# Runs every reproduced table/figure/ablation with its default (publication)
+# parameters, writing results into results/.
 #
 #   scripts/run_all_benches.sh [build-dir] [results-dir]
 #
-# Defaults assume the standard layout: ./build and ./results.
+# Sweeps that have been ported onto the campaign engine run through
+# bsp-sweep: machine-readable JSONL (one record per simulation) plus the
+# summary table, checkpointed so a rerun resumes instead of restarting.
+# The remaining drivers run directly until they are ported too.
 set -eu
 
 BUILD="${1:-build}"
 OUT="${2:-results}"
 mkdir -p "$OUT"
+
+CAMPAIGNS="
+fig11
+fig12
+abl_slice_width
+"
+
+for c in $CAMPAIGNS; do
+  echo "== campaign $c"
+  "$BUILD/tools/bsp-sweep" --campaign "$c" --out "$OUT/$c.jsonl" \
+    > "$OUT/$c.txt" 2>&1
+done
 
 BENCHES="
 table1_characteristics
@@ -17,11 +32,8 @@ table_operand_profile
 fig2_lsq_disambiguation
 fig4_partial_tag
 fig6_early_branch
-fig11_ipc
-fig12_speedup
 abl_lsq_depth
 abl_way_policy
-abl_slice_width
 abl_stability
 abl_extensions
 abl_seeds

@@ -1,0 +1,26 @@
+// Built-in named campaigns: the paper sweeps ported from hand-rolled bench
+// driver loops onto the campaign engine. Each is a SweepSpec factory with
+// the same default budgets, seeds and configuration stacks as the legacy
+// driver it mirrors, so `bsp-sweep --campaign fig11` reproduces
+// `bench/fig11_ipc` exactly (same configs + seeds => identical SimStats).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+
+namespace bsp::campaign {
+
+struct BuiltinCampaign {
+  std::string name;
+  std::string description;
+  SweepSpec (*make)();
+};
+
+const std::vector<BuiltinCampaign>& builtin_campaigns();
+
+// nullptr when unknown.
+const BuiltinCampaign* find_campaign(const std::string& name);
+
+}  // namespace bsp::campaign

@@ -1,0 +1,176 @@
+#include "campaign/campaign.hpp"
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "campaign/progress.hpp"
+#include "core/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace bsp::campaign {
+
+CampaignReport run_campaign(const SweepSpec& spec, const TaskRunner& runner,
+                            const CampaignOptions& options) {
+  const std::vector<TaskSpec> tasks = spec.expand();
+  const std::string out_path =
+      options.out_path.empty() ? spec.name + ".jsonl" : options.out_path;
+  ResultStore store(out_path, options.fresh);
+
+  // Partition the grid into already-satisfied tasks and work to do.
+  std::vector<std::size_t> todo;  // indices into `tasks`
+  CampaignReport report;
+  report.total = tasks.size();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const std::string status = store.status(tasks[i].id());
+    const bool satisfied =
+        options.retry_failed ? status == "ok" : !status.empty();
+    if (satisfied)
+      ++report.skipped;
+    else
+      todo.push_back(i);
+  }
+
+  ProgressMeter meter(spec.name, tasks.size(), report.skipped,
+                      options.progress);
+  std::mutex report_mutex;
+  std::vector<TaskSpec> pending;
+  pending.reserve(todo.size());
+  for (const std::size_t i : todo) pending.push_back(tasks[i]);
+
+  run_tasks(pending, runner, options.scheduler,
+            [&](std::size_t pi, const TaskOutcome& out) {
+              TaskRecord rec;
+              rec.task = pending[pi];
+              rec.status = out.status;
+              rec.error = out.error;
+              rec.attempts = out.attempts;
+              rec.duration_ms = out.duration_ms;
+              rec.stats = out.stats;
+              store.append(rec);  // thread-safe, atomic line append
+              meter.task_done(out);
+              std::lock_guard<std::mutex> lock(report_mutex);
+              ++report.ran;
+              if (out.ok())
+                ++report.ok;
+              else
+                ++report.failed;
+              if (out.retried()) ++report.retried;
+            });
+  meter.finish();
+
+  for (const auto& task : tasks)
+    if (const TaskRecord* rec = store.find(task.id()))
+      report.records.push_back(*rec);
+  return report;
+}
+
+TaskRunner make_sim_runner() {
+  // Shared (workload, seed) -> Workload cache. The first task to need a
+  // program builds it; concurrent tasks for the same key block on the
+  // shared_future instead of re-assembling. Everything lives behind a
+  // shared_ptr so detached timed-out attempts stay memory-safe.
+  struct Cache {
+    std::mutex m;
+    std::map<std::pair<std::string, u64>,
+             std::shared_future<std::shared_ptr<const Workload>>>
+        built;
+  };
+  auto cache = std::make_shared<Cache>();
+  return [cache](const TaskSpec& task) -> AttemptResult {
+    std::shared_future<std::shared_ptr<const Workload>> fut;
+    bool builder = false;
+    std::promise<std::shared_ptr<const Workload>> promise;
+    {
+      std::lock_guard<std::mutex> lock(cache->m);
+      const auto key = std::make_pair(task.workload, task.seed);
+      const auto it = cache->built.find(key);
+      if (it == cache->built.end()) {
+        fut = promise.get_future().share();
+        cache->built.emplace(key, fut);
+        builder = true;
+      } else {
+        fut = it->second;
+      }
+    }
+    if (builder) {
+      try {
+        WorkloadParams params;
+        params.seed = task.seed;
+        promise.set_value(std::make_shared<const Workload>(
+            build_workload(task.workload, params)));
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+    }
+    std::shared_ptr<const Workload> workload;
+    try {
+      workload = fut.get();  // rethrows the builder's failure for everyone
+    } catch (const std::exception& e) {
+      AttemptResult r;
+      r.error = std::string("workload build failed: ") + e.what();
+      return r;
+    }
+    const SimResult sim = simulate(task.machine.build(), workload->program,
+                                   task.instructions, task.warmup);
+    AttemptResult r;
+    r.stats = sim.stats;
+    r.error = sim.error;
+    return r;
+  };
+}
+
+Table summary_table(const SweepSpec& spec, const CampaignReport& report) {
+  std::vector<std::string> header = {"workload"};
+  if (spec.seeds.size() > 1) header.push_back("seed");
+  for (const auto& m : spec.machines) header.push_back(m.label);
+  Table table(std::move(header));
+
+  std::map<std::string, const TaskRecord*> by_id;
+  for (const auto& rec : report.records) by_id[rec.task.id()] = &rec;
+
+  std::vector<double> col_sum(spec.machines.size(), 0.0);
+  std::vector<unsigned> col_n(spec.machines.size(), 0);
+  for (const auto& workload : spec.workloads) {
+    for (const u64 seed : spec.seeds) {
+      std::vector<std::string> row = {workload};
+      if (spec.seeds.size() > 1) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "0x%llx",
+                      static_cast<unsigned long long>(seed));
+        row.push_back(buf);
+      }
+      for (std::size_t mi = 0; mi < spec.machines.size(); ++mi) {
+        TaskSpec probe;
+        probe.campaign = spec.name;
+        probe.workload = workload;
+        probe.seed = seed;
+        probe.machine = spec.machines[mi];
+        probe.instructions = spec.instructions;
+        probe.warmup = spec.warmup;
+        const auto it = by_id.find(probe.id());
+        if (it == by_id.end()) {
+          row.push_back("-");
+        } else if (it->second->status != "ok") {
+          row.push_back(it->second->status);
+        } else {
+          const double ipc = it->second->stats.ipc();
+          row.push_back(Table::num(ipc, 3));
+          col_sum[mi] += ipc;
+          ++col_n[mi];
+        }
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  std::vector<std::string> mean_row = {"mean"};
+  if (spec.seeds.size() > 1) mean_row.push_back("");
+  for (std::size_t mi = 0; mi < spec.machines.size(); ++mi)
+    mean_row.push_back(col_n[mi] ? Table::num(col_sum[mi] / col_n[mi], 3)
+                                 : "-");
+  table.add_row(std::move(mean_row));
+  return table;
+}
+
+}  // namespace bsp::campaign

@@ -1,0 +1,54 @@
+// The campaign engine's top layer: expand a SweepSpec, skip tasks the JSONL
+// store already holds (checkpoint/resume), run the remainder through the
+// fault-tolerant scheduler with live progress, and summarise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/scheduler.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/store.hpp"
+#include "util/table.hpp"
+
+namespace bsp::campaign {
+
+struct CampaignOptions {
+  SchedulerOptions scheduler;
+  std::string out_path;       // JSONL store path ("" = <name>.jsonl in cwd)
+  bool fresh = false;         // discard existing records instead of resuming
+  bool retry_failed = false;  // re-run tasks whose record is failed/timeout
+  bool progress = true;       // live stderr progress line
+};
+
+struct CampaignReport {
+  std::size_t total = 0;    // expanded grid size
+  std::size_t skipped = 0;  // satisfied by existing records (resume)
+  std::size_t ran = 0;      // executed this run
+  std::size_t ok = 0;       // ... of which succeeded
+  std::size_t failed = 0;   // ... of which failed/timed out
+  std::size_t retried = 0;  // ... of which needed >1 attempt
+  // Final state of every task in the grid (resumed + fresh), in grid order.
+  std::vector<TaskRecord> records;
+};
+
+// Runs `spec` with `runner`, appending one record per executed task to the
+// store at options.out_path. Rerunning with the same path resumes: tasks
+// whose records already exist are skipped (any status; with retry_failed,
+// only "ok" records are skipped and failed tasks get a fresh record).
+CampaignReport run_campaign(const SweepSpec& spec, const TaskRunner& runner,
+                            const CampaignOptions& options);
+
+// The production runner: builds each (workload, seed) program once —
+// concurrent tasks share it through an internal cache — then runs the
+// task's machine configuration with simulate(). Co-simulation divergence
+// and workload-build failures come back as AttemptResult errors, never as
+// exceptions or aborts.
+TaskRunner make_sim_runner();
+
+// Per-campaign summary: one row per (workload, seed), one IPC column per
+// machine point (spec order), with failed tasks shown as their status. A
+// final "mean" row averages each column over its successful rows.
+Table summary_table(const SweepSpec& spec, const CampaignReport& report);
+
+}  // namespace bsp::campaign

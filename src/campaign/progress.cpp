@@ -1,0 +1,56 @@
+#include "campaign/progress.hpp"
+
+#include <cstdio>
+
+namespace bsp::campaign {
+
+ProgressMeter::ProgressMeter(std::string name, std::size_t total,
+                             std::size_t skipped, bool enabled)
+    : name_(std::move(name)),
+      total_(total),
+      skipped_(skipped),
+      enabled_(enabled),
+      start_(std::chrono::steady_clock::now()) {}
+
+void ProgressMeter::task_done(const TaskOutcome& outcome) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++done_;
+  if (!outcome.ok()) ++failed_;
+  if (outcome.retried()) ++retried_;
+  if (enabled_) print_line_locked();
+}
+
+void ProgressMeter::finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_ || finished_) return;
+  finished_ = true;
+  print_line_locked();
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+}
+
+void ProgressMeter::print_line_locked() {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double rate = elapsed > 0 ? static_cast<double>(done_) / elapsed : 0;
+  const std::size_t remaining = total_ - skipped_ - done_;
+  char eta[32];
+  if (rate > 0) {
+    const double sec = static_cast<double>(remaining) / rate;
+    if (sec >= 90)
+      std::snprintf(eta, sizeof eta, "%.1fmin", sec / 60);
+    else
+      std::snprintf(eta, sizeof eta, "%.0fs", sec);
+  } else {
+    std::snprintf(eta, sizeof eta, "?");
+  }
+  std::fprintf(stderr,
+               "\r[%s] %zu/%zu done (%zu resumed) | %zu failed | %zu retried "
+               "| %.2f tasks/s | ETA %s   ",
+               name_.c_str(), done_ + skipped_, total_, skipped_, failed_,
+               retried_, rate, eta);
+  std::fflush(stderr);
+}
+
+}  // namespace bsp::campaign

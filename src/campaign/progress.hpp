@@ -1,0 +1,47 @@
+// Live campaign observability: a single self-overwriting stderr line with
+// done/failed/retried counts, throughput, and an ETA. Stderr so that
+// redirecting a campaign's stdout (summary tables) keeps the file clean.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+#include "campaign/scheduler.hpp"
+
+namespace bsp::campaign {
+
+class ProgressMeter {
+ public:
+  // `total` counts the whole expanded grid; `skipped` the tasks resume
+  // already satisfied. Disabled meters are inert (no output at all).
+  ProgressMeter(std::string name, std::size_t total, std::size_t skipped,
+                bool enabled);
+
+  // Thread-safe; call once per finished task.
+  void task_done(const TaskOutcome& outcome);
+
+  // Prints the final state and a newline (once).
+  void finish();
+
+  std::size_t done() const { return done_; }
+  std::size_t failed() const { return failed_; }
+  std::size_t retried() const { return retried_; }
+
+ private:
+  void print_line_locked();
+
+  std::string name_;
+  std::size_t total_;
+  std::size_t skipped_;
+  bool enabled_;
+  bool finished_ = false;
+  std::size_t done_ = 0;     // finished this run (ok or not)
+  std::size_t failed_ = 0;   // status != ok
+  std::size_t retried_ = 0;  // needed more than one attempt
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mutex_;
+};
+
+}  // namespace bsp::campaign

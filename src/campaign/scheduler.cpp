@@ -1,0 +1,113 @@
+#include "campaign/scheduler.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/parallel.hpp"
+
+namespace bsp::campaign {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+AttemptResult guarded_call(const TaskRunner& runner, const TaskSpec& task) {
+  try {
+    return runner(task);
+  } catch (const std::exception& e) {
+    AttemptResult r;
+    r.error = std::string("exception: ") + e.what();
+    return r;
+  } catch (...) {
+    AttemptResult r;
+    r.error = "unknown exception";
+    return r;
+  }
+}
+
+// One attempt under a wall-clock deadline. The attempt runs on its own
+// thread; on timeout that thread is detached and its (eventual) result
+// discarded. Everything the detached thread touches is owned by the
+// shared_ptr state, so abandonment is memory-safe.
+AttemptResult timed_call(const TaskRunner& runner, const TaskSpec& task,
+                         double timeout_sec, bool* timed_out) {
+  struct Shared {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    AttemptResult result;
+  };
+  auto shared = std::make_shared<Shared>();
+  std::thread worker([shared, runner, task] {
+    AttemptResult r = guarded_call(runner, task);
+    std::lock_guard<std::mutex> lock(shared->m);
+    shared->result = std::move(r);
+    shared->done = true;
+    shared->cv.notify_all();
+  });
+  bool done;
+  {
+    std::unique_lock<std::mutex> lock(shared->m);
+    done = shared->cv.wait_for(lock, std::chrono::duration<double>(timeout_sec),
+                               [&] { return shared->done; });
+  }
+  if (!done) {
+    worker.detach();
+    *timed_out = true;
+    return AttemptResult{};
+  }
+  worker.join();
+  *timed_out = false;
+  return std::move(shared->result);
+}
+
+}  // namespace
+
+TaskOutcome run_one_task(const TaskSpec& task, const TaskRunner& runner,
+                         const SchedulerOptions& options) {
+  TaskOutcome out;
+  const auto t0 = Clock::now();
+  const unsigned max_attempts = std::max(1u, options.max_attempts);
+  for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+    out.attempts = attempt;
+    bool timed_out = false;
+    const AttemptResult r =
+        options.timeout_sec > 0
+            ? timed_call(runner, task, options.timeout_sec, &timed_out)
+            : guarded_call(runner, task);
+    if (timed_out) {
+      out.status = "timeout";
+      out.error = "attempt exceeded " + std::to_string(options.timeout_sec) +
+                  "s wall-clock timeout";
+      break;
+    }
+    if (r.error.empty()) {
+      out.status = "ok";
+      out.error.clear();
+      out.stats = r.stats;
+      break;
+    }
+    out.status = "failed";
+    out.error = r.error;
+  }
+  out.duration_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return out;
+}
+
+void run_tasks(const std::vector<TaskSpec>& tasks, const TaskRunner& runner,
+               const SchedulerOptions& options,
+               const std::function<void(std::size_t, const TaskOutcome&)>&
+                   on_done) {
+  parallel_for(
+      tasks.size(),
+      [&](std::size_t i) {
+        const TaskOutcome out = run_one_task(tasks[i], runner, options);
+        on_done(i, out);
+      },
+      options.jobs);
+}
+
+}  // namespace bsp::campaign

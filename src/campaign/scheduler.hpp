@@ -1,0 +1,70 @@
+// Fault-tolerant task scheduler for campaigns.
+//
+// Layered on util/parallel.hpp's worker pool, adding the three things a
+// long unattended sweep needs and a bench driver loop lacks:
+//  * fault isolation — a task that throws or returns a co-simulation error
+//    is recorded as failed; it never brings down the campaign (and per the
+//    parallel_for contract, exceptions must not escape into the pool);
+//  * bounded retry — failed attempts are retried up to max_attempts before
+//    the task is recorded as "failed";
+//  * a per-attempt wall-clock timeout — a wedged attempt is abandoned and
+//    recorded as "timeout". The abandoned attempt's thread is detached, not
+//    killed (C++ has no safe thread kill): it keeps a core's worth of work
+//    alive until it finishes on its own, but the campaign moves on. Timed-
+//    out tasks are not retried — re-running a wedged configuration would
+//    just park another worker on it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "core/pipeline.hpp"
+
+namespace bsp::campaign {
+
+// What one attempt at one task produced. Empty `error` means success.
+struct AttemptResult {
+  SimStats stats;
+  std::string error;
+};
+
+// Runs a single attempt. May throw; the scheduler converts the exception
+// into a failed attempt. Must be safe to call from several threads at once
+// and must stay valid until every (possibly detached) attempt finished —
+// in practice: keep all state inside shared_ptr captures, as
+// make_sim_runner() does.
+using TaskRunner = std::function<AttemptResult(const TaskSpec&)>;
+
+struct SchedulerOptions {
+  unsigned jobs = 0;          // worker threads (0 = hardware concurrency)
+  unsigned max_attempts = 2;  // first try + bounded retries
+  double timeout_sec = 0;     // per-attempt wall clock; 0 = no timeout
+};
+
+struct TaskOutcome {
+  std::string status;  // "ok" | "failed" | "timeout"
+  std::string error;
+  unsigned attempts = 0;
+  double duration_ms = 0;  // wall clock across all attempts
+  SimStats stats;          // meaningful only when status == "ok"
+
+  bool ok() const { return status == "ok"; }
+  bool retried() const { return attempts > 1; }
+};
+
+// Runs one task to completion (attempts + timeout handling).
+TaskOutcome run_one_task(const TaskSpec& task, const TaskRunner& runner,
+                         const SchedulerOptions& options);
+
+// Runs every task on a worker pool. `on_done` is called exactly once per
+// task, from the worker thread that finished it, in completion order; it
+// must be thread-safe. With jobs == 1 execution (and hence completion) is
+// in task order — the deterministic mode the tests use.
+void run_tasks(const std::vector<TaskSpec>& tasks, const TaskRunner& runner,
+               const SchedulerOptions& options,
+               const std::function<void(std::size_t, const TaskOutcome&)>&
+                   on_done);
+
+}  // namespace bsp::campaign

@@ -1,0 +1,62 @@
+#include "campaign/spec.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace bsp::campaign {
+
+const char* machine_kind_name(MachineKind k) {
+  switch (k) {
+    case MachineKind::Base: return "base";
+    case MachineKind::Simple: return "simple";
+    case MachineKind::Sliced: return "sliced";
+  }
+  return "?";
+}
+
+MachineConfig MachinePoint::build() const {
+  switch (kind) {
+    case MachineKind::Base: return base_machine();
+    case MachineKind::Simple: return simple_pipelined_machine(slices);
+    case MachineKind::Sliced: return bitsliced_machine(slices, techniques);
+  }
+  return base_machine();
+}
+
+std::string MachinePoint::key() const {
+  std::ostringstream os;
+  os << machine_kind_name(kind);
+  if (kind != MachineKind::Base) os << "-x" << slices;
+  if (kind == MachineKind::Sliced) os << "-t0x" << std::hex << techniques;
+  return os.str();
+}
+
+std::string TaskSpec::id() const {
+  std::ostringstream os;
+  os << campaign << "/" << workload << "/seed=0x" << std::hex << seed
+     << std::dec << "/" << machine.key() << "/n=" << instructions
+     << "/w=" << warmup;
+  return os.str();
+}
+
+std::vector<TaskSpec> SweepSpec::expand() const {
+  std::vector<TaskSpec> tasks;
+  std::unordered_set<std::string> seen;
+  for (const auto& workload : workloads) {
+    for (const u64 seed : seeds) {
+      for (const auto& machine : machines) {
+        TaskSpec t;
+        t.campaign = name;
+        t.workload = workload;
+        t.seed = seed;
+        t.machine = machine;
+        t.instructions = instructions;
+        t.warmup = warmup;
+        if (seen.insert(t.id()).second) tasks.push_back(std::move(t));
+      }
+    }
+  }
+  return tasks;
+}
+
+}  // namespace bsp::campaign

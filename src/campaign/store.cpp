@@ -1,0 +1,276 @@
+#include "campaign/store.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bsp::campaign {
+namespace {
+
+// Every SimStats counter, in record order. Used for both writing and
+// parsing so the two can never drift apart.
+#define BSP_SIMSTATS_FIELDS(X)                                            \
+  X(cycles)                                                               \
+  X(committed)                                                            \
+  X(dispatched)                                                           \
+  X(bogus_dispatched)                                                     \
+  X(branches)                                                             \
+  X(branch_mispredicts)                                                   \
+  X(early_resolved_branches)                                              \
+  X(loads)                                                                \
+  X(stores)                                                               \
+  X(load_forwards)                                                        \
+  X(loads_issued_partial_lsq)                                             \
+  X(partial_tag_accesses)                                                 \
+  X(way_mispredicts)                                                      \
+  X(early_miss_detects)                                                   \
+  X(load_replays)                                                         \
+  X(op_replays)                                                           \
+  X(spec_forwards)                                                        \
+  X(spec_forward_misses)                                                  \
+  X(narrow_operands)                                                      \
+  X(l1d_hits)                                                             \
+  X(l1d_misses)
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    switch (s[++i]) {
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'u':
+        if (i + 4 < s.size()) {
+          out += static_cast<char>(
+              std::strtoul(s.substr(i + 1, 4).c_str(), nullptr, 16));
+          i += 4;
+        }
+        break;
+      default: out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string fmt_ms(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_jsonl(const TaskRecord& rec) {
+  const TaskSpec& t = rec.task;
+  std::ostringstream os;
+  os << "{\"campaign\":\"" << escape(t.campaign) << "\""
+     << ",\"task\":\"" << escape(t.id()) << "\""
+     << ",\"workload\":\"" << escape(t.workload) << "\""
+     << ",\"seed\":\"0x" << std::hex << t.seed << std::dec << "\""
+     << ",\"machine\":\"" << machine_kind_name(t.machine.kind) << "\""
+     << ",\"slices\":" << t.machine.slices
+     << ",\"techniques\":\"0x" << std::hex << t.machine.techniques
+     << std::dec << "\""
+     << ",\"label\":\"" << escape(t.machine.label) << "\""
+     << ",\"instructions\":" << t.instructions
+     << ",\"warmup\":" << t.warmup
+     << ",\"status\":\"" << escape(rec.status) << "\""
+     << ",\"attempts\":" << rec.attempts
+     << ",\"duration_ms\":" << fmt_ms(rec.duration_ms);
+  if (!rec.error.empty()) os << ",\"error\":\"" << escape(rec.error) << "\"";
+  if (rec.status == "ok") {
+    os << ",\"stats\":{";
+    bool first = true;
+#define BSP_WRITE_FIELD(name)                                  \
+  os << (first ? "\"" : ",\"") << #name "\":" << rec.stats.name; \
+  first = false;
+    BSP_SIMSTATS_FIELDS(BSP_WRITE_FIELD)
+#undef BSP_WRITE_FIELD
+    (void)first;
+    char ipc[64];
+    std::snprintf(ipc, sizeof ipc, "%.6f", rec.stats.ipc());
+    os << ",\"ipc\":" << ipc << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::optional<std::string> jsonl_field(const std::string& line,
+                                       const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t i = at + needle.size();
+  if (i >= line.size()) return std::nullopt;
+  if (line[i] == '"') {  // string value: scan to the unescaped close quote
+    std::string raw;
+    for (++i; i < line.size(); ++i) {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        raw += line[i];
+        raw += line[++i];
+      } else if (line[i] == '"') {
+        return unescape(raw);
+      } else {
+        raw += line[i];
+      }
+    }
+    return std::nullopt;  // unterminated string: torn line
+  }
+  std::size_t end = i;  // number: raw token up to , } or end
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  if (end == i) return std::nullopt;
+  return line.substr(i, end - i);
+}
+
+std::optional<TaskRecord> parse_jsonl(const std::string& line) {
+  if (line.empty() || line.front() != '{' || line.back() != '}')
+    return std::nullopt;
+  TaskRecord rec;
+  const auto str = [&](const char* key) { return jsonl_field(line, key); };
+  const auto num = [&](const char* key) -> std::optional<u64> {
+    const auto v = jsonl_field(line, key);
+    if (!v) return std::nullopt;
+    return std::strtoull(v->c_str(), nullptr, 0);
+  };
+
+  const auto campaign = str("campaign");
+  const auto workload = str("workload");
+  const auto seed = num("seed");
+  const auto machine = str("machine");
+  const auto slices = num("slices");
+  const auto techniques = num("techniques");
+  const auto label = str("label");
+  const auto instructions = num("instructions");
+  const auto warmup = num("warmup");
+  const auto status = str("status");
+  const auto attempts = num("attempts");
+  if (!campaign || !workload || !seed || !machine || !slices || !techniques ||
+      !label || !instructions || !warmup || !status || !attempts)
+    return std::nullopt;
+
+  rec.task.campaign = *campaign;
+  rec.task.workload = *workload;
+  rec.task.seed = *seed;
+  if (*machine == "base") {
+    rec.task.machine.kind = MachineKind::Base;
+  } else if (*machine == "simple") {
+    rec.task.machine.kind = MachineKind::Simple;
+  } else if (*machine == "sliced") {
+    rec.task.machine.kind = MachineKind::Sliced;
+  } else {
+    return std::nullopt;
+  }
+  rec.task.machine.slices = static_cast<unsigned>(*slices);
+  rec.task.machine.techniques = static_cast<TechniqueSet>(*techniques);
+  rec.task.machine.label = *label;
+  rec.task.instructions = *instructions;
+  rec.task.warmup = *warmup;
+  rec.status = *status;
+  rec.attempts = static_cast<unsigned>(*attempts);
+  if (const auto e = str("error")) rec.error = *e;
+  if (const auto d = str("duration_ms"))
+    rec.duration_ms = std::strtod(d->c_str(), nullptr);
+  if (rec.status == "ok") {
+#define BSP_READ_FIELD(name)                     \
+  {                                              \
+    const auto v = num(#name);                   \
+    if (!v) return std::nullopt;                 \
+    rec.stats.name = *v;                         \
+  }
+    BSP_SIMSTATS_FIELDS(BSP_READ_FIELD)
+#undef BSP_READ_FIELD
+  }
+  return rec;
+}
+
+ResultStore::ResultStore(const std::string& path, bool truncate)
+    : path_(path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  if (!truncate) {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      auto rec = parse_jsonl(line);
+      if (!rec) continue;  // torn/foreign line: ignore
+      const std::string id = rec->task.id();
+      const auto it = by_id_.find(id);
+      if (it != by_id_.end()) {
+        records_[it->second] = std::move(*rec);  // latest record wins
+      } else {
+        by_id_.emplace(id, records_.size());
+        records_.push_back(std::move(*rec));
+      }
+    }
+  }
+  file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (!file_)
+    throw std::runtime_error("campaign: cannot open result store " + path);
+}
+
+ResultStore::~ResultStore() {
+  if (file_) std::fclose(file_);
+}
+
+std::string ResultStore::status(const std::string& task_id) const {
+  const TaskRecord* rec = find(task_id);
+  return rec ? rec->status : "";
+}
+
+const TaskRecord* ResultStore::find(const std::string& task_id) const {
+  const auto it = by_id_.find(task_id);
+  return it == by_id_.end() ? nullptr : &records_[it->second];
+}
+
+void ResultStore::append(const TaskRecord& rec) {
+  const std::string line = to_jsonl(rec) + "\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  // One fwrite + flush per record: a record is either fully on disk or (if
+  // we die mid-write) a torn final line the next load ignores.
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+  const std::string id = rec.task.id();
+  const auto it = by_id_.find(id);
+  if (it != by_id_.end()) {
+    records_[it->second] = rec;
+  } else {
+    by_id_.emplace(id, records_.size());
+    records_.push_back(rec);
+  }
+}
+
+}  // namespace bsp::campaign

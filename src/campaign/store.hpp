@@ -1,0 +1,88 @@
+// Append-only JSONL result store (the campaign engine's back half).
+//
+// One line per finished task: the full parameter tuple, the run status, and
+// the SimStats counters. Appends are atomic at line granularity (a single
+// flushed fwrite under a mutex), so concurrent workers never interleave and
+// a reader tailing the file — or a rerun resuming from it — sees only whole
+// records. A torn trailing line from a killed writer is detected and
+// ignored on load, which is what makes kill-and-rerun resume safe.
+//
+// The format is our own, so the reader is a deliberately small field
+// extractor rather than a general JSON parser: it relies on record keys
+// being unique within a line (true for every field written here).
+#pragma once
+
+#include <optional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "core/pipeline.hpp"
+
+namespace bsp::campaign {
+
+// One task's outcome, as written to (and parsed back from) the store.
+struct TaskRecord {
+  TaskSpec task;
+  std::string status;  // "ok" | "failed" | "timeout"
+  std::string error;   // last attempt's error when status != "ok"
+  unsigned attempts = 1;
+  double duration_ms = 0;  // wall clock across all attempts
+  SimStats stats;          // meaningful only when status == "ok"
+};
+
+// Serialises one record as a single JSON line (no trailing newline).
+// Deterministic for a given record: fixed key order, fixed number
+// formatting — "same spec, same seed => byte-identical file modulo
+// duration_ms" is a tested property.
+std::string to_jsonl(const TaskRecord& rec);
+
+// Parses a line produced by to_jsonl. Returns nullopt for torn/garbage
+// lines (including the empty string).
+std::optional<TaskRecord> parse_jsonl(const std::string& line);
+
+// Extracts the value of `key` from a to_jsonl line: the unquoted/unescaped
+// string for string fields, the raw token for numbers. nullopt if absent.
+std::optional<std::string> jsonl_field(const std::string& line,
+                                       const std::string& key);
+
+class ResultStore {
+ public:
+  // Opens `path` for appending, creating it (and its parent directory) if
+  // needed; `truncate` discards any existing records first. Existing
+  // well-formed records are indexed for resume, later duplicates of a task
+  // id superseding earlier ones.
+  explicit ResultStore(const std::string& path, bool truncate = false);
+  ~ResultStore();
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  // Records loaded at open time plus everything appended since, in file
+  // order. Thread-safe only between appends — snapshot after the run.
+  const std::vector<TaskRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  bool has(const std::string& task_id) const {
+    return by_id_.count(task_id) != 0;
+  }
+  // "" when the task has no record yet.
+  std::string status(const std::string& task_id) const;
+  const TaskRecord* find(const std::string& task_id) const;
+
+  // Thread-safe append of one record line.
+  void append(const TaskRecord& rec);
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  mutable std::mutex mutex_;
+  std::vector<TaskRecord> records_;
+  std::unordered_map<std::string, std::size_t> by_id_;  // id -> records_ idx
+};
+
+}  // namespace bsp::campaign

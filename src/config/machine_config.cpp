@@ -102,4 +102,16 @@ std::string pipeline_diagram(const MachineConfig& cfg) {
   return os.str();
 }
 
+std::vector<StackPoint> technique_stack(unsigned slices) {
+  std::vector<StackPoint> stack;
+  stack.push_back({"simple pipelining", simple_pipelined_machine(slices)});
+  TechniqueSet set = kNoTechniques;
+  for (const Technique t : technique_order()) {
+    set |= static_cast<unsigned>(t);
+    stack.push_back({std::string("+") + technique_name(t),
+                     bitsliced_machine(slices, set)});
+  }
+  return stack;
+}
+
 }  // namespace bsp

@@ -129,4 +129,15 @@ MachineConfig bitsliced_machine(unsigned slices, TechniqueSet techniques);
 // Pipeline-stage listing for Figure 10 ("--print-pipelines").
 std::string pipeline_diagram(const MachineConfig& cfg);
 
+// The cumulative technique stacks of Figures 11/12 for one slice count:
+// simple pipelining, then +bypass, +ooo slices, +early branch, +early lsq,
+// +partial tag (the paper's order). Shared by the bench drivers and the
+// campaign engine so both sweep exactly the same configurations.
+struct StackPoint {
+  std::string label;
+  MachineConfig config;
+};
+
+std::vector<StackPoint> technique_stack(unsigned slices);
+
 }  // namespace bsp

@@ -43,12 +43,17 @@ class Histogram {
       s += counts_[i];
     return total_ ? static_cast<double>(s) / total_ : 0.0;
   }
-  // Smallest bucket b with cumulative(b) >= p (p in [0,1]); the overflow
-  // bucket index when even it is needed.
+  // Smallest bucket b with cumulative(b) >= p, for p in [0,1] (asserted).
+  // p = 0 returns the smallest non-empty bucket (the minimum sample), not
+  // bucket 0. An empty histogram has no percentiles: every call returns the
+  // overflow bucket index (== buckets()) so the misuse is conspicuous
+  // instead of masquerading as a sample in bucket 0.
   std::size_t percentile(double p) const {
+    assert(p >= 0.0 && p <= 1.0);
+    if (total_ == 0) return counts_.size() - 1;
+    u64 target = static_cast<u64>(p * static_cast<double>(total_) + 0.5);
+    if (target == 0) target = 1;  // p = 0: the first sample
     u64 s = 0;
-    const u64 target =
-        static_cast<u64>(p * static_cast<double>(total_) + 0.5);
     for (std::size_t i = 0; i < counts_.size(); ++i) {
       s += counts_[i];
       if (s >= target) return i;

@@ -1,7 +1,18 @@
-// Tiny thread-pool helpers for the bench sweeps: the Figure 11/12 drivers
-// run dozens of completely independent whole-program simulations, which
-// parallelise trivially. Each Simulator owns all its state, so tasks never
-// share mutable data.
+// Tiny thread-pool helpers for the bench sweeps and the campaign engine:
+// the Figure 11/12 drivers and bsp-sweep run dozens of completely
+// independent whole-program simulations, which parallelise trivially. Each
+// Simulator owns all its state, so tasks never share mutable data.
+//
+// Contract (relied on by src/campaign/scheduler.cpp and the bench drivers):
+// * `fn` must not throw. parallel_for runs tasks on plain std::threads with
+//   no exception rail — an escaping exception calls std::terminate. Tasks
+//   report failure through their results (see campaign::AttemptResult).
+// * Every index in [0, n) is visited exactly once; the call returns only
+//   after all of them complete.
+// * n == 0 returns immediately without touching `fn`.
+// * jobs == 1 (or n == 1) runs inline on the caller's thread, in index
+//   order — the deterministic mode the campaign tests use.
+// * n < jobs spawns only n workers; jobs == 0 means hardware concurrency.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,395 @@
+// Campaign engine tests: deterministic grid expansion, JSONL round-trips,
+// checkpoint/resume, fault isolation with bounded retry, timeouts, and
+// byte-determinism of the result store. Uses synthetic runners throughout
+// (no simulation) except the one equivalence test that pins the production
+// runner to simulate().
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+#include "campaign/builtin.hpp"
+#include "campaign/campaign.hpp"
+#include "core/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace bsp::campaign {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "bsp_campaign_" + name + "_" +
+         std::to_string(::getpid()) + ".jsonl";
+}
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.name = "unit";
+  spec.workloads = {"li", "go", "bzip"};
+  spec.seeds = {0x5eed, 0x1234};
+  spec.instructions = 1000;
+  spec.warmup = 0;
+  MachinePoint base;
+  base.label = "base";
+  spec.machines.push_back(base);
+  MachinePoint sliced;
+  sliced.label = "full x2";
+  sliced.kind = MachineKind::Sliced;
+  sliced.slices = 2;
+  sliced.techniques = kAllTechniques;
+  spec.machines.push_back(sliced);
+  return spec;
+}
+
+// Deterministic fake stats derived from the task id, so fake runs are
+// reproducible and distinguishable per task.
+SimStats fake_stats(const TaskSpec& task) {
+  u64 h = 1469598103934665603ull;
+  for (const char c : task.id()) h = (h ^ static_cast<u64>(c)) * 1099511628211ull;
+  SimStats s;
+  s.cycles = 1000 + h % 1000;
+  s.committed = task.instructions;
+  s.branches = h % 97;
+  return s;
+}
+
+TaskRunner fake_runner() {
+  return [](const TaskSpec& task) {
+    AttemptResult r;
+    r.stats = fake_stats(task);
+    return r;
+  };
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(SweepSpec, ExpansionIsDeterministicAndDuplicateFree) {
+  const SweepSpec spec = small_spec();
+  const auto a = spec.expand();
+  const auto b = spec.expand();
+  ASSERT_EQ(a.size(), 3u * 2u * 2u);
+  std::set<std::string> ids;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id(), b[i].id());
+    ids.insert(a[i].id());
+  }
+  EXPECT_EQ(ids.size(), a.size()) << "duplicate task ids in expansion";
+
+  // Duplicated grid entries must collapse instead of producing dupes.
+  SweepSpec dup = spec;
+  dup.workloads.push_back("li");
+  dup.seeds.push_back(0x5eed);
+  dup.machines.push_back(dup.machines.front());
+  EXPECT_EQ(dup.expand().size(), a.size());
+}
+
+TEST(SweepSpec, TaskIdEncodesEveryAxis) {
+  // expand()[1] is the Sliced machine point — techniques/slices only enter
+  // the id for non-Base kinds.
+  const TaskSpec t = small_spec().expand()[1];
+  auto changed = [&](auto mutate) {
+    TaskSpec u = t;
+    mutate(u);
+    return u.id();
+  };
+  std::set<std::string> ids = {t.id()};
+  ids.insert(changed([](TaskSpec& u) { u.workload = "vortex"; }));
+  ids.insert(changed([](TaskSpec& u) { u.seed = 0xBEE5; }));
+  ids.insert(changed([](TaskSpec& u) { u.instructions = 77; }));
+  ids.insert(changed([](TaskSpec& u) { u.warmup = 33; }));
+  ids.insert(changed([](TaskSpec& u) { u.machine.kind = MachineKind::Simple;
+                                       u.machine.slices = 2; }));
+  ids.insert(changed([](TaskSpec& u) { u.machine.techniques = 0x3; }));
+  EXPECT_EQ(ids.size(), 7u);
+}
+
+TEST(ResultStore, JsonlRoundTripsAllFields) {
+  TaskRecord rec;
+  rec.task = small_spec().expand().front();
+  rec.status = "ok";
+  rec.attempts = 2;
+  rec.duration_ms = 12.5;
+  rec.stats = fake_stats(rec.task);
+  rec.stats.way_mispredicts = 17;
+  rec.stats.l1d_misses = 23;
+
+  const auto back = parse_jsonl(to_jsonl(rec));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->task.id(), rec.task.id());
+  EXPECT_EQ(back->status, "ok");
+  EXPECT_EQ(back->attempts, 2u);
+  EXPECT_EQ(back->stats.cycles, rec.stats.cycles);
+  EXPECT_EQ(back->stats.committed, rec.stats.committed);
+  EXPECT_EQ(back->stats.way_mispredicts, 17u);
+  EXPECT_EQ(back->stats.l1d_misses, 23u);
+
+  TaskRecord failed = rec;
+  failed.status = "failed";
+  failed.error = "co-simulation divergence: \"pc\" mismatch\n";
+  const auto fback = parse_jsonl(to_jsonl(failed));
+  ASSERT_TRUE(fback.has_value());
+  EXPECT_EQ(fback->status, "failed");
+  EXPECT_EQ(fback->error, failed.error);
+}
+
+TEST(ResultStore, IgnoresTornTrailingLine) {
+  const std::string path = temp_path("torn");
+  TaskRecord rec;
+  rec.task = small_spec().expand().front();
+  rec.status = "ok";
+  rec.stats = fake_stats(rec.task);
+  {
+    std::ofstream out(path);
+    out << to_jsonl(rec) << "\n";
+    out << to_jsonl(rec).substr(0, 40);  // killed mid-append
+  }
+  ResultStore store(path);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.has(rec.task.id()));
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, ResumeSkipsCompletedTasks) {
+  const SweepSpec spec = small_spec();
+  const std::string path = temp_path("resume");
+  const auto tasks = spec.expand();
+
+  // Simulate a killed run: records exist for the first 5 tasks only.
+  {
+    ResultStore store(path, /*truncate=*/true);
+    for (std::size_t i = 0; i < 5; ++i) {
+      TaskRecord rec;
+      rec.task = tasks[i];
+      rec.status = "ok";
+      rec.stats = fake_stats(tasks[i]);
+      store.append(rec);
+    }
+  }
+
+  std::mutex m;
+  std::map<std::string, int> calls;
+  CampaignOptions options;
+  options.out_path = path;
+  options.progress = false;
+  const auto report = run_campaign(
+      spec,
+      [&](const TaskSpec& task) {
+        { std::lock_guard<std::mutex> lock(m); ++calls[task.id()]; }
+        return fake_runner()(task);
+      },
+      options);
+
+  EXPECT_EQ(report.total, tasks.size());
+  EXPECT_EQ(report.skipped, 5u);
+  EXPECT_EQ(report.ran, tasks.size() - 5);
+  EXPECT_EQ(report.ok, tasks.size() - 5);
+  EXPECT_EQ(report.records.size(), tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    EXPECT_EQ(calls[tasks[i].id()], i < 5 ? 0 : 1) << tasks[i].id();
+
+  // A full rerun against the same store runs nothing at all.
+  const auto rerun = run_campaign(spec, fake_runner(), options);
+  EXPECT_EQ(rerun.skipped, tasks.size());
+  EXPECT_EQ(rerun.ran, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, InjectedFailureIsRetriedThenRecordedWithoutAborting) {
+  const SweepSpec spec = small_spec();
+  const auto tasks = spec.expand();
+  const std::string poison = tasks[3].id();   // always fails
+  const std::string flaky = tasks[7].id();    // fails once, then succeeds
+  const std::string path = temp_path("faults");
+
+  std::mutex m;
+  std::map<std::string, int> attempts;
+  CampaignOptions options;
+  options.out_path = path;
+  options.fresh = true;
+  options.progress = false;
+  options.scheduler.jobs = 1;
+  options.scheduler.max_attempts = 3;
+  const auto report = run_campaign(
+      spec,
+      [&](const TaskSpec& task) -> AttemptResult {
+        int n;
+        { std::lock_guard<std::mutex> lock(m); n = ++attempts[task.id()]; }
+        if (task.id() == poison) throw std::runtime_error("co-sim abort");
+        if (task.id() == flaky && n == 1)
+          return AttemptResult{{}, "transient divergence"};
+        return fake_runner()(task);
+      },
+      options);
+
+  EXPECT_EQ(report.ran, tasks.size());
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.ok, tasks.size() - 1);
+  EXPECT_EQ(report.retried, 2u);  // the poison task and the flaky task
+  EXPECT_EQ(attempts[poison], 3);
+  EXPECT_EQ(attempts[flaky], 2);
+
+  ResultStore store(path);
+  const TaskRecord* poisoned = store.find(poison);
+  ASSERT_NE(poisoned, nullptr);
+  EXPECT_EQ(poisoned->status, "failed");
+  EXPECT_EQ(poisoned->attempts, 3u);
+  EXPECT_NE(poisoned->error.find("co-sim abort"), std::string::npos);
+  const TaskRecord* flaked = store.find(flaky);
+  ASSERT_NE(flaked, nullptr);
+  EXPECT_EQ(flaked->status, "ok");
+  EXPECT_EQ(flaked->attempts, 2u);
+
+  // retry_failed reruns exactly the failed task.
+  options.fresh = false;
+  options.retry_failed = true;
+  const auto retry = run_campaign(spec, fake_runner(), options);
+  EXPECT_EQ(retry.ran, 1u);
+  EXPECT_EQ(retry.ok, 1u);
+  ResultStore after(path);
+  EXPECT_EQ(after.status(poison), "ok");
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, TimedOutTaskIsRecordedAndDoesNotKillTheCampaign) {
+  SweepSpec spec = small_spec();
+  spec.workloads = {"li"};
+  spec.seeds = {0x5eed};
+  const auto tasks = spec.expand();
+  ASSERT_EQ(tasks.size(), 2u);
+  const std::string slow = tasks[0].id();
+  const std::string path = temp_path("timeout");
+
+  CampaignOptions options;
+  options.out_path = path;
+  options.fresh = true;
+  options.progress = false;
+  options.scheduler.jobs = 1;
+  options.scheduler.timeout_sec = 0.05;
+  const auto report = run_campaign(
+      spec,
+      [&](const TaskSpec& task) -> AttemptResult {
+        if (task.id() == slow)
+          std::this_thread::sleep_for(std::chrono::milliseconds(500));
+        return fake_runner()(task);
+      },
+      options);
+
+  EXPECT_EQ(report.ran, 2u);
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.ok, 1u);
+  ResultStore store(path);
+  EXPECT_EQ(store.status(slow), "timeout");
+  // Let the abandoned detached attempt drain before the test exits.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, SameSpecAndSeedGivesByteIdenticalJsonlModuloDurations) {
+  const SweepSpec spec = small_spec();
+  const std::string path_a = temp_path("det_a");
+  const std::string path_b = temp_path("det_b");
+  CampaignOptions options;
+  options.fresh = true;
+  options.progress = false;
+  options.scheduler.jobs = 1;  // sequential => record order is task order
+  options.out_path = path_a;
+  run_campaign(spec, fake_runner(), options);
+  options.out_path = path_b;
+  run_campaign(spec, fake_runner(), options);
+
+  const std::regex duration("\"duration_ms\":[0-9.]+");
+  const std::string a =
+      std::regex_replace(read_file(path_a), duration, "\"duration_ms\":X");
+  const std::string b =
+      std::regex_replace(read_file(path_b), duration, "\"duration_ms\":X");
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(Campaign, SimRunnerMatchesLegacySimulate) {
+  // The production runner must reproduce exactly what the legacy bench
+  // drivers compute for the same configuration, program, and budgets.
+  TaskSpec task;
+  task.campaign = "equiv";
+  task.workload = "li";
+  task.seed = 0x5eed;
+  task.machine.label = "full x2";
+  task.machine.kind = MachineKind::Sliced;
+  task.machine.slices = 2;
+  task.machine.techniques = kAllTechniques;
+  task.instructions = 5000;
+  task.warmup = 1000;
+
+  const AttemptResult r = make_sim_runner()(task);
+  ASSERT_TRUE(r.error.empty()) << r.error;
+
+  const Workload w = build_workload("li");
+  const SimResult direct = simulate(bitsliced_machine(2, kAllTechniques),
+                                    w.program, 5000, 1000);
+  ASSERT_TRUE(direct.ok()) << direct.error;
+  EXPECT_EQ(r.stats.cycles, direct.stats.cycles);
+  EXPECT_EQ(r.stats.committed, direct.stats.committed);
+  EXPECT_EQ(r.stats.branch_mispredicts, direct.stats.branch_mispredicts);
+  EXPECT_EQ(r.stats.l1d_misses, direct.stats.l1d_misses);
+  EXPECT_EQ(r.stats.way_mispredicts, direct.stats.way_mispredicts);
+}
+
+TEST(Builtin, CampaignsExpandAndStayAlignedWithTheLegacyStacks) {
+  ASSERT_NE(find_campaign("fig11"), nullptr);
+  ASSERT_NE(find_campaign("fig12"), nullptr);
+  ASSERT_NE(find_campaign("abl_slice_width"), nullptr);
+  EXPECT_EQ(find_campaign("nope"), nullptr);
+
+  const SweepSpec fig11 = find_campaign("fig11")->make();
+  // base + (1 simple + 5 techniques) per slice count.
+  EXPECT_EQ(fig11.machines.size(), 1u + 2u * (1u + technique_order().size()));
+  EXPECT_EQ(fig11.workloads, workload_names());
+  EXPECT_EQ(fig11.instructions, 200'000u);
+  EXPECT_EQ(fig11.warmup, 300'000u);
+
+  // The final stack point must be the full paper configuration.
+  const MachinePoint& last = fig11.machines.back();
+  EXPECT_EQ(last.kind, MachineKind::Sliced);
+  EXPECT_EQ(last.slices, 4u);
+  EXPECT_EQ(last.techniques, kAllTechniques);
+
+  for (const auto& c : builtin_campaigns()) {
+    const auto tasks = c.make().expand();
+    EXPECT_FALSE(tasks.empty()) << c.name;
+    std::set<std::string> ids;
+    for (const auto& t : tasks) ids.insert(t.id());
+    EXPECT_EQ(ids.size(), tasks.size()) << c.name;
+  }
+}
+
+TEST(Campaign, SummaryTableCoversTheGrid) {
+  const SweepSpec spec = small_spec();
+  const std::string path = temp_path("summary");
+  CampaignOptions options;
+  options.out_path = path;
+  options.fresh = true;
+  options.progress = false;
+  const auto report = run_campaign(spec, fake_runner(), options);
+  const Table table = summary_table(spec, report);
+  // workload x seed rows plus the mean row.
+  EXPECT_EQ(table.rows(), spec.workloads.size() * spec.seeds.size() + 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bsp::campaign

@@ -21,6 +21,22 @@ TEST(Histogram, PercentilesAndCumulative) {
   EXPECT_EQ(h.overflow(), 1u);
 }
 
+TEST(Histogram, PercentileBoundaries) {
+  // Empty histogram: no percentiles exist; every query returns the overflow
+  // bucket index rather than pretending bucket 0 holds data.
+  Histogram empty(10);
+  EXPECT_EQ(empty.percentile(0.0), empty.buckets());
+  EXPECT_EQ(empty.percentile(0.5), empty.buckets());
+  EXPECT_EQ(empty.percentile(1.0), empty.buckets());
+
+  // p = 0 is the minimum sample (smallest non-empty bucket), not bucket 0.
+  Histogram h(10);
+  h.add(5);
+  h.add(7);
+  EXPECT_EQ(h.percentile(0.0), 5u);
+  EXPECT_EQ(h.percentile(1.0), 7u);
+}
+
 TEST(DetailStats, ConsistentWithHeadlineCounters) {
   const Workload w = build_workload("gzip");
   Simulator sim(bitsliced_machine(2, kAllTechniques), w.program);

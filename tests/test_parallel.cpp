@@ -22,7 +22,40 @@ TEST(Parallel, VisitsEveryIndexExactlyOnce) {
 }
 
 TEST(Parallel, ZeroTasksIsANoop) {
-  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+  // Every jobs flavour, including the degenerate ones the campaign
+  // scheduler can produce (resume leaving nothing to do).
+  for (const unsigned jobs : {0u, 1u, 7u})
+    parallel_for(
+        0, [](std::size_t) { FAIL() << "must not be called"; }, jobs);
+}
+
+TEST(Parallel, SingleJobRunsInlineInIndexOrder) {
+  // jobs == 1 is the documented deterministic mode: caller's thread, index
+  // order. The campaign byte-determinism test depends on this.
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  parallel_for(
+      50,
+      [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+      },
+      1);
+  ASSERT_EQ(order.size(), 50u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Parallel, FewerTasksThanJobsVisitsEachExactlyOnce) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(hits.size(),
+               [&](std::size_t i) { hits[i].fetch_add(1); }, 16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  // n == 1 must also run inline rather than spawning a lone worker.
+  const auto caller = std::this_thread::get_id();
+  parallel_for(
+      1, [&](std::size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); },
+      16);
 }
 
 TEST(Parallel, MapCollectsInOrder) {

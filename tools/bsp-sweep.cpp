@@ -1,0 +1,150 @@
+// bsp-sweep: run a named experiment campaign through the campaign engine.
+//
+// A campaign is a declarative sweep (machine points x workloads x seeds)
+// expanded into a deterministic task list, executed on a fault-tolerant
+// worker pool (per-task timeout, bounded retry, one co-simulation abort
+// never kills the sweep), and checkpointed to a JSONL result store — one
+// record per task with the full parameter tuple and SimStats. Rerunning
+// with the same --out path resumes: tasks with existing records are
+// skipped.
+//
+//   bsp-sweep --list
+//   bsp-sweep --campaign fig11                      # full paper sweep
+//   bsp-sweep --campaign fig11 -n 20000 -w li       # quick smoke slice
+//   bsp-sweep --campaign fig12 --out results/fig12.jsonl --retry-failed
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "campaign/builtin.hpp"
+#include "campaign/campaign.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bsp;
+  using namespace bsp::campaign;
+
+  std::string campaign_name;
+  bool list = false, dry_run = false, csv = false;
+  bool fresh = false, retry_failed = false, no_progress = false;
+  bool has_n = false, has_warmup = false;
+  u64 instructions = 0, warmup = 0;
+  std::vector<std::string> workloads;
+  std::vector<u64> seeds;
+  CampaignOptions options;
+
+  ArgParser parser(
+      "bsp-sweep: declarative, resumable, fault-tolerant experiment "
+      "campaigns");
+  parser.add_value("--campaign", "NAME", "built-in campaign to run (see "
+                   "--list)", &campaign_name);
+  parser.add_flag("--list", "list the built-in campaigns", &list);
+  parser.add_value("-n, --n, --instructions", "N",
+                   "override measured instructions per run",
+                   [&](const std::string& v) {
+                     instructions = std::strtoull(v.c_str(), nullptr, 0);
+                     has_n = true;
+                   });
+  parser.add_value("--warmup", "N", "override discarded timing warm-up",
+                   [&](const std::string& v) {
+                     warmup = std::strtoull(v.c_str(), nullptr, 0);
+                     has_warmup = true;
+                   });
+  parser.add_value("-w, --workload", "NAME",
+                   "restrict to one workload (repeatable)", &workloads);
+  parser.add_value("--seed", "S",
+                   "workload seed, hex ok (repeatable; default 0x5eed)",
+                   &seeds);
+  parser.add_value("-j, --jobs", "N",
+                   "parallel simulations (default: hardware threads)",
+                   &options.scheduler.jobs);
+  parser.add_value("--out", "PATH",
+                   "JSONL result store (default results/<campaign>.jsonl); "
+                   "rerunning resumes from it",
+                   &options.out_path);
+  parser.add_flag("--fresh", "discard existing records instead of resuming",
+                  &fresh);
+  parser.add_flag("--retry-failed",
+                  "re-run tasks recorded as failed/timeout", &retry_failed);
+  parser.add_value("--timeout", "SEC",
+                   "per-task wall-clock timeout (default: none)",
+                   &options.scheduler.timeout_sec);
+  parser.add_value("--retries", "N",
+                   "extra attempts for a failed task (default 1)",
+                   [&](const std::string& v) {
+                     options.scheduler.max_attempts =
+                         1 + static_cast<unsigned>(
+                                 std::strtoul(v.c_str(), nullptr, 0));
+                   });
+  parser.add_flag("--no-progress", "suppress the live progress line",
+                  &no_progress);
+  parser.add_flag("--dry-run", "print the expanded task list and exit",
+                  &dry_run);
+  parser.add_flag("--csv", "print the summary table as CSV", &csv);
+  parser.parse(argc, argv);
+
+  if (list) {
+    Table table({"campaign", "tasks", "description"});
+    for (const auto& c : builtin_campaigns())
+      table.add_row({c.name, std::to_string(c.make().expand().size()),
+                     c.description});
+    table.print(std::cout);
+    return 0;
+  }
+  if (campaign_name.empty()) {
+    std::cerr << "bsp-sweep: no --campaign given (try --list or --help)\n";
+    return 2;
+  }
+  const BuiltinCampaign* builtin = find_campaign(campaign_name);
+  if (!builtin) {
+    std::cerr << "bsp-sweep: unknown campaign '" << campaign_name
+              << "' (try --list)\n";
+    return 2;
+  }
+
+  SweepSpec spec = builtin->make();
+  if (!workloads.empty()) spec.workloads = workloads;
+  if (!seeds.empty()) spec.seeds = seeds;
+  if (has_n) spec.instructions = instructions;
+  if (has_warmup) spec.warmup = warmup;
+
+  if (dry_run) {
+    for (const auto& task : spec.expand()) std::cout << task.id() << "\n";
+    return 0;
+  }
+
+  options.fresh = fresh;
+  options.retry_failed = retry_failed;
+  options.progress = !no_progress;
+  if (options.out_path.empty())
+    options.out_path = "results/" + spec.name + ".jsonl";
+
+  const CampaignReport report =
+      run_campaign(spec, make_sim_runner(), options);
+
+  std::cout << "== campaign " << spec.name << " ==\n"
+            << report.total << " tasks: " << report.skipped << " resumed, "
+            << report.ran << " ran (" << report.ok << " ok, "
+            << report.failed << " failed, " << report.retried
+            << " retried)\n"
+            << "results: " << options.out_path << "\n\n";
+  const Table summary = summary_table(spec, report);
+  if (csv)
+    summary.print_csv(std::cout);
+  else
+    summary.print(std::cout);
+
+  std::size_t bad = 0;
+  for (const auto& rec : report.records)
+    if (rec.status != "ok") {
+      if (bad == 0) std::cout << "\nfailures:\n";
+      if (++bad <= 10)
+        std::cout << "  " << rec.task.id() << ": " << rec.status
+                  << (rec.error.empty() ? "" : " (" + rec.error + ")")
+                  << "\n";
+    }
+  if (bad > 10) std::cout << "  ... and " << bad - 10 << " more\n";
+  return bad ? 1 : 0;
+}
