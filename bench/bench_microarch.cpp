@@ -101,6 +101,27 @@ void BM_SimulatorThroughput(benchmark::State& state) {
 BENCHMARK(BM_SimulatorThroughput)->Arg(0)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// Whole-program throughput across the paper's cumulative technique stacks
+// (the Figure 11/12 sweep points for 4 slices): one benchmark per stack
+// point, reporting commits/sec. This is the simulator-throughput baseline
+// the campaign engine's wall-clock budgeting is calibrated against.
+void BM_TechniqueStackThroughput(benchmark::State& state) {
+  static const std::vector<StackPoint> stack = technique_stack(4);
+  const StackPoint& point = stack[static_cast<std::size_t>(state.range(0))];
+  const Workload w = build_workload("gzip");
+  state.SetLabel(point.label);
+  constexpr u64 kCommits = 10'000;
+  for (auto _ : state) {
+    const SimResult r = simulate(point.config, w.program, kCommits);
+    if (!r.ok()) state.SkipWithError(r.error.c_str());
+    benchmark::DoNotOptimize(r.stats.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * kCommits);
+}
+BENCHMARK(BM_TechniqueStackThroughput)
+    ->DenseRange(0, 5)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_AssembleWorkload(benchmark::State& state) {
   const std::string src = workload_source("gcc");
   for (auto _ : state) {

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Simulator-throughput baseline: builds Release (-O2) and runs the
+# engineering microbenchmarks, recording machine-readable results in
+# BENCH_simcore.json at the repo root so throughput regressions are
+# diffable across commits.
+#
+#   scripts/bench_perf.sh [build-dir] [output-json]
+#
+# The tracked benchmarks are the whole-program simulator throughput runs
+# (BM_SimulatorThroughput: gzip, 20k commits, base/slice-2/slice-4 machines;
+# BM_TechniqueStackThroughput: the slice-4 cumulative technique stacks) plus
+# the emulator step rate. Wall-clock numbers are host- and load-sensitive:
+# compare runs from the same machine, and prefer the best of a few repeats.
+set -eu
+
+BUILD="${1:-build-perf}"
+OUT="${2:-BENCH_simcore.json}"
+
+cmake -S . -B "$BUILD" -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$BUILD" --target bench_microarch -j "$(nproc)" > /dev/null
+
+"$BUILD/bench/bench_microarch" \
+  --benchmark_filter='SimulatorThroughput|TechniqueStackThroughput|EmulatorStep' \
+  --benchmark_format=json \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+echo "wrote $OUT"

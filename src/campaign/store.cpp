@@ -33,7 +33,8 @@ namespace {
   X(spec_forward_misses)                                                  \
   X(narrow_operands)                                                      \
   X(l1d_hits)                                                             \
-  X(l1d_misses)
+  X(l1d_misses)                                                           \
+  X(idle_cycles_skipped)
 
 std::string escape(const std::string& s) {
   std::string out;
@@ -107,7 +108,8 @@ std::string to_jsonl(const TaskRecord& rec) {
      << ",\"warmup\":" << t.warmup
      << ",\"status\":\"" << escape(rec.status) << "\""
      << ",\"attempts\":" << rec.attempts
-     << ",\"duration_ms\":" << fmt_ms(rec.duration_ms);
+     << ",\"duration_ms\":" << fmt_ms(rec.duration_ms)
+     << ",\"host_seconds\":" << fmt_ms(rec.stats.host_seconds);
   if (!rec.error.empty()) os << ",\"error\":\"" << escape(rec.error) << "\"";
   if (rec.status == "ok") {
     os << ",\"stats\":{";
@@ -201,6 +203,10 @@ std::optional<TaskRecord> parse_jsonl(const std::string& line) {
   if (const auto e = str("error")) rec.error = *e;
   if (const auto d = str("duration_ms"))
     rec.duration_ms = std::strtod(d->c_str(), nullptr);
+  // Host-side throughput telemetry: optional (older stores lack it), and
+  // deliberately not part of the simulated-stats equivalence surface.
+  if (const auto h = str("host_seconds"))
+    rec.stats.host_seconds = std::strtod(h->c_str(), nullptr);
   if (rec.status == "ok") {
 #define BSP_READ_FIELD(name)                     \
   {                                              \

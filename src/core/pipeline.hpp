@@ -97,6 +97,17 @@ struct RuuEntry {
   Cycle resolve_cycle = kNever;
   bool recovery_done = false;    // flush+redirect already performed
 
+  // --- rename undo log ---
+  // The map entries this instruction displaced at dispatch. Recovery walks
+  // the squashed tail youngest-first restoring these, which rebuilds the
+  // rename map in O(squashed) instead of O(RUU). A restored reference may
+  // point at a producer that has since committed; such a stale reference
+  // fails its sequence check everywhere it is consulted and therefore
+  // behaves exactly like a from-regfile (always-ready) source.
+  ProducerRef prev_dest;
+  ProducerRef prev_hi;
+  ProducerRef prev_lo;
+
   bool is_load() const { return !bogus ? oracle.is_load : inst.is_load(); }
   bool is_store() const { return !bogus ? oracle.is_store : inst.is_store(); }
 
@@ -156,6 +167,17 @@ struct SimStats {
   u64 l1d_hits = 0;
   u64 l1d_misses = 0;
 
+  // --- simulator-throughput accounting -------------------------------------
+  // `idle_cycles_skipped` counts simulated cycles the event-driven scheduler
+  // fast-forwarded because nothing could happen (see ARCHITECTURE.md §"Event-
+  // driven scheduling"); it is deterministic for a given config + program.
+  // `host_seconds` is the wall-clock time Simulator::run spent in its cycle
+  // loop. It is host-side only: equivalence comparisons must ignore it, and
+  // the campaign store records it next to duration_ms rather than with the
+  // architectural counters.
+  u64 idle_cycles_skipped = 0;
+  double host_seconds = 0.0;
+
   double ipc() const {
     return cycles ? static_cast<double>(committed) / cycles : 0.0;
   }
@@ -172,6 +194,17 @@ struct SimStats {
   double load_fraction() const {
     return committed ? static_cast<double>(loads) / committed : 0.0;
   }
+
+  // Simulated commits (cycles) retired per host-second: the simulator-
+  // throughput figures the campaign engine and bench drivers report.
+  double commits_per_host_second() const {
+    return host_seconds > 0 ? static_cast<double>(committed) / host_seconds
+                            : 0.0;
+  }
+  double cycles_per_host_second() const {
+    return host_seconds > 0 ? static_cast<double>(cycles) / host_seconds
+                            : 0.0;
+  }
 };
 
 // Optional per-cycle/per-event histograms (Simulator::enable_detail()):
@@ -183,6 +216,7 @@ struct DetailedStats {
   Histogram load_to_use{200};          // load data time - dispatch cycle
   Histogram branch_resolve_delay{100}; // resolve cycle - dispatch cycle
   Histogram commit_width{4};           // commits per cycle
+  Histogram idle_skip_length{256};     // cycles jumped per idle-skip event
 };
 
 }  // namespace bsp

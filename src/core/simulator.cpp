@@ -1,13 +1,17 @@
 #include "core/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <deque>
+#include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <vector>
 
 #include "lsq/disambig.hpp"
+#include "stats/stats.hpp"
 
 namespace bsp {
 
@@ -75,9 +79,27 @@ struct Simulator::Impl {
         predictor(cfg.branch),
         mem(cfg.memory),
         ruu(core.ruu_entries),
+        op_token(core.ruu_entries),
+        need_masks(core.ruu_entries),
+        waiters(core.ruu_entries),
+        consumers(core.ruu_entries),
+        relax_queued(core.ruu_entries, 0),
         ifq_capacity(std::max<unsigned>(32, 8 * core.fetch_width)) {
+    for (auto& t : op_token) t.fill(0);
+    // Pre-size the per-entry edge lists and scheduler buffers: dependence
+    // fan-out is small in practice, and reserving here keeps the steady
+    // state free of vector growth on the dispatch/wakeup hot paths.
+    for (auto& c : consumers) c.reserve(8);
+    for (auto& w : waiters) w.reserve(8);
+    for (auto& s : wheel) s.reserve(4);
+    pending.reserve(64);
+    cand_scratch.reserve(64);
+    wake_scratch.reserve(16);
+    branch_watch.reserve(64);
     rename.fill(ProducerRef{});
     fetch_pc = program.entry;
+    predecoded.reserve(prog.text.size());
+    for (const u32 raw : prog.text) predecoded.push_back(decode(raw));
   }
 
   const MachineConfig cfg;
@@ -95,6 +117,122 @@ struct Simulator::Impl {
   std::vector<RuuEntry> ruu;
   unsigned ruu_head = 0;
   unsigned ruu_count = 0;
+
+  // --- event-driven scheduler state ----------------------------------------
+  // Instead of walking the whole RUU every cycle, each unselected slice-op
+  // lives in exactly one of three places: a time-indexed wakeup bucket (its
+  // operand-ready cycle is known), a producer's waiter list (some operand
+  // time is still undefined), or `pending` (ready this cycle but not yet
+  // selected — e.g. blocked on an issue slot or a busy unit). References are
+  // validated lazily: an (index, seq, token) triple that no longer matches
+  // is a dead ref and is dropped on sight, so squash/commit/replay never
+  // have to search the queues.
+  struct OpRef {
+    unsigned idx;     // RUU index
+    u64 seq;          // entry incarnation
+    unsigned op_idx;  // slice-op within the entry
+    u32 token;        // scheduling incarnation of that op
+  };
+  struct ConsumerRef {
+    unsigned idx;
+    u64 seq;
+  };
+
+  // Per-op scheduling incarnation: bumped whenever the op is (re)queued or
+  // selected, invalidating any refs still floating in the queues.
+  std::vector<std::array<u32, kMaxSlices>> op_token;
+  // Per-op source-need masks ([idx][op_idx][which]), precomputed at dispatch:
+  // they depend only on (opcode, slice order, geometry), all fixed for the
+  // entry's lifetime, and op_ready_time() re-derives them often enough on the
+  // wakeup path to show up in profiles.
+  std::vector<std::array<std::array<u32, 3>, kMaxSlices>> need_masks;
+  // Producer entry -> ops blocked on one of its still-undefined times.
+  // Consumed (and cleared) whenever the producer publishes a new time.
+  std::vector<std::vector<OpRef>> waiters;
+  // Producer entry -> dependent entries, registered at rename (plus the
+  // store -> forwarded-load edges added when a forward is recorded). These
+  // persist for the producer's lifetime: selective replay walks them to
+  // revert only the transitive dependents of a re-timed value.
+  std::vector<std::vector<ConsumerRef>> consumers;
+  // Ops whose computed ready cycle is in the future: a timing wheel over the
+  // next kWheelSize cycles (slot = cycle mod size; every entry's cycle lies
+  // in (now, now + kWheelSize) so the slot is unambiguous), with a summary
+  // bitmap for O(1)-ish next-event queries and a spill map for the rare
+  // beyond-horizon wakeups. Slot vectors keep their capacity across reuse,
+  // so the steady state allocates nothing.
+  static constexpr unsigned kWheelBits = 10;
+  static constexpr Cycle kWheelSize = Cycle{1} << kWheelBits;
+  static constexpr unsigned kWheelWords = kWheelSize / 64;
+  std::array<std::vector<OpRef>, kWheelSize> wheel;
+  std::array<u64, kWheelWords> wheel_bits{};
+  u64 wheel_count = 0;
+  std::map<Cycle, std::vector<OpRef>> wake_far;
+  // Ops ready at (or before) the current cycle, awaiting selection.
+  std::vector<OpRef> pending;
+  // Reused scratch buffers (capacity recycles; see wake_waiters/select).
+  std::vector<OpRef> wake_scratch;
+  std::vector<OpRef> cand_scratch;
+  std::vector<StoreView> views_scratch;
+  // Future cycles at which *something* can happen (op completions, load data
+  // returns, verification points). Consulted by the idle-cycle skip. Stored
+  // as a cycle bitmap over the same wheel horizon (timers carry no payload,
+  // so a set bit per cycle suffices and duplicate arms are free); the run
+  // loop clears each cycle's bit as `now` reaches it, which keeps every set
+  // bit strictly in the future and the bitmap scan exact. Rare arms beyond
+  // the horizon spill to the ordered set.
+  std::array<u64, kWheelWords> timer_bits{};
+  u64 timer_count = 0;
+  std::set<Cycle> timer_far;
+
+  void arm_timer(Cycle c) {
+    if (c <= now) return;  // already due: the current cycle handles it
+    if (c - now < kWheelSize) {
+      const unsigned slot = static_cast<unsigned>(c & (kWheelSize - 1));
+      const u64 bit = u64{1} << (slot & 63);
+      timer_count += !(timer_bits[slot >> 6] & bit);
+      timer_bits[slot >> 6] |= bit;
+    } else {
+      timer_far.insert(c);
+    }
+  }
+
+  // First armed timer cycle > now (kNever if none); same scan as
+  // wheel_next().
+  Cycle timer_next() const {
+    if (!timer_count) return kNever;
+    const unsigned mask = kWheelSize - 1;
+    const unsigned start = static_cast<unsigned>((now + 1) & mask);
+    for (unsigned step = 0; step <= kWheelWords; ++step) {
+      const unsigned word = ((start >> 6) + step) & (kWheelWords - 1);
+      u64 bits = timer_bits[word];
+      if (step == 0) bits &= ~u64{0} << (start & 63);
+      if (bits) {
+        const unsigned slot =
+            word * 64 + static_cast<unsigned>(std::countr_zero(bits));
+        return now + 1 + ((slot - start) & mask);
+      }
+    }
+    return kNever;
+  }
+  // In-flight correct-path conditional branches / jr (dispatch order). The
+  // resolve scan walks this short list instead of the whole RUU; dead and
+  // committed entries are pruned lazily.
+  std::vector<ConsumerRef> branch_watch;
+  // Selective-replay worklist (entry indices) + membership flags.
+  std::vector<unsigned> relax_work;
+  std::vector<u8> relax_queued;
+  // Bumped whenever replay regresses any recorded time; tells the in-cycle
+  // store-view cache in memory_progress() to rebuild.
+  u64 sched_epoch = 0;
+  // Set by any state mutation this cycle; a fully quiet cycle with no
+  // same-cycle retry pending is when the idle skip may fast-forward.
+  bool cycle_activity = false;
+  // A load was ready to access the cache but lost the port race: it retries
+  // next cycle, so the idle skip must not jump.
+  bool retry_this_cycle = false;
+  // When dispatch stops because the front slot is still in flight (rather
+  // than for lack of RUU/LSQ space), the cycle it becomes dispatchable.
+  Cycle dispatch_blocked_until = kNever;
 
   // Unified LSQ: RUU indices of in-flight memory ops, oldest first.
   std::deque<int> lsq;
@@ -188,20 +326,48 @@ struct Simulator::Impl {
   }
 
   // Latest cycle at which every operand slice op `op_idx` needs exists; or
-  // kNever if some requirement is still unproduced.
-  Cycle op_ready_time(const RuuEntry& e, unsigned op_idx) const {
+  // kNever if some requirement is still unproduced. In the kNever case
+  // `blocker` (when given) receives the RUU index of an entry whose next
+  // published time warrants re-evaluating this op: the producer of the
+  // undefined source slice, or the op's own entry for an inter-slice chain
+  // dependence. Re-evaluation on every advance of that entry is what makes
+  // waiter-list wakeup complete: each recomputation either yields a finite
+  // time or re-registers on the next still-undefined blocker.
+  Cycle op_ready_time(const RuuEntry& e, unsigned op_idx,
+                      int* blocker = nullptr) const {
     Cycle ready = 0;
+    const auto& masks = need_masks[static_cast<unsigned>(&e - ruu.data())];
     for (unsigned which = 0; which < 3; ++which) {
-      if (e.sources[which].from_regfile() &&
-          e.sources[which].index < 0)  // regfile: ready at 0
-        continue;
-      const u32 mask = source_need_mask(e, which, op_idx);
-      for (unsigned k = 0; k < geom.count; ++k) {
-        if (!(mask & (u32{1} << k))) continue;
-        const Cycle t = source_slice_time(e, which, k);
-        if (t == kNever) return kNever;
-        ready = std::max(ready, t);
+      const ProducerRef& ref = e.sources[which];
+      if (ref.from_regfile()) continue;  // regfile: ready at 0
+      const RuuEntry& p = ruu[ref.index];
+      if (!p.valid || p.seq != ref.seq) continue;  // producer committed
+      const u32 mask = masks[op_idx][which];
+      if (!mask) continue;
+      // Producer resolved once per source; slice-uniform result classes
+      // (loads, full-collect, compares) short-circuit the per-slice walk.
+      Cycle t;
+      if (p.is_load() && !p.inst.is_store()) {
+        t = p.data_cycle;
+      } else if (p.inst.cls() == ExecClass::Compare) {
+        t = p.last_op_done();
+      } else if (p.num_ops == 1) {
+        t = p.ops[0].done_cycle;
+      } else {
+        t = 0;
+        const bool narrow =
+            p.narrow_result && core.has(Technique::NarrowWidth);
+        for (u32 m = mask; m && t != kNever; m &= m - 1) {
+          const unsigned k = static_cast<unsigned>(std::countr_zero(m));
+          t = std::max(t, (k > 0 && narrow) ? p.ops[0].done_cycle
+                                            : p.ops[k].done_cycle);
+        }
       }
+      if (t == kNever) {
+        if (blocker) *blocker = ref.index;
+        return kNever;
+      }
+      ready = std::max(ready, t);
     }
     // Inter-slice chain (carry / shifted-in bits / forced in-order slices).
     if (e.num_ops > 1) {
@@ -212,13 +378,87 @@ struct Simulator::Impl {
         prev = static_cast<int>(op_idx) + 1;
       if (prev >= 0 && prev < static_cast<int>(e.num_ops)) {
         const Cycle t = e.ops[prev].done_cycle;
-        if (t == kNever) return kNever;
+        if (t == kNever) {
+          if (blocker) *blocker = static_cast<int>(&e - ruu.data());
+          return kNever;
+        }
         ready = std::max(ready, t);
       }
     }
     // Sch1..RF2 depth: nothing selects before this.
     ready = std::max(ready, e.dispatch_cycle + core.issue_to_exec_stages);
     return ready;
+  }
+
+  // ---------------------------------------------------------------------------
+  // event-driven scheduler plumbing
+  // ---------------------------------------------------------------------------
+
+  // Resolves an OpRef if it is still live: entry incarnation, op slot and
+  // scheduling token must all match and the op must still be unselected.
+  RuuEntry* ref_entry(const OpRef& r) {
+    RuuEntry& e = ruu[r.idx];
+    if (!e.valid || e.seq != r.seq) return nullptr;
+    if (r.op_idx >= e.num_ops) return nullptr;
+    if (op_token[r.idx][r.op_idx] != r.token) return nullptr;
+    if (e.ops[r.op_idx].selected()) return nullptr;
+    return &e;
+  }
+
+  // (Re)tracks an unselected op in exactly one scheduler structure, chosen
+  // by its current ready time. Bumps the op's token so any older refs die.
+  void queue_op(unsigned idx, unsigned op_idx) {
+    RuuEntry& e = ruu[idx];
+    const u32 tok = ++op_token[idx][op_idx];
+    int blocker = -1;
+    const Cycle ready = op_ready_time(e, op_idx, &blocker);
+    const OpRef ref{idx, e.seq, op_idx, tok};
+    if (ready == kNever) {
+      assert(blocker >= 0);
+      waiters[static_cast<unsigned>(blocker)].push_back(ref);
+    } else if (ready <= now) {
+      pending.push_back(ref);
+    } else if (ready - now < kWheelSize) {
+      const unsigned slot = static_cast<unsigned>(ready & (kWheelSize - 1));
+      wheel[slot].push_back(ref);
+      wheel_bits[slot >> 6] |= u64{1} << (slot & 63);
+      ++wheel_count;
+    } else {
+      wake_far[ready].push_back(ref);
+    }
+  }
+
+  // First cycle > now with a populated wheel slot (kNever if none): scans
+  // the summary bitmap starting just past now's slot; a set bit at wrapped
+  // distance d means cycle now + 1 + d.
+  Cycle wheel_next() const {
+    if (!wheel_count) return kNever;
+    const unsigned mask = kWheelSize - 1;
+    const unsigned start = static_cast<unsigned>((now + 1) & mask);
+    for (unsigned step = 0; step <= kWheelWords; ++step) {
+      const unsigned word = ((start >> 6) + step) & (kWheelWords - 1);
+      u64 bits = wheel_bits[word];
+      if (step == 0) bits &= ~u64{0} << (start & 63);
+      if (bits) {
+        const unsigned slot =
+            word * 64 + static_cast<unsigned>(std::countr_zero(bits));
+        return now + 1 + ((slot - start) & mask);
+      }
+    }
+    return kNever;
+  }
+
+  // Entry `idx` published a new time (an op was selected, or load data was
+  // scheduled): re-evaluate every op blocked on it.
+  void wake_waiters(unsigned idx) {
+    if (waiters[idx].empty()) return;
+    // Swap through the scratch buffer (re-registration may push onto the
+    // same list mid-walk); capacities recycle between the two vectors, so
+    // the steady state allocates nothing.
+    wake_scratch.clear();
+    wake_scratch.swap(waiters[idx]);
+    for (const OpRef& r : wake_scratch)
+      if (ref_entry(r)) queue_op(r.idx, r.op_idx);
   }
 
   // Number of low effective-address bits produced by cycle `c`.
@@ -317,6 +557,10 @@ struct Simulator::Impl {
     const unsigned idx = ruu_index(ruu_count);
     RuuEntry& e = ruu[idx];
     e = RuuEntry{};
+    // This slot's previous occupant is gone: drop its dependence bookkeeping.
+    // (Refs *to* the old occupant elsewhere die via their seq checks.)
+    consumers[idx].clear();
+    waiters[idx].clear();
     e.valid = true;
     e.seq = next_seq++;
     e.pc = slot.pc;
@@ -370,18 +614,43 @@ struct Simulator::Impl {
     if (e.inst.reads_hi_lo())
       e.sources[2] = rename[e.inst.op == Op::MFHI ? kHiReg : kLoReg];
 
-    // Destination renaming (wrong-path results feed wrong-path consumers).
+    // Register this entry on each in-flight producer's consumer list: the
+    // selective-replay cascade walks these edges instead of the whole RUU.
+    for (const ProducerRef& src : e.sources)
+      if (src.index >= 0)
+        consumers[static_cast<unsigned>(src.index)].push_back(
+            ConsumerRef{idx, e.seq});
+
+    // Destination renaming (wrong-path results feed wrong-path consumers),
+    // saving the displaced mappings for O(squashed) recovery.
     const unsigned dest = e.inst.dest_ext();
-    if (dest != 0) rename[dest] = ProducerRef{static_cast<int>(idx), e.seq};
+    if (dest != 0) {
+      e.prev_dest = rename[dest];
+      rename[dest] = ProducerRef{static_cast<int>(idx), e.seq};
+    }
     if (e.inst.writes_hi_lo()) {
+      e.prev_hi = rename[kHiReg];
+      e.prev_lo = rename[kLoReg];
       rename[kHiReg] = ProducerRef{static_cast<int>(idx), e.seq};
       rename[kLoReg] = ProducerRef{static_cast<int>(idx), e.seq};
     }
 
     if (e.inst.is_mem()) lsq.push_back(static_cast<int>(idx));
+    if (!e.bogus &&
+        (e.inst.is_cond_branch() || e.inst.cls() == ExecClass::JumpReg))
+      branch_watch.push_back(ConsumerRef{idx, e.seq});
+
+    // Hand every slice-op to the scheduler queues, with its source-need
+    // masks precomputed (fixed once the entry's shape is known).
+    for (unsigned i = 0; i < e.num_ops; ++i) {
+      for (unsigned which = 0; which < 3; ++which)
+        need_masks[idx][i][which] = source_need_mask(e, which, i);
+      queue_op(idx, i);
+    }
 
     ++ruu_count;
     ++stats.dispatched;
+    cycle_activity = true;
 
     if (tracing()) {
       tlog() << "D    #" << e.seq << " pc=0x" << std::hex << e.pc << std::dec
@@ -392,15 +661,23 @@ struct Simulator::Impl {
   }
 
   void dispatch() {
+    dispatch_blocked_until = kNever;
     unsigned n = 0;
     while (n < core.fetch_width && !fetch_q.empty()) {
       const FetchSlot& slot = fetch_q.front();
-      if (slot.dispatch_ready > now) break;
+      if (slot.dispatch_ready > now) {
+        // Still in the front end: the idle skip may jump to this cycle.
+        // (When dispatch stops for lack of RUU/LSQ space instead, the
+        // unblocking commit is already covered by the timer set.)
+        dispatch_blocked_until = slot.dispatch_ready;
+        break;
+      }
       if (ruu_count >= core.ruu_entries) break;
       if (slot.inst.is_mem() && lsq.size() >= core.lsq_entries) break;
       if (halted) {
         // Exit syscall already dispatched: drop drained slots.
         fetch_q.pop_front();
+        cycle_activity = true;
         continue;
       }
       dispatch_one(slot);
@@ -414,10 +691,15 @@ struct Simulator::Impl {
   // fetch
   // ---------------------------------------------------------------------------
 
-  std::optional<DecodedInst> fetch_decode(u32 pc) const {
+  // Text predecoded once at construction (the image is immutable here);
+  // decoding per fetch slot per cycle was ~25% of whole-run profiles.
+  std::vector<std::optional<DecodedInst>> predecoded;
+
+  const DecodedInst* fetch_decode(u32 pc) const {
     if (pc < prog.text_base || pc >= prog.text_end() || pc % 4 != 0)
-      return std::nullopt;
-    return decode(prog.text[(pc - prog.text_base) / 4]);
+      return nullptr;
+    const auto& d = predecoded[(pc - prog.text_base) / 4];
+    return d ? &*d : nullptr;
   }
 
   void fetch() {
@@ -436,8 +718,9 @@ struct Simulator::Impl {
       FetchSlot slot;
       slot.pc = fetch_pc;
       slot.dispatch_ready = ready;
-      const auto inst = fetch_decode(fetch_pc);
+      const DecodedInst* inst = fetch_decode(fetch_pc);
       slot.inst = inst ? *inst : make_nop();  // off-the-end wrong path
+      cycle_activity = true;
       if (slot.inst.is_control()) {
         const BranchPrediction p = predictor.predict(slot.pc, slot.inst);
         slot.predicted_taken = p.taken;
@@ -467,45 +750,103 @@ struct Simulator::Impl {
     unsigned fp_alu_used = 0;
     const unsigned per_slice_limit = std::min(core.issue_width, core.int_alus);
 
-    for (unsigned pos = 0; pos < ruu_count; ++pos) {
-      RuuEntry& e = entry_at(pos);
+    // Pull every op whose scheduled wake cycle has arrived into `pending`.
+    // (Wheel slots strictly between skipped cycles are empty by construction
+    // of the idle skip, so draining just now's slot is complete.)
+    if (wheel_count) {
+      const unsigned slot = static_cast<unsigned>(now & (kWheelSize - 1));
+      std::vector<OpRef>& bucket = wheel[slot];
+      if (!bucket.empty()) {
+        pending.insert(pending.end(), bucket.begin(), bucket.end());
+        wheel_count -= bucket.size();
+        bucket.clear();
+        wheel_bits[slot >> 6] &= ~(u64{1} << (slot & 63));
+      }
+    }
+    while (!wake_far.empty() && wake_far.begin()->first <= now) {
+      auto bucket = wake_far.begin();
+      pending.insert(pending.end(), bucket->second.begin(),
+                     bucket->second.end());
+      wake_far.erase(bucket);
+    }
+    if (pending.empty()) return;
+
+    // Select in the order the scan-based scheduler examined ops: oldest
+    // entry first, then slice visit order within the entry. Same-cycle
+    // selections never make *other* ops ready this same cycle (op latency is
+    // >= 1), so sorting the candidate set up front is exact.
+    std::vector<OpRef>& cands = cand_scratch;
+    cands.clear();
+    cands.swap(pending);
+    std::sort(cands.begin(), cands.end(),
+              [this](const OpRef& a, const OpRef& b) {
+                if (a.seq != b.seq) return a.seq < b.seq;
+                const RuuEntry& ea = ruu[a.idx];
+                const RuuEntry& eb = ruu[b.idx];
+                return slice_visit_pos(ea.order, ea.num_ops, a.op_idx) <
+                       slice_visit_pos(eb.order, eb.num_ops, b.op_idx);
+              });
+
+    for (const OpRef& r : cands) {
+      RuuEntry* pe = ref_entry(r);
+      if (!pe) continue;  // squashed / committed / requeued since
+      RuuEntry& e = *pe;
+      const unsigned op_idx = r.op_idx;
+      SliceOp& op = e.ops[op_idx];
       const ExecClass cls = e.inst.cls();
       const bool fp_unit = uses_fp_alu(cls) || uses_fp_mul_div_unit(cls);
-      for (unsigned i = 0; i < e.num_ops; ++i) {
-        // Honour the slice execution order when picking which op to examine.
-        const unsigned op_idx =
-            e.order == SliceOrder::HighToLow ? e.num_ops - 1 - i : i;
-        SliceOp& op = e.ops[op_idx];
-        if (op.selected()) continue;
 
-        const unsigned datapath = e.num_ops > 1 ? op_idx : 0;
-        if (!fp_unit && slots[datapath] >= per_slice_limit) continue;
+      // Issue-slot limit is checked before readiness, as in the scan.
+      const unsigned datapath = e.num_ops > 1 ? op_idx : 0;
+      if (!fp_unit && slots[datapath] >= per_slice_limit) {
+        pending.push_back(r);  // slot-blocked: stays ready for next cycle
+        continue;
+      }
 
-        const Cycle ready = op_ready_time(e, op_idx);
-        if (ready == kNever || ready > now) continue;
+      // Re-derive readiness: a replay may have regressed an operand since
+      // this ref was queued. (Times only move later, never earlier, so an op
+      // can need requeueing but never selection *earlier* than its ref.)
+      const Cycle ready = op_ready_time(e, op_idx);
+      if (ready == kNever || ready > now) {
+        queue_op(r.idx, op_idx);
+        continue;
+      }
 
-        // Structural hazards: single unpipelined integer and FP
-        // mul/div(/sqrt) units; a pool of `fp_alus` FP ALUs.
-        if (cls == ExecClass::Mul || cls == ExecClass::Div) {
-          if (now < mul_div_busy_until) continue;
-          mul_div_busy_until = now + e.op_latency;
+      // Structural hazards: single unpipelined integer and FP
+      // mul/div(/sqrt) units; a pool of `fp_alus` FP ALUs.
+      if (cls == ExecClass::Mul || cls == ExecClass::Div) {
+        if (now < mul_div_busy_until) {
+          pending.push_back(r);
+          continue;
         }
-        if (uses_fp_mul_div_unit(cls)) {
-          if (now < fp_mul_div_busy_until) continue;
-          fp_mul_div_busy_until = now + e.op_latency;
+        mul_div_busy_until = now + e.op_latency;
+      }
+      if (uses_fp_mul_div_unit(cls)) {
+        if (now < fp_mul_div_busy_until) {
+          pending.push_back(r);
+          continue;
         }
-        if (uses_fp_alu(cls)) {
-          if (fp_alu_used >= core.fp_alus) continue;
-          ++fp_alu_used;
+        fp_mul_div_busy_until = now + e.op_latency;
+      }
+      if (uses_fp_alu(cls)) {
+        if (fp_alu_used >= core.fp_alus) {
+          pending.push_back(r);
+          continue;
         }
+        ++fp_alu_used;
+      }
 
-        op.select_cycle = now;
-        op.done_cycle = now + e.op_latency;
-        if (!fp_unit) ++slots[datapath];
-        if (tracing()) {
-          tlog() << "X    #" << e.seq << (e.num_ops > 1 ? ".slice" : ".op")
-                 << op_idx << "  done@" << op.done_cycle << "\n";
-        }
+      op.select_cycle = now;
+      op.done_cycle = now + e.op_latency;
+      ++op_token[r.idx][op_idx];  // selected: retire the pending-queue ref
+      if (!fp_unit) ++slots[datapath];
+      arm_timer(op.done_cycle);
+      cycle_activity = true;
+      // A newly defined done time may unblock ops waiting on this entry.
+      wake_waiters(r.idx);
+      if (tracing()) {
+        tlog() << "X    #" << e.seq << (e.num_ops > 1 ? ".slice" : ".op")
+               << op_idx << "  done@" << op.done_cycle << "\n";
       }
     }
   }
@@ -514,27 +855,35 @@ struct Simulator::Impl {
   // memory pipeline (loads & stores)
   // ---------------------------------------------------------------------------
 
-  // Builds the views of stores older than LSQ position `load_pos`.
-  void older_store_views(std::size_t load_pos,
-                         std::vector<StoreView>& out) const {
-    out.clear();
-    for (std::size_t i = 0; i < load_pos; ++i) {
-      const RuuEntry& s = ruu[static_cast<unsigned>(lsq[i])];
-      if (!s.valid || !s.inst.is_store()) continue;
-      StoreView v;
-      v.id = lsq[i];
-      if (s.bogus) {
-        v.addr_known_bits = 0;  // wrong-path store: address never produced
-      } else {
-        v.addr_known_bits = addr_bits_known_at(s, now);
-        v.addr = s.oracle.mem_addr;
-        v.bytes = s.oracle.mem_bytes;
-        const Cycle dt = store_data_time(s);
-        v.data_ready = dt != kNever && dt <= now;
-        v.data = s.oracle.store_value;
-      }
-      out.push_back(v);
+  // View of the store at LSQ slot `slot` as the disambiguator sees it now.
+  StoreView store_view_of(std::size_t slot) const {
+    const RuuEntry& s = ruu[static_cast<unsigned>(lsq[slot])];
+    StoreView v;
+    v.id = lsq[slot];
+    if (s.bogus) {
+      v.addr_known_bits = 0;  // wrong-path store: address never produced
+    } else {
+      v.addr_known_bits = addr_bits_known_at(s, now);
+      v.addr = s.oracle.mem_addr;
+      v.bytes = s.oracle.mem_bytes;
+      const Cycle dt = store_data_time(s);
+      v.data_ready = dt != kNever && dt <= now;
+      v.data = s.oracle.store_value;
     }
+    return v;
+  }
+
+  // Publishes a (possibly speculative) load data time: arms the wakeup
+  // timers for the data return and its verification point, and re-evaluates
+  // consumers blocked on the previously undefined time.
+  void publish_load_data(unsigned idx) {
+    RuuEntry& e = ruu[idx];
+    cycle_activity = true;
+    if (e.data_cycle != kNever) {
+      arm_timer(e.data_cycle);
+      if (!e.data_final) arm_timer(e.data_cycle + 1);  // verify next cycle
+    }
+    wake_waiters(idx);
   }
 
   void start_load_access(RuuEntry& e, unsigned bits_known) {
@@ -618,6 +967,7 @@ struct Simulator::Impl {
     if (hit && actual && e.predicted_way == static_cast<int>(*actual)) {
       e.data_final = true;  // speculation confirmed, data time stands
       e.mem_phase = MemPhase::Done;
+      cycle_activity = true;
       return;
     }
     if (hit) {
@@ -632,30 +982,62 @@ struct Simulator::Impl {
   }
 
   void retime_load(RuuEntry& e, Cycle new_data_cycle) {
+    const unsigned idx = static_cast<unsigned>(&e - ruu.data());
     e.data_cycle = new_data_cycle;
     e.data_final = true;
     e.mem_phase = MemPhase::Done;
-    relax();
+    publish_load_data(idx);
+    // The data moved later: everything scheduled against the speculative
+    // time (and, transitively, its dependents) must be re-examined.
+    ++sched_epoch;
+    schedule_consumers(idx);
+    run_relax();
   }
 
   void memory_progress() {
     unsigned ports_used = 0;
-    std::vector<StoreView> views;
+    // Store views for the walked LSQ prefix, extended incrementally as the
+    // walk advances (the scan rebuilt them per load, an O(LSQ^2) cost) and
+    // invalidated wholesale when a replay this cycle regresses recorded
+    // times — a store's address/data availability may have moved later.
+    std::vector<StoreView>& views = views_scratch;
+    views.clear();
+    std::size_t views_built = 0;
+    u64 views_epoch = sched_epoch;
+    const auto refresh_views = [&](std::size_t upto) {
+      if (views_epoch != sched_epoch) {
+        views.clear();
+        views_built = 0;
+        views_epoch = sched_epoch;
+      }
+      for (; views_built < upto; ++views_built) {
+        const RuuEntry& s = ruu[static_cast<unsigned>(lsq[views_built])];
+        if (!s.valid || !s.inst.is_store()) continue;
+        views.push_back(store_view_of(views_built));
+      }
+    };
+
     for (std::size_t i = 0; i < lsq.size(); ++i) {
-      RuuEntry& e = ruu[static_cast<unsigned>(lsq[i])];
+      const unsigned idx = static_cast<unsigned>(lsq[i]);
+      RuuEntry& e = ruu[idx];
       if (!e.valid) continue;
 
       if (e.inst.is_store()) {
         if (e.mem_phase == MemPhase::Done) continue;
         if (e.bogus) {
-          if (e.ops_done(now)) e.mem_phase = MemPhase::Done;
+          if (e.ops_done(now)) {
+            e.mem_phase = MemPhase::Done;
+            cycle_activity = true;
+          }
           continue;
         }
         const Cycle addr_t = agen_complete_cycle(e);
         const Cycle data_t = store_data_time(e);
         if (addr_t != kNever && addr_t <= now && data_t != kNever &&
-            data_t <= now)
+            data_t <= now) {
           e.mem_phase = MemPhase::Done;
+          cycle_activity = true;
+        }
         continue;
       }
 
@@ -666,6 +1048,7 @@ struct Simulator::Impl {
           e.data_cycle = now + mem.l1d().hit_latency();
           e.data_final = true;
           e.mem_phase = MemPhase::Done;
+          publish_load_data(idx);  // wrong-path consumers still schedule
         }
         continue;
       }
@@ -676,7 +1059,7 @@ struct Simulator::Impl {
           if (bits == 0) break;
 
           // LSQ disambiguation.
-          older_store_views(i, views);
+          refresh_views(i);
           LoadQuery q{bits, e.oracle.mem_addr, e.oracle.mem_bytes};
           const DisambigResult d = disambiguate_load(
               q, views, core.has(Technique::EarlyLsq),
@@ -684,6 +1067,7 @@ struct Simulator::Impl {
           if (d.decision == LoadDecision::WaitStore) break;
           if (e.lsq_decision_cycle == kNever) {
             e.lsq_decision_cycle = now;
+            cycle_activity = true;
             if (d.used_partial) {
               e.used_partial_lsq = true;
               ++stats.loads_issued_partial_lsq;
@@ -698,6 +1082,11 @@ struct Simulator::Impl {
             e.data_cycle = now + 1;
             e.data_final = true;
             e.mem_phase = MemPhase::Done;
+            // Replay edge: if the store's address/data times regress, this
+            // load's forward must be revalidated.
+            consumers[static_cast<unsigned>(d.store_id)].push_back(
+                ConsumerRef{idx, e.seq});
+            publish_load_data(idx);
             break;
           }
           if (d.decision == LoadDecision::SpecForward) {
@@ -710,6 +1099,9 @@ struct Simulator::Impl {
             e.data_final = false;
             e.predicted_way = -3;
             e.mem_phase = MemPhase::Access;
+            consumers[static_cast<unsigned>(d.store_id)].push_back(
+                ConsumerRef{idx, e.seq});
+            publish_load_data(idx);
             break;
           }
 
@@ -721,9 +1113,13 @@ struct Simulator::Impl {
           const bool can_partial = core.has(Technique::PartialTag) &&
                                    bits > tag_lo && bits < 32 && !full_now;
           if (full_now || can_partial) {
-            if (ports_used >= kDCachePorts) break;  // port conflict: retry
+            if (ports_used >= kDCachePorts) {
+              retry_this_cycle = true;  // port conflict: retry next cycle
+              break;
+            }
             ++ports_used;
             start_load_access(e, full_now ? 32 : bits);
+            publish_load_data(idx);
             if (tracing()) {
               tlog() << "M    #" << e.seq << " D$ access ("
                      << (bits < 32 ? "partial tag" : "full address")
@@ -749,10 +1145,15 @@ struct Simulator::Impl {
             if (e.spec_forward_value == e.oracle.load_value) {
               e.data_final = true;
               e.mem_phase = MemPhase::Done;
+              cycle_activity = true;
             } else {
               ++stats.spec_forward_misses;
               reset_load(e);
-              relax();
+              // Data regressed to undefined: replay the dependence cone.
+              ++sched_epoch;
+              cycle_activity = true;
+              schedule_consumers(idx);
+              run_relax();
             }
             break;
           }
@@ -769,58 +1170,98 @@ struct Simulator::Impl {
   // selective replay: relaxation to a legal schedule
   // ---------------------------------------------------------------------------
 
-  void relax() {
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      for (unsigned pos = 0; pos < ruu_count; ++pos) {
-        RuuEntry& e = entry_at(pos);
-        // Revert slice-ops whose select is no longer legal.
+  void schedule_relax(unsigned idx) {
+    if (relax_queued[idx]) return;
+    relax_queued[idx] = 1;
+    relax_work.push_back(idx);
+  }
+
+  // Queue every live dependent of `idx` for replay revalidation, pruning
+  // edges to recycled entries along the way.
+  void schedule_consumers(unsigned idx) {
+    std::vector<ConsumerRef>& list = consumers[idx];
+    std::size_t w = 0;
+    for (const ConsumerRef& c : list) {
+      const RuuEntry& d = ruu[c.idx];
+      if (!d.valid || d.seq != c.seq) continue;  // dead edge: drop
+      list[w++] = c;
+      schedule_relax(c.idx);
+    }
+    list.resize(w);
+  }
+
+  // Selective replay: relaxation to a legal schedule. The scan-based
+  // scheduler re-validated the entire window to a global fixpoint after any
+  // retiming; this walks only the transitive dependents of the changed
+  // entries (the consumer edges registered at rename plus the dynamic
+  // store->forwarded-load edges), which reaches the same fixpoint — an op's
+  // legality depends only on its sources' recorded times, its own chain
+  // predecessors and dispatch-time constants.
+  void run_relax() {
+    while (!relax_work.empty()) {
+      const unsigned idx = relax_work.back();
+      relax_work.pop_back();
+      relax_queued[idx] = 0;
+      RuuEntry& e = ruu[idx];
+      if (!e.valid) continue;
+      bool changed = false;
+
+      // Revert this entry's slice-ops whose select is no longer legal, to a
+      // local fixpoint (reverting one op can invalidate its chain
+      // successor). Operand availability is checked against *current*
+      // times: values never become available earlier than currently
+      // recorded, so a select that still postdates every requirement
+      // remains legal.
+      bool again = true;
+      while (again) {
+        again = false;
         for (unsigned i = 0; i < e.num_ops; ++i) {
           SliceOp& op = e.ops[i];
           if (!op.selected()) continue;
-          const Cycle ready = op_ready_time_for_replay(e, i, op.select_cycle);
+          const Cycle ready = op_ready_time(e, i);
           if (ready == kNever || ready > op.select_cycle) {
             op.reset();
             ++stats.op_replays;
+            queue_op(idx, i);  // back into the scheduler queues
             changed = true;
-          }
-        }
-        if (e.inst.is_load() && !e.bogus) {
-          changed |= revalidate_load(e);
-        }
-        if (e.inst.is_store() && e.mem_phase == MemPhase::Done && !e.bogus) {
-          const Cycle addr_t = agen_complete_cycle(e);
-          const Cycle data_t = store_data_time(e);
-          if (addr_t == kNever || addr_t > now || data_t == kNever ||
-              data_t > now) {
-            e.mem_phase = MemPhase::Agen;
-            changed = true;
-          }
-        }
-        if (e.inst.is_cond_branch() && e.resolved && !e.recovery_done) {
-          // Resolution may have been based on a reverted compare op; let the
-          // resolve scan recompute it. (A branch whose recovery already
-          // redirected fetch keeps it: the direction was architecturally
-          // correct, only its timing was optimistic.)
-          if (resolve_time(e) > e.resolve_cycle) {
-            e.resolved = false;
-            e.resolve_cycle = kNever;
-            changed = true;
+            again = true;
           }
         }
       }
-    }
-  }
+      if (e.inst.is_load() && !e.bogus) {
+        changed |= revalidate_load(e);
+      }
+      if (e.inst.is_store() && e.mem_phase == MemPhase::Done && !e.bogus) {
+        const Cycle addr_t = agen_complete_cycle(e);
+        const Cycle data_t = store_data_time(e);
+        if (addr_t == kNever || addr_t > now || data_t == kNever ||
+            data_t > now) {
+          e.mem_phase = MemPhase::Agen;
+          changed = true;
+        }
+      }
+      if (e.inst.is_cond_branch() && e.resolved && !e.recovery_done) {
+        // Resolution may have been based on a reverted compare op; let the
+        // resolve scan recompute it. (A branch whose recovery already
+        // redirected fetch keeps it: the direction was architecturally
+        // correct, only its timing was optimistic.)
+        if (resolve_time(e) > e.resolve_cycle) {
+          e.resolved = false;
+          e.resolve_cycle = kNever;
+          changed = true;
+        }
+      }
 
-  // op_ready_time, but evaluated against a historical select cycle: operand
-  // availability uses *current* times (values never become available earlier
-  // than currently recorded, so a select that is still >= every requirement
-  // remains legal).
-  Cycle op_ready_time_for_replay(const RuuEntry& e, unsigned op_idx,
-                                 Cycle select) const {
-    (void)select;
-    return op_ready_time(e, op_idx);
+      if (changed) {
+        ++sched_epoch;
+        cycle_activity = true;
+      }
+      // A store relays regressions onward even when nothing about the store
+      // itself changed: a forwarded load compares against the store's
+      // *source* times, which this entry-local check does not observe.
+      if (changed || (e.inst.is_store() && !e.bogus))
+        schedule_consumers(idx);
+    }
   }
 
   bool revalidate_load(RuuEntry& e) {
@@ -913,34 +1354,42 @@ struct Simulator::Impl {
                lsq.back() == static_cast<int>(ruu_index(ruu_count - 1)));
         lsq.pop_back();
       }
-      victim.valid = false;
-      --ruu_count;
-    }
-    // Rebuild the rename map from the survivors.
-    rename.fill(ProducerRef{});
-    for (unsigned pos = 0; pos < ruu_count; ++pos) {
-      RuuEntry& e = entry_at(pos);
-      const unsigned dest = e.inst.dest_ext();
-      const ProducerRef ref{static_cast<int>(ruu_index(pos)), e.seq};
-      if (dest != 0) rename[dest] = ref;
-      if (e.inst.writes_hi_lo()) {
-        rename[kHiReg] = ref;
-        rename[kLoReg] = ref;
+      // Unwind the rename map from the undo log, youngest-first and in
+      // reverse of dispatch's write order. This replaces the scan-based
+      // O(RUU) rebuild; a restored reference to a since-committed producer
+      // fails its seq check everywhere and thus reads as from-regfile,
+      // exactly as the rebuild (which never sees committed producers)
+      // produced.
+      if (victim.inst.writes_hi_lo()) {
+        rename[kLoReg] = victim.prev_lo;
+        rename[kHiReg] = victim.prev_hi;
       }
+      const unsigned dest = victim.inst.dest_ext();
+      if (dest != 0) rename[dest] = victim.prev_dest;
+      victim.valid = false;  // queued scheduler refs die via this
+      --ruu_count;
     }
   }
 
   void resolve_and_recover() {
-    for (unsigned pos = 0; pos < ruu_count; ++pos) {
-      RuuEntry& e = entry_at(pos);
-      if (e.bogus || e.resolved) continue;
-      if (!e.inst.is_cond_branch() && e.inst.cls() != ExecClass::JumpReg)
-        continue;
+    // Walk the watch list (correct-path branches in dispatch order) instead
+    // of the whole RUU, compacting out refs to squashed/committed entries.
+    // After a recovery the scan stopped examining younger branches (they
+    // were just squashed); `recovered` replicates that early exit while the
+    // compaction still copies the remaining refs.
+    std::size_t w = 0;
+    bool recovered = false;
+    for (const ConsumerRef& c : branch_watch) {
+      RuuEntry& e = ruu[c.idx];
+      if (!e.valid || e.seq != c.seq) continue;  // squashed or committed
+      branch_watch[w++] = c;
+      if (recovered || e.resolved) continue;
 
       const Cycle rt = resolve_time(e);
       if (rt == kNever || rt > now) continue;
       e.resolved = true;
       e.resolve_cycle = rt;
+      cycle_activity = true;
       if (!e.ops_done(rt)) ++stats.early_resolved_branches;
       if (tracing()) {
         tlog() << "B    #" << e.seq << " resolved@" << rt
@@ -963,10 +1412,10 @@ struct Simulator::Impl {
         fetch_pc = e.oracle.next_pc;
         fetch_stall_until = now + 1;
         wrong_path = false;
-        // Resolution scan restarts: positions changed after the squash.
-        break;
+        recovered = true;  // younger refs are now dead; stop processing
       }
     }
+    branch_watch.resize(w);
   }
 
   // ---------------------------------------------------------------------------
@@ -1052,11 +1501,16 @@ struct Simulator::Impl {
                << std::dec << "\n";
       }
       e.valid = false;
+      // Ops blocked on this producer see its sources as from-regfile now;
+      // normally its times were all defined (and woke them) long ago, but
+      // requeueing is idempotent so wake defensively.
+      wake_waiters(idx);
       ruu_head = (ruu_head + 1) % core.ruu_entries;
       --ruu_count;
       ++stats.committed;
       ++n;
       last_commit_cycle = now;
+      cycle_activity = true;
 
       if (checker.exited()) {
         exited = true;
@@ -1073,7 +1527,26 @@ struct Simulator::Impl {
   u64 max_commits_ = 0;
   Cycle measure_base_cycle = 0;
 
+  // Earliest future cycle at which anything can happen: a scheduled wakeup,
+  // an armed timer (op completions, load data returns, verify points), the
+  // front slot becoming dispatchable, a fetch stall expiring — or, failing
+  // all of those, the exact cycle the watchdog would trip.
+  Cycle next_event_cycle() {
+    Cycle next = last_commit_cycle + kWatchdogCycles + 1;
+    if (wheel_count) next = std::min(next, wheel_next());
+    if (!wake_far.empty()) next = std::min(next, wake_far.begin()->first);
+    if (timer_count) next = std::min(next, timer_next());
+    while (!timer_far.empty() && *timer_far.begin() <= now)
+      timer_far.erase(timer_far.begin());
+    if (!timer_far.empty()) next = std::min(next, *timer_far.begin());
+    next = std::min(next, dispatch_blocked_until);
+    if (!halted && now < fetch_stall_until)
+      next = std::min(next, fetch_stall_until);
+    return std::max(next, now + 1);
+  }
+
   SimResult run(u64 max_commits, u64 warmup_commits) {
+    const WallTimer timer;
     max_commits_ = warmup_commits + max_commits;
     bool warm = warmup_commits == 0;
     SimResult result;
@@ -1091,6 +1564,16 @@ struct Simulator::Impl {
         detail->ruu_occupancy.add(ruu_count);
         detail->lsq_occupancy.add(lsq.size());
       }
+      cycle_activity = false;
+      retry_this_cycle = false;
+      {
+        // This cycle's timers are now due: retire their bitmap bit so the
+        // wheel never holds a bit at or behind `now` (see arm_timer).
+        const unsigned slot = static_cast<unsigned>(now & (kWheelSize - 1));
+        const u64 bit = u64{1} << (slot & 63);
+        timer_count -= (timer_bits[slot >> 6] & bit) ? 1 : 0;
+        timer_bits[slot >> 6] &= ~bit;
+      }
       const u64 committed_before = stats.committed;
       commit();
       if (detail) detail->commit_width.add(stats.committed - committed_before);
@@ -1103,13 +1586,34 @@ struct Simulator::Impl {
       memory_progress();
       dispatch();
       fetch();
-      ++now;
+      // Idle skip: a cycle in which nothing changed, nothing is awaiting
+      // selection and no port-blocked load retries cannot enable anything
+      // next cycle either — jump straight to the next scheduled event. The
+      // skipped cycles are indistinguishable from singly-stepped idle ones,
+      // so stats stay bit-identical; the occupancy histograms are backfilled
+      // with the (frozen) per-cycle samples the stepped loop would have
+      // taken.
+      Cycle next = now + 1;
+      if (!cycle_activity && !retry_this_cycle && pending.empty())
+        next = next_event_cycle();
+      if (next > now + 1) {
+        const u64 skipped = next - now - 1;
+        stats.idle_cycles_skipped += skipped;
+        if (detail) {
+          detail->ruu_occupancy.add(ruu_count, skipped);
+          detail->lsq_occupancy.add(lsq.size(), skipped);
+          detail->commit_width.add(0, skipped);
+          detail->idle_skip_length.add(skipped);
+        }
+      }
+      now = next;
       if (now - last_commit_cycle > kWatchdogCycles) {
         fail("watchdog: no instruction committed for " +
              std::to_string(kWatchdogCycles) + " cycles");
       }
     }
     stats.cycles = now - measure_base_cycle;
+    stats.host_seconds = timer.seconds();
     result.stats = stats;
     result.exited = exited;
     result.exit_code = exit_code;

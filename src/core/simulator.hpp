@@ -18,6 +18,13 @@
 //   whose select cycle is no longer legal and they re-issue later.
 // * Co-simulation: a second emulator steps at commit and every architectural
 //   effect is compared; any divergence aborts the run.
+// * Event-driven scheduler core: ready ops come off a timing wheel /
+//   producer waiter-lists instead of a per-cycle RUU scan, replay walks
+//   consumer edges only, and fully idle cycles are skipped in one jump —
+//   all bit-identical in SimStats to the stepped scan (see
+//   docs/ARCHITECTURE.md §7 and tests/test_sched_equivalence.cpp);
+//   SimStats::host_seconds reports host-side wall clock for throughput
+//   tracking.
 //
 // The five partial-operand techniques of Figures 11/12 are independent
 // switches in CoreConfig::techniques; slices=1 with no techniques is the

@@ -62,6 +62,16 @@ enum class SliceOrder : u8 {
 // off, everything behaves as Collect (atomic operands, paper Figure 8a).
 SliceOrder slice_order(ExecClass cls, const CoreConfig& cfg);
 
+// Position of slice-op `op_idx` in the order the select logic examines an
+// instruction's ops: HighToLow instructions are walked from the top slice
+// down, everything else from the bottom up. The event-driven scheduler sorts
+// same-age candidates by this position so its within-entry issue priority is
+// identical to a full visit-order walk.
+inline unsigned slice_visit_pos(SliceOrder order, unsigned num_ops,
+                                unsigned op_idx) {
+  return order == SliceOrder::HighToLow ? num_ops - 1 - op_idx : op_idx;
+}
+
 // Source slices consumed by result-slice `s` of class `cls`, as a bitmask
 // over source slices. The scheduler applies it to both register sources.
 // For Collect, every slice-op needs all source slices.

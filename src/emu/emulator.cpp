@@ -27,6 +27,9 @@ void Emulator::load(const Program& program) {
   pc_ = program.entry;
   regs_[R_SP] = kDefaultStackTop;
   regs_[R_GP] = program.data_base;
+
+  decode_base_ = program.text_base;
+  decode_cache_.assign(program.text.size(), DecodeSlot{});
 }
 
 bool branch_outcome(const DecodedInst& inst, u32 src1, u32 src2) {
@@ -142,9 +145,25 @@ StepResult Emulator::step(ExecRecord* record) {
   if (pc_ % 4 != 0) return fault("misaligned pc");
 
   const u32 raw = mem_.load_u32(pc_);
-  const auto decoded = decode(raw);
-  if (!decoded) return fault("illegal instruction at pc");
-  const DecodedInst& d = *decoded;
+  const DecodedInst* dp;
+  const u32 slot = (pc_ - decode_base_) / 4;
+  std::optional<DecodedInst> decoded_local;
+  if (pc_ >= decode_base_ && slot < decode_cache_.size()) {
+    DecodeSlot& ds = decode_cache_[slot];
+    if (!ds.filled || ds.raw != raw) {
+      const auto decoded = decode(raw);
+      if (!decoded) return fault("illegal instruction at pc");
+      ds.raw = raw;
+      ds.filled = true;
+      ds.inst = *decoded;
+    }
+    dp = &ds.inst;
+  } else {
+    decoded_local = decode(raw);
+    if (!decoded_local) return fault("illegal instruction at pc");
+    dp = &*decoded_local;
+  }
+  const DecodedInst& d = *dp;
 
   ExecRecord rec;
   rec.pc = pc_;

@@ -14,6 +14,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "asm/program.hpp"
 #include "emu/memory.hpp"
@@ -106,6 +107,18 @@ class Emulator {
     r.fault = why;
     return r;
   }
+
+  // Decode cache over the text image, indexed by pc and tagged with the raw
+  // word: decode() is pure, so a hit is exact, and a (hypothetical) code
+  // write simply misses the tag and re-decodes. Decoding dominated step()
+  // before this cache (~25% of whole-simulation profiles).
+  struct DecodeSlot {
+    u32 raw = 0;
+    bool filled = false;
+    DecodedInst inst;
+  };
+  u32 decode_base_ = 0;
+  std::vector<DecodeSlot> decode_cache_;
 
   std::array<u32, kNumRegs> regs_{};
   std::array<u32, 32> fp_regs_{};

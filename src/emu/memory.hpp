@@ -7,6 +7,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -25,18 +26,41 @@ class SparseMemory {
     return p ? p->bytes[offset(addr)] : 0;
   }
   u16 load_u16(u32 addr) const {
+    // An aligned u16 never crosses a page (pages are 4-aligned and larger).
+    if ((addr & 1) == 0) {
+      const Page* p = find_page(addr);
+      if (!p) return 0;
+      u16 v;
+      std::memcpy(&v, &p->bytes[offset(addr)], sizeof v);
+      return v;
+    }
     return static_cast<u16>(load_u8(addr) | (u16{load_u8(addr + 1)} << 8));
   }
   u32 load_u32(u32 addr) const {
+    if ((addr & 3) == 0) {
+      const Page* p = find_page(addr);
+      if (!p) return 0;
+      u32 v;
+      std::memcpy(&v, &p->bytes[offset(addr)], sizeof v);
+      return v;
+    }
     return u32{load_u16(addr)} | (u32{load_u16(addr + 2)} << 16);
   }
 
   void store_u8(u32 addr, u8 v) { page(addr).bytes[offset(addr)] = v; }
   void store_u16(u32 addr, u16 v) {
+    if ((addr & 1) == 0) {
+      std::memcpy(&page(addr).bytes[offset(addr)], &v, sizeof v);
+      return;
+    }
     store_u8(addr, static_cast<u8>(v));
     store_u8(addr + 1, static_cast<u8>(v >> 8));
   }
   void store_u32(u32 addr, u32 v) {
+    if ((addr & 3) == 0) {
+      std::memcpy(&page(addr).bytes[offset(addr)], &v, sizeof v);
+      return;
+    }
     store_u16(addr, static_cast<u16>(v));
     store_u16(addr + 2, static_cast<u16>(v >> 16));
   }
@@ -66,16 +90,32 @@ class SparseMemory {
     std::vector<u8> bytes = std::vector<u8>(kPageSize, 0);
   };
 
+  mutable u32 cached_id_ = 0;
+  mutable Page* cached_page_ = nullptr;  // null: cache empty
+
   static u32 page_id(u32 addr) { return addr >> kPageShift; }
   static u32 offset(u32 addr) { return addr & (kPageSize - 1); }
 
+  // One-entry translation cache: page objects are heap-allocated and never
+  // freed or moved while the map lives, so a cached pointer stays valid
+  // across inserts and rehashes. Accesses cluster heavily (straight-line
+  // code, stack traffic), making this hit most of the time.
   const Page* find_page(u32 addr) const {
-    const auto it = pages_.find(page_id(addr));
-    return it == pages_.end() ? nullptr : it->second.get();
+    const u32 id = page_id(addr);
+    if (id == cached_id_ && cached_page_) return cached_page_;
+    const auto it = pages_.find(id);
+    if (it == pages_.end()) return nullptr;
+    cached_id_ = id;
+    cached_page_ = it->second.get();
+    return cached_page_;
   }
   Page& page(u32 addr) {
-    auto& slot = pages_[page_id(addr)];
+    const u32 id = page_id(addr);
+    if (id == cached_id_ && cached_page_) return *cached_page_;
+    auto& slot = pages_[id];
     if (!slot) slot = std::make_unique<Page>();
+    cached_id_ = id;
+    cached_page_ = slot.get();
     return *slot;
   }
 

@@ -15,15 +15,15 @@ constexpr std::array<std::string_view, kNumRegs> kRegNames = {
     "$s0",   "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
     "$t8",   "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra"};
 
-constexpr std::array<OpInfo, kNumOps> kOpTable = {{
+}  // namespace
+
+constexpr std::array<OpInfo, kNumOps> kOpInfoTable = {{
 #define BSP_OP(en, mn, fmt, opc, funct, cls, sig, imm)                     \
   OpInfo{Op::en,        mn,  InstFormat::fmt, opc, funct, ExecClass::cls, \
          OperandSig::sig, ImmKind::imm},
 #include "isa/opcodes.def"
 #undef BSP_OP
 }};
-
-}  // namespace
 
 std::string_view reg_name(unsigned i) {
   assert(i < kNumRegs);
@@ -64,16 +64,10 @@ std::optional<unsigned> parse_fp_reg(std::string_view s) {
   return v;
 }
 
-const OpInfo& op_info(Op op) {
-  const auto i = static_cast<unsigned>(op);
-  assert(i < kNumOps);
-  return kOpTable[i];
-}
-
 std::optional<Op> op_from_mnemonic(std::string_view mnemonic) {
   static const std::map<std::string_view, Op> index = [] {
     std::map<std::string_view, Op> m;
-    for (const auto& info : kOpTable) m.emplace(info.mnemonic, info.op);
+    for (const auto& info : kOpInfoTable) m.emplace(info.mnemonic, info.op);
     return m;
   }();
   const auto it = index.find(mnemonic);
@@ -95,138 +89,6 @@ u32 DecodedInst::imm_value() const {
     case ImmKind::JumpTarget: return (imm & 0x03ffffffu) << 2;
   }
   return 0;
-}
-
-unsigned DecodedInst::dest_ext() const {
-  switch (info().sig) {
-    case OperandSig::FpR3:
-    case OperandSig::FpR2:
-      return kExtFpBase + fd();
-    case OperandSig::FpCmp:
-      return kExtFcc;
-    case OperandSig::Mtc1:
-      return kExtFpBase + fs();
-    case OperandSig::FpMem:
-      return is_load() ? kExtFpBase + ft() : 0;
-    case OperandSig::FpBr:
-      return 0;
-    default:
-      return dest();
-  }
-}
-
-unsigned DecodedInst::src1_ext() const {
-  switch (info().sig) {
-    case OperandSig::FpR3:
-    case OperandSig::FpR2:
-    case OperandSig::FpCmp:
-    case OperandSig::Mfc1:
-      return kExtFpBase + fs();
-    case OperandSig::Mtc1:
-      return rt;  // GPR source
-    case OperandSig::FpMem:
-      return rs;  // address base (GPR)
-    case OperandSig::FpBr:
-      return kExtFcc;
-    default:
-      return src1();
-  }
-}
-
-unsigned DecodedInst::src2_ext() const {
-  switch (info().sig) {
-    case OperandSig::FpR3:
-    case OperandSig::FpCmp:
-      return kExtFpBase + ft();
-    case OperandSig::FpMem:
-      return is_store() ? kExtFpBase + ft() : 0;  // store data
-    case OperandSig::FpR2:
-    case OperandSig::Mfc1:
-    case OperandSig::Mtc1:
-    case OperandSig::FpBr:
-      return 0;
-    default:
-      return src2();
-  }
-}
-
-unsigned DecodedInst::dest() const {
-  switch (info().sig) {
-    case OperandSig::R3:
-    case OperandSig::ShiftImm:
-    case OperandSig::ShiftVar:
-    case OperandSig::Rd:
-    case OperandSig::RdRs:
-      return rd;
-    case OperandSig::IArith:
-    case OperandSig::Lui:
-      return rt;
-    case OperandSig::Mem:
-      return is_load() ? rt : 0;
-    case OperandSig::JTarget:
-      return op == Op::JAL ? R_RA : 0;
-    case OperandSig::Mfc1:
-      return rt;  // the only FP-side op with a GPR destination
-    case OperandSig::RsRt:   // mult/div write HI/LO, not a GPR
-    case OperandSig::Rs:
-    case OperandSig::NoOps:
-    case OperandSig::Br2:
-    case OperandSig::Br1:
-    case OperandSig::FpR3:
-    case OperandSig::FpR2:
-    case OperandSig::FpCmp:
-    case OperandSig::Mtc1:
-    case OperandSig::FpMem:
-    case OperandSig::FpBr:
-      return 0;
-  }
-  return 0;
-}
-
-unsigned DecodedInst::src1() const {
-  switch (info().sig) {
-    case OperandSig::R3:
-    case OperandSig::IArith:
-    case OperandSig::Mem:
-    case OperandSig::Br2:
-    case OperandSig::Br1:
-    case OperandSig::Rs:
-    case OperandSig::RdRs:
-    case OperandSig::RsRt:
-    case OperandSig::ShiftVar:  // variable shifts read the amount from rs
-      return rs;
-    case OperandSig::Mtc1:
-      return rt;  // GPR value moving into the FP file
-    case OperandSig::FpMem:
-      return rs;  // address base
-    case OperandSig::ShiftImm:  // the shifted value lives in rt: see src2()
-    case OperandSig::Rd:
-    case OperandSig::NoOps:
-    case OperandSig::Lui:
-    case OperandSig::JTarget:
-    case OperandSig::FpR3:
-    case OperandSig::FpR2:
-    case OperandSig::FpCmp:
-    case OperandSig::Mfc1:
-    case OperandSig::FpBr:
-      return 0;
-  }
-  return 0;
-}
-
-unsigned DecodedInst::src2() const {
-  switch (info().sig) {
-    case OperandSig::R3:
-    case OperandSig::Br2:
-    case OperandSig::RsRt:
-    case OperandSig::ShiftImm:
-    case OperandSig::ShiftVar:
-      return rt;
-    case OperandSig::Mem:
-      return is_store() ? rt : 0;  // store data
-    default:
-      return 0;
-  }
 }
 
 u32 DecodedInst::branch_target(u32 pc) const {
@@ -265,7 +127,7 @@ std::optional<DecodedInst> decode(u32 raw) {
   const u8 shamt = static_cast<u8>(bits(raw, 6, 5));
   const u8 funct = static_cast<u8>(bits(raw, 0, 6));
 
-  for (const auto& info : kOpTable) {
+  for (const auto& info : kOpInfoTable) {
     bool match = false;
     switch (info.format) {
       case InstFormat::R:

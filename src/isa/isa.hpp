@@ -138,7 +138,14 @@ struct OpInfo {
   ImmKind imm;
 };
 
-const OpInfo& op_info(Op op);
+// Flat per-opcode property table. op_info() sits on the hottest paths of
+// both the emulator and the timing core (every cls()/is_load()/... call), so
+// the lookup is inlined here rather than paying a cross-TU call.
+extern const std::array<OpInfo, kNumOps> kOpInfoTable;
+
+inline const OpInfo& op_info(Op op) {
+  return kOpInfoTable[static_cast<unsigned>(op)];
+}
 // Mnemonic lookup for the assembler; nullopt if unknown.
 std::optional<Op> op_from_mnemonic(std::string_view mnemonic);
 
@@ -214,6 +221,141 @@ struct DecodedInst {
   unsigned mem_bytes() const;
   bool mem_sign_extend() const;  // lb/lh sign-extend, lbu/lhu do not
 };
+
+// Operand-register accessors, inline for the same reason as op_info():
+// renaming and the emulator call them for every dynamic instruction.
+inline unsigned DecodedInst::dest_ext() const {
+  switch (info().sig) {
+    case OperandSig::FpR3:
+    case OperandSig::FpR2:
+      return kExtFpBase + fd();
+    case OperandSig::FpCmp:
+      return kExtFcc;
+    case OperandSig::Mtc1:
+      return kExtFpBase + fs();
+    case OperandSig::FpMem:
+      return is_load() ? kExtFpBase + ft() : 0;
+    case OperandSig::FpBr:
+      return 0;
+    default:
+      return dest();
+  }
+}
+
+inline unsigned DecodedInst::src1_ext() const {
+  switch (info().sig) {
+    case OperandSig::FpR3:
+    case OperandSig::FpR2:
+    case OperandSig::FpCmp:
+    case OperandSig::Mfc1:
+      return kExtFpBase + fs();
+    case OperandSig::Mtc1:
+      return rt;  // GPR source
+    case OperandSig::FpMem:
+      return rs;  // address base (GPR)
+    case OperandSig::FpBr:
+      return kExtFcc;
+    default:
+      return src1();
+  }
+}
+
+inline unsigned DecodedInst::src2_ext() const {
+  switch (info().sig) {
+    case OperandSig::FpR3:
+    case OperandSig::FpCmp:
+      return kExtFpBase + ft();
+    case OperandSig::FpMem:
+      return is_store() ? kExtFpBase + ft() : 0;  // store data
+    case OperandSig::FpR2:
+    case OperandSig::Mfc1:
+    case OperandSig::Mtc1:
+    case OperandSig::FpBr:
+      return 0;
+    default:
+      return src2();
+  }
+}
+
+inline unsigned DecodedInst::dest() const {
+  switch (info().sig) {
+    case OperandSig::R3:
+    case OperandSig::ShiftImm:
+    case OperandSig::ShiftVar:
+    case OperandSig::Rd:
+    case OperandSig::RdRs:
+      return rd;
+    case OperandSig::IArith:
+    case OperandSig::Lui:
+      return rt;
+    case OperandSig::Mem:
+      return is_load() ? rt : 0;
+    case OperandSig::JTarget:
+      return op == Op::JAL ? R_RA : 0;
+    case OperandSig::Mfc1:
+      return rt;  // the only FP-side op with a GPR destination
+    case OperandSig::RsRt:   // mult/div write HI/LO, not a GPR
+    case OperandSig::Rs:
+    case OperandSig::NoOps:
+    case OperandSig::Br2:
+    case OperandSig::Br1:
+    case OperandSig::FpR3:
+    case OperandSig::FpR2:
+    case OperandSig::FpCmp:
+    case OperandSig::Mtc1:
+    case OperandSig::FpMem:
+    case OperandSig::FpBr:
+      return 0;
+  }
+  return 0;
+}
+
+inline unsigned DecodedInst::src1() const {
+  switch (info().sig) {
+    case OperandSig::R3:
+    case OperandSig::IArith:
+    case OperandSig::Mem:
+    case OperandSig::Br2:
+    case OperandSig::Br1:
+    case OperandSig::Rs:
+    case OperandSig::RdRs:
+    case OperandSig::RsRt:
+    case OperandSig::ShiftVar:  // variable shifts read the amount from rs
+      return rs;
+    case OperandSig::Mtc1:
+      return rt;  // GPR value moving into the FP file
+    case OperandSig::FpMem:
+      return rs;  // address base
+    case OperandSig::ShiftImm:  // the shifted value lives in rt: see src2()
+    case OperandSig::Rd:
+    case OperandSig::NoOps:
+    case OperandSig::Lui:
+    case OperandSig::JTarget:
+    case OperandSig::FpR3:
+    case OperandSig::FpR2:
+    case OperandSig::FpCmp:
+    case OperandSig::Mfc1:
+    case OperandSig::FpBr:
+      return 0;
+  }
+  return 0;
+}
+
+inline unsigned DecodedInst::src2() const {
+  switch (info().sig) {
+    case OperandSig::R3:
+    case OperandSig::Br2:
+    case OperandSig::RsRt:
+    case OperandSig::ShiftImm:
+    case OperandSig::ShiftVar:
+      return rt;
+    case OperandSig::Mem:
+      return is_store() ? rt : 0;  // store data
+    default:
+      return 0;
+  }
+}
+
 
 // Decodes a raw 32-bit word. Returns nullopt for illegal encodings.
 std::optional<DecodedInst> decode(u32 raw);

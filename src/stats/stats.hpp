@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -11,6 +12,21 @@
 #include "util/bitops.hpp"
 
 namespace bsp {
+
+// Monotonic stopwatch for host-side throughput accounting (simulated
+// commits per wall-clock second). Starts at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 // Histogram over the integer range [0, buckets); values past the end land in
 // the final overflow bucket.

@@ -125,6 +125,8 @@ TEST(ResultStore, JsonlRoundTripsAllFields) {
   rec.stats = fake_stats(rec.task);
   rec.stats.way_mispredicts = 17;
   rec.stats.l1d_misses = 23;
+  rec.stats.idle_cycles_skipped = 4321;
+  rec.stats.host_seconds = 1.375;
 
   const auto back = parse_jsonl(to_jsonl(rec));
   ASSERT_TRUE(back.has_value());
@@ -135,6 +137,8 @@ TEST(ResultStore, JsonlRoundTripsAllFields) {
   EXPECT_EQ(back->stats.committed, rec.stats.committed);
   EXPECT_EQ(back->stats.way_mispredicts, 17u);
   EXPECT_EQ(back->stats.l1d_misses, 23u);
+  EXPECT_EQ(back->stats.idle_cycles_skipped, 4321u);
+  EXPECT_DOUBLE_EQ(back->stats.host_seconds, 1.375);
 
   TaskRecord failed = rec;
   failed.status = "failed";
