@@ -9,6 +9,7 @@
 #include "emu/emulator.hpp"
 #include "lsq/disambig.hpp"
 #include "mem/cache.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "workloads/workloads.hpp"
 
@@ -100,6 +101,53 @@ void BM_SimulatorThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorThroughput)->Arg(0)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
+
+// The cost of the observability layer when a sink IS attached: the same run
+// as BM_SimulatorThroughput/2 but with every event materialised and handed
+// to a do-nothing sink. The delta against the plain benchmark is the
+// all-in price of structured tracing; with no sink attached the event
+// points must be free (acceptance: <= 2% on BM_SimulatorThroughput).
+void BM_SimulatorThroughputTraced(benchmark::State& state) {
+  struct CountingSink final : obs::TraceSink {
+    u64 events = 0;
+    void event(const obs::TraceEvent& ev) override {
+      ++events;
+      benchmark::DoNotOptimize(ev.cycle);
+    }
+  };
+  const Workload w = build_workload("gzip");
+  const MachineConfig cfg = bitsliced_machine(2, kAllTechniques);
+  u64 events = 0;
+  for (auto _ : state) {
+    CountingSink sink;
+    Simulator sim(cfg, w.program);
+    sim.add_trace_sink(&sink);
+    const SimResult r = sim.run(20'000);
+    if (!r.ok()) state.SkipWithError(r.error.c_str());
+    events += sink.events;
+    benchmark::DoNotOptimize(r.stats.cycles);
+  }
+  state.counters["events"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() * 20'000);
+}
+BENCHMARK(BM_SimulatorThroughputTraced)->Unit(benchmark::kMillisecond);
+
+// Ditto for host-phase profiling: a handful of steady_clock reads per
+// simulated cycle.
+void BM_SimulatorThroughputProfiled(benchmark::State& state) {
+  const Workload w = build_workload("gzip");
+  const MachineConfig cfg = bitsliced_machine(2, kAllTechniques);
+  for (auto _ : state) {
+    Simulator sim(cfg, w.program);
+    sim.enable_host_profile();
+    const SimResult r = sim.run(20'000);
+    if (!r.ok()) state.SkipWithError(r.error.c_str());
+    benchmark::DoNotOptimize(r.stats.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * 20'000);
+}
+BENCHMARK(BM_SimulatorThroughputProfiled)->Unit(benchmark::kMillisecond);
 
 // Whole-program throughput across the paper's cumulative technique stacks
 // (the Figure 11/12 sweep points for 4 slices): one benchmark per stack

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validate the simulator's observability outputs (stdlib only).
+
+Checks a Chrome trace-event JSON file, a Konata pipeline log, and an
+interval-stats JSONL file for structural validity — the same invariants the
+C++ unit tests pin, but runnable against any file a user (or the CI trace
+smoke step) produced:
+
+  validate_traces.py [--perfetto out.json] [--konata out.kanata]
+                     [--interval out.jsonl]
+
+Exit status 0 when every given file validates; 1 with a message otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_traces: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_perfetto(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    config = doc.get("otherData", {}).get("config")
+    if not isinstance(config, str) or not config:
+        fail(f"{path}: missing otherData.config")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    n_complete = n_instant = 0
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            fail(f"{where}: unknown phase {ph!r}")
+        for key in ("name", "pid", "tid"):
+            if key not in ev:
+                fail(f"{where}: missing {key!r}")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            n_complete += 1
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where}: bad dur {dur!r}")
+        else:
+            n_instant += 1
+            if ev.get("s") != "t":
+                fail(f"{where}: instant without thread scope")
+    print(f"{path}: OK ({n_complete} complete, {n_instant} instant events)")
+
+
+def validate_konata(path):
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines or lines[0] != "Kanata\t0004":
+        fail(f"{path}: missing 'Kanata\\t0004' header")
+    live, retired = set(), set()
+    for n, line in enumerate(lines[1:], start=2):
+        where = f"{path}:{n}"
+        parts = line.split("\t")
+        cmd = parts[0]
+        if cmd in ("C=", "C"):
+            if int(parts[1]) < 0:
+                fail(f"{where}: negative cycle step")
+        elif cmd == "I":
+            fid = int(parts[1])
+            if fid in live:
+                fail(f"{where}: duplicate I {fid}")
+            live.add(fid)
+        elif cmd in ("L", "S", "E"):
+            if int(parts[1]) not in live:
+                fail(f"{where}: {cmd} for unknown id {parts[1]}")
+        elif cmd == "R":
+            fid, rtype = int(parts[1]), int(parts[3])
+            if fid not in live:
+                fail(f"{where}: R for unknown id {fid}")
+            if fid in retired:
+                fail(f"{where}: double retire of {fid}")
+            if rtype not in (0, 1):
+                fail(f"{where}: bad retire type {rtype}")
+            retired.add(fid)
+        else:
+            fail(f"{where}: unknown record {cmd!r}")
+    if live != retired:
+        fail(f"{path}: {len(live - retired)} instructions never retired")
+    print(f"{path}: OK ({len(live)} instructions)")
+
+
+def validate_interval(path):
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        fail(f"{path}: empty")
+    header = json.loads(lines[0])
+    if header.get("type") != "header" or header.get("version") != 1:
+        fail(f"{path}: bad header line")
+    columns = [c["name"] for c in header.get("columns", [])]
+    if not columns or len(set(columns)) != len(columns):
+        fail(f"{path}: missing or duplicate columns")
+    derived = [d["name"] for d in header.get("derived", [])]
+    registered = set(columns)
+    samples = 0
+    for n, line in enumerate(lines[1:], start=2):
+        row = json.loads(line)
+        where = f"{path}:{n}"
+        if row.get("type") != "sample":
+            fail(f"{where}: expected a sample row")
+        delta = row.get("delta")
+        if not isinstance(delta, dict):
+            fail(f"{where}: missing delta object")
+        extra = set(delta) - registered
+        if extra:
+            fail(f"{where}: unregistered counters {sorted(extra)}")
+        missing = registered - set(delta)
+        if missing:
+            fail(f"{where}: missing counters {sorted(missing)}")
+        for d in derived:
+            if not isinstance(row.get(d), (int, float)):
+                fail(f"{where}: missing derived metric {d!r}")
+        samples += 1
+    print(f"{path}: OK ({samples} samples, {len(columns)} counters)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--perfetto", help="Chrome trace-event JSON file")
+    ap.add_argument("--konata", help="Konata pipeline log")
+    ap.add_argument("--interval", help="interval-stats JSONL file")
+    args = ap.parse_args()
+    if not (args.perfetto or args.konata or args.interval):
+        ap.error("nothing to validate (pass --perfetto/--konata/--interval)")
+    if args.perfetto:
+        validate_perfetto(args.perfetto)
+    if args.konata:
+        validate_konata(args.konata)
+    if args.interval:
+        validate_interval(args.interval)
+
+
+if __name__ == "__main__":
+    main()

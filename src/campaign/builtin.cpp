@@ -33,7 +33,11 @@ MachinePoint sliced_point(unsigned slices, TechniqueSet techniques,
 // The Figures 11/12 cumulative stacks as machine points, labels prefixed
 // with the slice count so the x2 and x4 columns stay distinguishable.
 void append_stack(std::vector<MachinePoint>& points, unsigned slices) {
-  const std::string prefix = "x" + std::to_string(slices) + " ";
+  // (std::string lvalue first: gcc-12 Release -Wrestrict false positive on
+  // `const char* + std::string&&`.)
+  std::string prefix = "x";
+  prefix += std::to_string(slices);
+  prefix += ' ';
   for (const StackPoint& sp : technique_stack(slices)) {
     MachinePoint p;
     p.label = prefix + sp.label;
@@ -75,10 +79,11 @@ SweepSpec make_abl_slice_width() {
   spec.machines.push_back(base_point());
   for (const unsigned s : {2u, 4u, 8u})
     spec.machines.push_back(sliced_point(
-        s, kAllTechniques, "x" + std::to_string(s) + " full bit-slice"));
+        s, kAllTechniques, std::string("x") + std::to_string(s) +
+                               " full bit-slice"));
   for (const unsigned s : {2u, 4u, 8u})
     spec.machines.push_back(
-        simple_point(s, "x" + std::to_string(s) + " simple"));
+        simple_point(s, std::string("x") + std::to_string(s) + " simple"));
   return spec;
 }
 

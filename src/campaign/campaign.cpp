@@ -7,6 +7,7 @@
 
 #include "campaign/progress.hpp"
 #include "core/simulator.hpp"
+#include "obs/interval.hpp"
 #include "workloads/workloads.hpp"
 
 namespace bsp::campaign {
@@ -48,6 +49,8 @@ CampaignReport run_campaign(const SweepSpec& spec, const TaskRunner& runner,
               rec.attempts = out.attempts;
               rec.duration_ms = out.duration_ms;
               rec.stats = out.stats;
+              rec.interval = out.interval;
+              rec.series = out.series;
               store.append(rec);  // thread-safe, atomic line append
               meter.task_done(out);
               std::lock_guard<std::mutex> lock(report_mutex);
@@ -66,7 +69,7 @@ CampaignReport run_campaign(const SweepSpec& spec, const TaskRunner& runner,
   return report;
 }
 
-TaskRunner make_sim_runner() {
+TaskRunner make_sim_runner(const RunnerOptions& options) {
   // Shared (workload, seed) -> Workload cache. The first task to need a
   // program builds it; concurrent tasks for the same key block on the
   // shared_future instead of re-assembling. Everything lives behind a
@@ -78,7 +81,7 @@ TaskRunner make_sim_runner() {
         built;
   };
   auto cache = std::make_shared<Cache>();
-  return [cache](const TaskSpec& task) -> AttemptResult {
+  return [cache, options](const TaskSpec& task) -> AttemptResult {
     std::shared_future<std::shared_ptr<const Workload>> fut;
     bool builder = false;
     std::promise<std::shared_ptr<const Workload>> promise;
@@ -112,11 +115,26 @@ TaskRunner make_sim_runner() {
       r.error = std::string("workload build failed: ") + e.what();
       return r;
     }
-    const SimResult sim = simulate(task.machine.build(), workload->program,
-                                   task.instructions, task.warmup);
+    Simulator sim(task.machine.build(), workload->program);
+    obs::IntervalSampler sampler(options.interval ? options.interval : 1);
+    if (options.interval) sim.set_interval_sampler(&sampler);
+    if (options.host_profile) sim.enable_host_profile();
+    const SimResult res = sim.run(task.instructions, task.warmup);
     AttemptResult r;
-    r.stats = sim.stats;
-    r.error = sim.error;
+    r.stats = res.stats;
+    r.error = res.error;
+    if (options.interval) {
+      r.interval = options.interval;
+      r.series.reserve(sampler.rows().size());
+      for (const obs::IntervalRow& row : sampler.rows()) {
+        std::vector<u64> flat;
+        flat.reserve(2 + row.delta.size());
+        flat.push_back(row.cycle);
+        flat.push_back(row.committed);
+        flat.insert(flat.end(), row.delta.begin(), row.delta.end());
+        r.series.push_back(std::move(flat));
+      }
+    }
     return r;
   };
 }

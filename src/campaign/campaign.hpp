@@ -39,12 +39,23 @@ struct CampaignReport {
 CampaignReport run_campaign(const SweepSpec& spec, const TaskRunner& runner,
                             const CampaignOptions& options);
 
+// Per-task observability knobs for the production runner.
+struct RunnerOptions {
+  // Sample deltas of every SimStats counter each `interval` committed
+  // instructions (obs/interval.hpp); the series lands in the task's record
+  // ("interval" + "series" fields). 0 = off.
+  u64 interval = 0;
+  // Collect host-phase profiles (SimStats::host_profile, serialised as the
+  // record's "host_phases" object) and feed the progress meter's breakdown.
+  bool host_profile = false;
+};
+
 // The production runner: builds each (workload, seed) program once —
 // concurrent tasks share it through an internal cache — then runs the
-// task's machine configuration with simulate(). Co-simulation divergence
-// and workload-build failures come back as AttemptResult errors, never as
-// exceptions or aborts.
-TaskRunner make_sim_runner();
+// task's machine configuration. Co-simulation divergence and workload-build
+// failures come back as AttemptResult errors, never as exceptions or
+// aborts.
+TaskRunner make_sim_runner(const RunnerOptions& options = {});
 
 // Per-campaign summary: one row per (workload, seed), one IPC column per
 // machine point (spec order), with failed tasks shown as their status. A

@@ -17,7 +17,29 @@ void ProgressMeter::task_done(const TaskOutcome& outcome) {
   ++done_;
   if (!outcome.ok()) ++failed_;
   if (outcome.retried()) ++retried_;
+  if (outcome.ok()) {
+    committed_ += outcome.stats.committed;
+    host_seconds_ += outcome.stats.host_seconds;
+    const obs::HostProfile& hp = outcome.stats.host_profile;
+    if (hp.enabled) {
+      phases_.enabled = true;
+      phases_.commit += hp.commit;
+      phases_.resolve += hp.resolve;
+      phases_.select += hp.select;
+      phases_.memory += hp.memory;
+      phases_.dispatch += hp.dispatch;
+      phases_.fetch += hp.fetch;
+      phases_.cosim += hp.cosim;
+      phases_.replay += hp.replay;
+      phases_.loop_cycles += hp.loop_cycles;
+    }
+  }
   if (enabled_) print_line_locked();
+}
+
+double ProgressMeter::commits_per_host_second() const {
+  return host_seconds_ > 0 ? static_cast<double>(committed_) / host_seconds_
+                           : 0.0;
 }
 
 void ProgressMeter::finish() {
@@ -26,6 +48,7 @@ void ProgressMeter::finish() {
   finished_ = true;
   print_line_locked();
   std::fputc('\n', stderr);
+  if (phases_.enabled) print_phases_locked();
   std::fflush(stderr);
 }
 
@@ -45,12 +68,31 @@ void ProgressMeter::print_line_locked() {
   } else {
     std::snprintf(eta, sizeof eta, "?");
   }
+  char sim_rate[32] = "";
+  if (host_seconds_ > 0)
+    std::snprintf(sim_rate, sizeof sim_rate, " | %.2fM commits/hs",
+                  commits_per_host_second() / 1e6);
   std::fprintf(stderr,
                "\r[%s] %zu/%zu done (%zu resumed) | %zu failed | %zu retried "
-               "| %.2f tasks/s | ETA %s   ",
+               "| %.2f tasks/s%s | ETA %s   ",
                name_.c_str(), done_ + skipped_, total_, skipped_, failed_,
-               retried_, rate, eta);
+               retried_, rate, sim_rate, eta);
   std::fflush(stderr);
+}
+
+void ProgressMeter::print_phases_locked() {
+  const double total = phases_.total();
+  if (total <= 0) return;
+  const auto pct = [&](double v) { return 100.0 * v / total; };
+  // cosim and replay are nested inside commit and memory respectively.
+  std::fprintf(stderr,
+               "[%s] host phases: commit %.1f%% (cosim %.1f%%) | "
+               "resolve %.1f%% | select %.1f%% | memory %.1f%% "
+               "(replay %.1f%%) | dispatch %.1f%% | fetch %.1f%%\n",
+               name_.c_str(), pct(phases_.commit), pct(phases_.cosim),
+               pct(phases_.resolve), pct(phases_.select), pct(phases_.memory),
+               pct(phases_.replay), pct(phases_.dispatch),
+               pct(phases_.fetch));
 }
 
 }  // namespace bsp::campaign

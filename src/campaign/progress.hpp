@@ -1,6 +1,9 @@
 // Live campaign observability: a single self-overwriting stderr line with
-// done/failed/retried counts, throughput, and an ETA. Stderr so that
-// redirecting a campaign's stdout (summary tables) keeps the file clean.
+// done/failed/retried counts, task and simulator throughput (committed
+// instructions per host-second, aggregated over finished tasks), and an
+// ETA; finish() adds a host-phase breakdown line when any task carried a
+// host profile. Stderr so that redirecting a campaign's stdout (summary
+// tables) keeps the file clean.
 #pragma once
 
 #include <chrono>
@@ -28,9 +31,13 @@ class ProgressMeter {
   std::size_t done() const { return done_; }
   std::size_t failed() const { return failed_; }
   std::size_t retried() const { return retried_; }
+  // Aggregate simulator throughput over successful tasks, in committed
+  // instructions per host-second (0 until a task with host_seconds lands).
+  double commits_per_host_second() const;
 
  private:
   void print_line_locked();
+  void print_phases_locked();
 
   std::string name_;
   std::size_t total_;
@@ -40,6 +47,9 @@ class ProgressMeter {
   std::size_t done_ = 0;     // finished this run (ok or not)
   std::size_t failed_ = 0;   // status != ok
   std::size_t retried_ = 0;  // needed more than one attempt
+  u64 committed_ = 0;        // summed over successful tasks
+  double host_seconds_ = 0;  // summed over successful tasks
+  obs::HostProfile phases_;  // summed host-phase profile (enabled if any)
   std::chrono::steady_clock::time_point start_;
   std::mutex mutex_;
 };

@@ -87,6 +87,8 @@ TaskOutcome run_one_task(const TaskSpec& task, const TaskRunner& runner,
       out.status = "ok";
       out.error.clear();
       out.stats = r.stats;
+      out.interval = r.interval;
+      out.series = r.series;
       break;
     }
     out.status = "failed";

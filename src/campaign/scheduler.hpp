@@ -28,6 +28,12 @@ namespace bsp::campaign {
 struct AttemptResult {
   SimStats stats;
   std::string error;
+  // Optional interval time-series (obs/interval.hpp): sampling period in
+  // committed instructions (0 = none collected) and one row per sample —
+  // [cycle, committed, <delta of every registered SimStats counter, registry
+  // order>]. Numeric-only so the store can serialise it losslessly.
+  u64 interval = 0;
+  std::vector<std::vector<u64>> series;
 };
 
 // Runs a single attempt. May throw; the scheduler converts the exception
@@ -49,6 +55,8 @@ struct TaskOutcome {
   unsigned attempts = 0;
   double duration_ms = 0;  // wall clock across all attempts
   SimStats stats;          // meaningful only when status == "ok"
+  u64 interval = 0;        // successful attempt's interval series, if any
+  std::vector<std::vector<u64>> series;
 
   bool ok() const { return status == "ok"; }
   bool retried() const { return attempts > 1; }

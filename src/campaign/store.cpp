@@ -7,34 +7,15 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/interval.hpp"
+
 namespace bsp::campaign {
 namespace {
 
-// Every SimStats counter, in record order. Used for both writing and
-// parsing so the two can never drift apart.
-#define BSP_SIMSTATS_FIELDS(X)                                            \
-  X(cycles)                                                               \
-  X(committed)                                                            \
-  X(dispatched)                                                           \
-  X(bogus_dispatched)                                                     \
-  X(branches)                                                             \
-  X(branch_mispredicts)                                                   \
-  X(early_resolved_branches)                                              \
-  X(loads)                                                                \
-  X(stores)                                                               \
-  X(load_forwards)                                                        \
-  X(loads_issued_partial_lsq)                                             \
-  X(partial_tag_accesses)                                                 \
-  X(way_mispredicts)                                                      \
-  X(early_miss_detects)                                                   \
-  X(load_replays)                                                         \
-  X(op_replays)                                                           \
-  X(spec_forwards)                                                        \
-  X(spec_forward_misses)                                                  \
-  X(narrow_operands)                                                      \
-  X(l1d_hits)                                                             \
-  X(l1d_misses)                                                           \
-  X(idle_cycles_skipped)
+// The record's stats block covers every SimStats counter, in the
+// observability layer's registry order (obs/interval.hpp) — the same single
+// source of truth the interval sampler and trace validation use, so the
+// store, the sampler and the schema can never drift apart.
 
 std::string escape(const std::string& s) {
   std::string out;
@@ -90,6 +71,32 @@ std::string fmt_ms(double ms) {
   return buf;
 }
 
+std::string fmt_sec(double sec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", sec);
+  return buf;
+}
+
+// Parses "[[1,2],[3,4]]" (jsonl_array_field output) back into rows.
+std::vector<std::vector<u64>> parse_series(const std::string& raw) {
+  std::vector<std::vector<u64>> rows;
+  std::vector<u64> row;
+  int depth = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (c == '[') {
+      if (++depth == 2) row.clear();
+    } else if (c == ']') {
+      if (depth-- == 2) rows.push_back(std::move(row));
+    } else if (c >= '0' && c <= '9') {
+      char* end = nullptr;
+      row.push_back(std::strtoull(raw.c_str() + i, &end, 10));
+      i = static_cast<std::size_t>(end - raw.c_str()) - 1;
+    }
+  }
+  return rows;
+}
+
 }  // namespace
 
 std::string to_jsonl(const TaskRecord& rec) {
@@ -110,19 +117,39 @@ std::string to_jsonl(const TaskRecord& rec) {
      << ",\"attempts\":" << rec.attempts
      << ",\"duration_ms\":" << fmt_ms(rec.duration_ms)
      << ",\"host_seconds\":" << fmt_ms(rec.stats.host_seconds);
+  if (rec.stats.host_profile.enabled) {
+    const obs::HostProfile& hp = rec.stats.host_profile;
+    os << ",\"host_phases\":{\"commit\":" << fmt_sec(hp.commit)
+       << ",\"resolve\":" << fmt_sec(hp.resolve)
+       << ",\"select\":" << fmt_sec(hp.select)
+       << ",\"memory\":" << fmt_sec(hp.memory)
+       << ",\"dispatch\":" << fmt_sec(hp.dispatch)
+       << ",\"fetch\":" << fmt_sec(hp.fetch)
+       << ",\"cosim\":" << fmt_sec(hp.cosim)
+       << ",\"replay\":" << fmt_sec(hp.replay)
+       << ",\"loop_cycles\":" << hp.loop_cycles << "}";
+  }
   if (!rec.error.empty()) os << ",\"error\":\"" << escape(rec.error) << "\"";
   if (rec.status == "ok") {
     os << ",\"stats\":{";
     bool first = true;
-#define BSP_WRITE_FIELD(name)                                  \
-  os << (first ? "\"" : ",\"") << #name "\":" << rec.stats.name; \
-  first = false;
-    BSP_SIMSTATS_FIELDS(BSP_WRITE_FIELD)
-#undef BSP_WRITE_FIELD
-    (void)first;
+    for (const obs::CounterDesc& c : obs::simstats_counters()) {
+      os << (first ? "\"" : ",\"") << c.name << "\":" << rec.stats.*c.field;
+      first = false;
+    }
     char ipc[64];
     std::snprintf(ipc, sizeof ipc, "%.6f", rec.stats.ipc());
     os << ",\"ipc\":" << ipc << "}";
+    if (rec.interval > 0 && !rec.series.empty()) {
+      os << ",\"interval\":" << rec.interval << ",\"series\":[";
+      for (std::size_t r = 0; r < rec.series.size(); ++r) {
+        os << (r ? ",[" : "[");
+        for (std::size_t i = 0; i < rec.series[r].size(); ++i)
+          os << (i ? "," : "") << rec.series[r][i];
+        os << "]";
+      }
+      os << "]";
+    }
   }
   os << "}";
   return os.str();
@@ -153,6 +180,23 @@ std::optional<std::string> jsonl_field(const std::string& line,
   while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
   if (end == i) return std::nullopt;
   return line.substr(i, end - i);
+}
+
+std::optional<std::string> jsonl_array_field(const std::string& line,
+                                             const std::string& key) {
+  const std::string needle = "\"" + key + "\":[";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t open = at + needle.size() - 1;  // the '['
+  int depth = 0;
+  for (std::size_t i = open; i < line.size(); ++i) {
+    if (line[i] == '[') {
+      ++depth;
+    } else if (line[i] == ']') {
+      if (--depth == 0) return line.substr(open, i - open + 1);
+    }
+  }
+  return std::nullopt;  // unbalanced: torn line
 }
 
 std::optional<TaskRecord> parse_jsonl(const std::string& line) {
@@ -207,15 +251,34 @@ std::optional<TaskRecord> parse_jsonl(const std::string& line) {
   // deliberately not part of the simulated-stats equivalence surface.
   if (const auto h = str("host_seconds"))
     rec.stats.host_seconds = std::strtod(h->c_str(), nullptr);
-  if (rec.status == "ok") {
-#define BSP_READ_FIELD(name)                     \
-  {                                              \
-    const auto v = num(#name);                   \
-    if (!v) return std::nullopt;                 \
-    rec.stats.name = *v;                         \
+  if (jsonl_field(line, "host_phases")) {
+    // Phase keys are unique within a line (no stats counter is an exact
+    // match), so the flat extractor reads them through the nested object.
+    obs::HostProfile& hp = rec.stats.host_profile;
+    hp.enabled = true;
+    const auto phase = [&](const char* key, double& out) {
+      if (const auto v = jsonl_field(line, key))
+        out = std::strtod(v->c_str(), nullptr);
+    };
+    phase("commit", hp.commit);
+    phase("resolve", hp.resolve);
+    phase("select", hp.select);
+    phase("memory", hp.memory);
+    phase("dispatch", hp.dispatch);
+    phase("fetch", hp.fetch);
+    phase("cosim", hp.cosim);
+    phase("replay", hp.replay);
+    if (const auto v = num("loop_cycles")) hp.loop_cycles = *v;
   }
-    BSP_SIMSTATS_FIELDS(BSP_READ_FIELD)
-#undef BSP_READ_FIELD
+  if (rec.status == "ok") {
+    for (const obs::CounterDesc& c : obs::simstats_counters()) {
+      const auto v = num(c.name);
+      if (!v) return std::nullopt;
+      rec.stats.*c.field = *v;
+    }
+    if (const auto iv = num("interval")) rec.interval = *iv;
+    if (const auto arr = jsonl_array_field(line, "series"))
+      rec.series = parse_series(*arr);
   }
   return rec;
 }

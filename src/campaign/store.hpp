@@ -31,6 +31,11 @@ struct TaskRecord {
   unsigned attempts = 1;
   double duration_ms = 0;  // wall clock across all attempts
   SimStats stats;          // meaningful only when status == "ok"
+  // Optional interval time-series (obs/interval.hpp): sampling period in
+  // committed instructions (0 = none) and one numeric row per sample —
+  // [cycle, committed, <delta per registered counter, registry order>].
+  u64 interval = 0;
+  std::vector<std::vector<u64>> series;
 };
 
 // Serialises one record as a single JSON line (no trailing newline).
@@ -47,6 +52,12 @@ std::optional<TaskRecord> parse_jsonl(const std::string& line);
 // string for string fields, the raw token for numbers. nullopt if absent.
 std::optional<std::string> jsonl_field(const std::string& line,
                                        const std::string& key);
+
+// Extracts the raw text of `key`'s array value, brackets included, by
+// bracket matching (the store's arrays are numeric-only, so no quoted "]"
+// can fool it). nullopt if absent or unbalanced (torn line).
+std::optional<std::string> jsonl_array_field(const std::string& line,
+                                             const std::string& key);
 
 class ResultStore {
  public:

@@ -12,6 +12,7 @@
 
 #include "core/sliced_value.hpp"
 #include "emu/emulator.hpp"
+#include "obs/host_profile.hpp"
 #include "stats/stats.hpp"
 
 namespace bsp {
@@ -177,6 +178,10 @@ struct SimStats {
   // architectural counters.
   u64 idle_cycles_skipped = 0;
   double host_seconds = 0.0;
+  // Per-phase breakdown of host_seconds (zero / disabled unless
+  // Simulator::enable_host_profile() was called). Host-side only, like
+  // host_seconds: excluded from equivalence comparisons.
+  obs::HostProfile host_profile;
 
   double ipc() const {
     return cycles ? static_cast<double>(committed) / cycles : 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <chrono>
 #include <deque>
 #include <map>
 #include <ostream>
@@ -11,6 +12,9 @@
 #include <vector>
 
 #include "lsq/disambig.hpp"
+#include "obs/interval.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace.hpp"
 #include "stats/stats.hpp"
 
 namespace bsp {
@@ -255,14 +259,44 @@ struct Simulator::Impl {
   // Optional detailed histograms.
   std::unique_ptr<DetailedStats> detail;
 
-  // Pipeview trace.
-  std::ostream* trace = nullptr;
-  Cycle trace_start = 0;
-  Cycle trace_end = kNever;
-  bool tracing() const {
-    return trace && now >= trace_start && now < trace_end;
+  // Observability: every pipeline event funnels through emit() to the
+  // attached sinks (obs/trace.hpp). `obs_on` keeps each emission site to a
+  // single predictable branch when nothing is attached; set_pipe_trace()
+  // is now sugar for attaching an owned PipeTextSink.
+  std::vector<obs::TraceSink*> sinks;
+  bool obs_on = false;
+  std::unique_ptr<obs::PipeTextSink> owned_pipe_sink;
+  void emit(const obs::TraceEvent& ev) {
+    for (obs::TraceSink* s : sinks) s->event(ev);
   }
-  std::ostream& tlog() { return *trace << "cyc " << now << ": "; }
+  // CacheVerify outcome codes are documented in obs/trace.hpp.
+  void emit_verify(const RuuEntry& e, u64 outcome, Cycle data, bool replay) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::CacheVerify;
+    ev.cycle = now;
+    ev.seq = e.seq;
+    ev.pc = e.pc;
+    ev.a = data;
+    ev.b = outcome;
+    ev.flags = replay ? obs::kFlagReplay : 0u;
+    emit(ev);
+  }
+
+  // Interval time-series sampling (obs/interval.hpp); not owned.
+  obs::IntervalSampler* sampler = nullptr;
+
+  // Host-phase profiling accumulator (opt-in: the per-phase clock reads
+  // cost real time per simulated cycle). Copied into stats.host_profile
+  // when run() finishes.
+  bool host_profile_on = false;
+  obs::HostProfile hprof;
+  using HpClock = std::chrono::steady_clock;
+  static void hp_take(HpClock::time_point& t, double& acc) {
+    const HpClock::time_point n = HpClock::now();
+    acc += std::chrono::duration<double>(n - t).count();
+    t = n;
+  }
+
   SimStats stats;
   std::string error;
   bool exited = false;
@@ -652,11 +686,17 @@ struct Simulator::Impl {
     ++stats.dispatched;
     cycle_activity = true;
 
-    if (tracing()) {
-      tlog() << "D    #" << e.seq << " pc=0x" << std::hex << e.pc << std::dec
-             << "  " << disassemble(e.inst, e.pc)
-             << (e.bogus ? "  [wrong-path]" : "")
-             << (e.mispredicted ? "  [mispredicted]" : "") << "\n";
+    if (obs_on) {
+      const std::string dis = disassemble(e.inst, e.pc);
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::Dispatch;
+      ev.cycle = now;
+      ev.seq = e.seq;
+      ev.pc = e.pc;
+      ev.flags = (e.bogus ? obs::kFlagBogus : 0u) |
+                 (e.mispredicted ? obs::kFlagMispredicted : 0u);
+      ev.text = dis.c_str();
+      emit(ev);
     }
   }
 
@@ -844,9 +884,16 @@ struct Simulator::Impl {
       cycle_activity = true;
       // A newly defined done time may unblock ops waiting on this entry.
       wake_waiters(r.idx);
-      if (tracing()) {
-        tlog() << "X    #" << e.seq << (e.num_ops > 1 ? ".slice" : ".op")
-               << op_idx << "  done@" << op.done_cycle << "\n";
+      if (obs_on) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::OpSelect;
+        ev.cycle = now;
+        ev.seq = e.seq;
+        ev.pc = e.pc;
+        ev.op_idx = op_idx;
+        ev.a = op.done_cycle;
+        ev.flags = e.num_ops > 1 ? obs::kFlagMultiOp : 0u;
+        emit(ev);
       }
     }
   }
@@ -955,6 +1002,7 @@ struct Simulator::Impl {
     if (e.predicted_way == -2) {
       // Hit-speculation on a known miss: retime and replay consumers.
       ++stats.load_replays;
+      if (obs_on) emit_verify(e, 1, e.true_data_cycle, true);
       retime_load(e, e.true_data_cycle);
       return;
     }
@@ -968,15 +1016,18 @@ struct Simulator::Impl {
       e.data_final = true;  // speculation confirmed, data time stands
       e.mem_phase = MemPhase::Done;
       cycle_activity = true;
+      if (obs_on) emit_verify(e, 0, e.data_cycle, false);
       return;
     }
     if (hit) {
       // Way misprediction: one replayed access.
       ++stats.way_mispredicts;
       ++stats.load_replays;
+      if (obs_on) emit_verify(e, 2, now + l1d.hit_latency(), true);
       retime_load(e, now + l1d.hit_latency());
     } else {
       ++stats.load_replays;
+      if (obs_on) emit_verify(e, 3, now + lat, true);
       retime_load(e, now + lat);
     }
   }
@@ -1072,6 +1123,19 @@ struct Simulator::Impl {
               e.used_partial_lsq = true;
               ++stats.loads_issued_partial_lsq;
             }
+            if (obs_on) {
+              obs::TraceEvent ev;
+              ev.kind = obs::EventKind::LsqDecision;
+              ev.cycle = now;
+              ev.seq = e.seq;
+              ev.pc = e.pc;
+              ev.a = bits;
+              ev.b = d.decision == LoadDecision::Forward       ? 1
+                     : d.decision == LoadDecision::SpecForward ? 2
+                                                               : 0;
+              ev.flags = d.used_partial ? obs::kFlagPartial : 0u;
+              emit(ev);
+            }
           }
 
           if (d.decision == LoadDecision::Forward) {
@@ -1120,11 +1184,18 @@ struct Simulator::Impl {
             ++ports_used;
             start_load_access(e, full_now ? 32 : bits);
             publish_load_data(idx);
-            if (tracing()) {
-              tlog() << "M    #" << e.seq << " D$ access ("
-                     << (bits < 32 ? "partial tag" : "full address")
-                     << (e.early_miss ? ", early miss" : "")
-                     << ") data@" << e.data_cycle << "\n";
+            if (obs_on) {
+              obs::TraceEvent ev;
+              ev.kind = obs::EventKind::CacheAccess;
+              ev.cycle = now;
+              ev.seq = e.seq;
+              ev.pc = e.pc;
+              ev.a = e.data_cycle;
+              ev.b = bits;  // the text sink's label reads this, as the
+                            // inline trace always did
+              ev.flags = (e.used_partial_tag ? obs::kFlagPartial : 0u) |
+                         (e.early_miss ? obs::kFlagEarly : 0u);
+              emit(ev);
             }
           }
           break;
@@ -1146,8 +1217,10 @@ struct Simulator::Impl {
               e.data_final = true;
               e.mem_phase = MemPhase::Done;
               cycle_activity = true;
+              if (obs_on) emit_verify(e, 4, e.data_cycle, false);
             } else {
               ++stats.spec_forward_misses;
+              if (obs_on) emit_verify(e, 5, 0, true);
               reset_load(e);
               // Data regressed to undefined: replay the dependence cone.
               ++sched_epoch;
@@ -1198,6 +1271,10 @@ struct Simulator::Impl {
   // legality depends only on its sources' recorded times, its own chain
   // predecessors and dispatch-time constants.
   void run_relax() {
+    // Sub-phase timing: relaxation runs inside memory_progress, so this
+    // time is *also* counted in hprof.memory (see obs/host_profile.hpp).
+    HpClock::time_point t0;
+    if (host_profile_on) t0 = HpClock::now();
     while (!relax_work.empty()) {
       const unsigned idx = relax_work.back();
       relax_work.pop_back();
@@ -1225,6 +1302,16 @@ struct Simulator::Impl {
             queue_op(idx, i);  // back into the scheduler queues
             changed = true;
             again = true;
+            if (obs_on) {
+              obs::TraceEvent ev;
+              ev.kind = obs::EventKind::OpReplay;
+              ev.cycle = now;
+              ev.seq = e.seq;
+              ev.pc = e.pc;
+              ev.op_idx = i;
+              ev.flags = e.num_ops > 1 ? obs::kFlagMultiOp : 0u;
+              emit(ev);
+            }
           }
         }
       }
@@ -1262,6 +1349,7 @@ struct Simulator::Impl {
       if (changed || (e.inst.is_store() && !e.bogus))
         schedule_consumers(idx);
     }
+    if (host_profile_on) hp_take(t0, hprof.replay);
   }
 
   bool revalidate_load(RuuEntry& e) {
@@ -1349,6 +1437,15 @@ struct Simulator::Impl {
   void squash_younger_than(u64 seq) {
     while (ruu_count > 0 && youngest().seq > seq) {
       RuuEntry& victim = youngest();
+      if (obs_on) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::Squash;
+        ev.cycle = now;
+        ev.seq = victim.seq;
+        ev.pc = victim.pc;
+        ev.flags = victim.bogus ? obs::kFlagBogus : 0u;
+        emit(ev);
+      }
       if (victim.inst.is_mem()) {
         assert(!lsq.empty() &&
                lsq.back() == static_cast<int>(ruu_index(ruu_count - 1)));
@@ -1391,10 +1488,16 @@ struct Simulator::Impl {
       e.resolve_cycle = rt;
       cycle_activity = true;
       if (!e.ops_done(rt)) ++stats.early_resolved_branches;
-      if (tracing()) {
-        tlog() << "B    #" << e.seq << " resolved@" << rt
-               << (e.ops_done(rt) ? "" : " [early]")
-               << (e.mispredicted ? " MISPREDICT -> recover" : " ok") << "\n";
+      if (obs_on) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::BranchResolve;
+        ev.cycle = now;
+        ev.seq = e.seq;
+        ev.pc = e.pc;
+        ev.a = rt;
+        ev.flags = (e.ops_done(rt) ? 0u : obs::kFlagEarly) |
+                   (e.mispredicted ? obs::kFlagMispredicted : 0u);
+        emit(ev);
       }
 
       predictor.resolve(e.pc, e.inst, e.oracle.branch_taken,
@@ -1445,7 +1548,10 @@ struct Simulator::Impl {
       if (!committable(e)) break;
 
       // Co-simulation: the independent checker must agree on every effect.
+      // Sub-phase timing: this is part of hprof.commit as well.
       ExecRecord ref;
+      HpClock::time_point t0;
+      if (host_profile_on) t0 = HpClock::now();
       const StepResult sr = checker.step(&ref);
       if (sr.kind == StepResult::Kind::Fault) {
         fail("checker fault: " + sr.fault);
@@ -1460,6 +1566,7 @@ struct Simulator::Impl {
         fail(os.str());
         return;
       }
+      if (host_profile_on) hp_take(t0, hprof.cosim);
 
       // Stores drain to the cache at commit (write buffer hides latency).
       if (e.inst.is_store()) {
@@ -1496,9 +1603,14 @@ struct Simulator::Impl {
         lsq.pop_front();
       }
 
-      if (tracing()) {
-        tlog() << "C    #" << e.seq << " pc=0x" << std::hex << e.pc
-               << std::dec << "\n";
+      if (obs_on) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::Commit;
+        ev.cycle = now;
+        ev.seq = e.seq;
+        ev.pc = e.pc;
+        ev.a = e.dispatch_cycle;
+        emit(ev);
       }
       e.valid = false;
       // Ops blocked on this producer see its sources as from-regfile now;
@@ -1550,6 +1662,19 @@ struct Simulator::Impl {
     max_commits_ = warmup_commits + max_commits;
     bool warm = warmup_commits == 0;
     SimResult result;
+    obs_on = !sinks.empty();
+    if (obs_on) {
+      obs::TraceMeta meta;
+      meta.slices = core.slices;
+      meta.config = cfg.describe();
+      for (obs::TraceSink* s : sinks) s->begin(meta);
+    }
+    if (sampler) sampler->begin(cfg.describe());
+    // Host-phase profiling: one fence-post clock read per phase per cycle
+    // when enabled (hp_take both accumulates and re-stamps); six dead
+    // predictable branches per cycle when not.
+    const bool hp = host_profile_on;
+    HpClock::time_point hp_t;
     while (error.empty() && !exited && stats.committed < max_commits_) {
       if (!warm && stats.committed >= warmup_commits) {
         // Discard warm-up statistics; microarchitectural state stays hot.
@@ -1559,6 +1684,7 @@ struct Simulator::Impl {
         const u64 extra = stats.committed - warmup_commits;
         stats = SimStats{};
         stats.committed = extra;
+        if (sampler) sampler->rebase(stats);  // cycles already 0-based here
       }
       if (detail) {
         detail->ruu_occupancy.add(ruu_count);
@@ -1575,17 +1701,34 @@ struct Simulator::Impl {
         timer_bits[slot >> 6] &= ~bit;
       }
       const u64 committed_before = stats.committed;
+      if (hp) hp_t = HpClock::now();
       commit();
+      if (hp) hp_take(hp_t, hprof.commit);
       if (detail) detail->commit_width.add(stats.committed - committed_before);
+      if (warm && sampler && sampler->due(stats.committed)) {
+        // stats.cycles is only assigned after the run; rows need the
+        // current measured-relative cycle, so sample an adjusted copy.
+        SimStats snap = stats;
+        snap.cycles = now - measure_base_cycle;
+        sampler->sample(snap);
+      }
       if (!error.empty() || exited) break;
       resolve_and_recover();
+      if (hp) hp_take(hp_t, hprof.resolve);
       select_and_execute();
+      if (hp) hp_take(hp_t, hprof.select);
       // After select so sum-addressed accesses can overlap the agen op that
       // was picked this very cycle; the done-based (conventional/partial)
       // paths see identical timing either way.
       memory_progress();
+      if (hp) hp_take(hp_t, hprof.memory);
       dispatch();
+      if (hp) hp_take(hp_t, hprof.dispatch);
       fetch();
+      if (hp) {
+        hp_take(hp_t, hprof.fetch);
+        ++hprof.loop_cycles;
+      }
       // Idle skip: a cycle in which nothing changed, nothing is awaiting
       // selection and no port-blocked load retries cannot enable anything
       // next cycle either — jump straight to the next scheduled event. The
@@ -1599,6 +1742,13 @@ struct Simulator::Impl {
       if (next > now + 1) {
         const u64 skipped = next - now - 1;
         stats.idle_cycles_skipped += skipped;
+        if (obs_on) {
+          obs::TraceEvent ev;
+          ev.kind = obs::EventKind::IdleSkip;
+          ev.cycle = now + 1;  // the skipped span starts next cycle
+          ev.a = skipped;
+          emit(ev);
+        }
         if (detail) {
           detail->ruu_occupancy.add(ruu_count, skipped);
           detail->lsq_occupancy.add(lsq.size(), skipped);
@@ -1614,6 +1764,13 @@ struct Simulator::Impl {
     }
     stats.cycles = now - measure_base_cycle;
     stats.host_seconds = timer.seconds();
+    if (sampler && warm) sampler->finish(stats);
+    if (host_profile_on) {
+      hprof.enabled = true;
+      stats.host_profile = hprof;
+    }
+    if (obs_on)
+      for (obs::TraceSink* s : sinks) s->end();
     result.stats = stats;
     result.exited = exited;
     result.exit_code = exit_code;
@@ -1642,10 +1799,25 @@ SimResult Simulator::run(u64 max_commits, u64 warmup_commits) {
 }
 
 void Simulator::set_pipe_trace(std::ostream& os, Cycle start, Cycle end) {
-  impl_->trace = &os;
-  impl_->trace_start = start;
-  impl_->trace_end = end;
+  if (impl_->owned_pipe_sink) {  // re-target: drop the previous sink
+    auto& v = impl_->sinks;
+    v.erase(std::remove(v.begin(), v.end(), impl_->owned_pipe_sink.get()),
+            v.end());
+  }
+  impl_->owned_pipe_sink =
+      std::make_unique<obs::PipeTextSink>(os, start, end);
+  impl_->sinks.push_back(impl_->owned_pipe_sink.get());
 }
+
+void Simulator::add_trace_sink(obs::TraceSink* sink) {
+  if (sink) impl_->sinks.push_back(sink);
+}
+
+void Simulator::set_interval_sampler(obs::IntervalSampler* sampler) {
+  impl_->sampler = sampler;
+}
+
+void Simulator::enable_host_profile() { impl_->host_profile_on = true; }
 
 void Simulator::enable_detail() {
   if (!impl_->detail) impl_->detail = std::make_unique<DetailedStats>();

@@ -45,6 +45,11 @@
 
 namespace bsp {
 
+namespace obs {
+class TraceSink;
+class IntervalSampler;
+}  // namespace obs
+
 struct SimResult {
   SimStats stats;
   bool exited = false;       // program executed SYS_EXIT
@@ -76,7 +81,28 @@ class Simulator {
   // Enables a cycle-by-cycle event trace ("pipeview") on `os` for cycles in
   // [start, end): dispatches, slice-op selections, memory events, branch
   // resolutions/recoveries and commits. Must be called before run().
+  // Equivalent to add_trace_sink() with an internally-owned
+  // obs::PipeTextSink.
   void set_pipe_trace(std::ostream& os, Cycle start = 0, Cycle end = kNever);
+
+  // Attaches a structured trace sink (obs/trace.hpp: Chrome trace JSON,
+  // Konata, or any custom TraceSink). Not owned; must outlive run(). May be
+  // called multiple times — every sink sees every event. Must be called
+  // before run(). With no sinks attached the event points cost one
+  // predictable branch each.
+  void add_trace_sink(obs::TraceSink* sink);
+
+  // Attaches an interval time-series sampler (obs/interval.hpp): deltas of
+  // every SimStats counter every N committed instructions, warm-up
+  // excluded. Not owned; must be called before run(); read
+  // sampler->rows() afterwards.
+  void set_interval_sampler(obs::IntervalSampler* sampler);
+
+  // Enables host-phase profiling: SimStats::host_profile reports where
+  // host_seconds went (commit/resolve/select/memory/dispatch/fetch, plus
+  // nested co-sim and replay sub-phases). Costs a few steady_clock reads
+  // per simulated cycle; off by default. Must be called before run().
+  void enable_host_profile();
 
   // Enables occupancy/latency histogram collection (small per-cycle cost).
   // Must be called before run(); read the result with detail() afterwards.

@@ -1,0 +1,47 @@
+// Host-phase profiling: where does the simulator's *host* time go?
+//
+// `SimStats::host_seconds` says how long the cycle loop ran; this breaks
+// that wall-clock down by scheduler phase so a BENCH_simcore.json
+// regression can be attributed ("commit/co-sim got slower") instead of
+// merely observed. Opt-in (`Simulator::enable_host_profile()`): the
+// per-phase `steady_clock` reads cost real nanoseconds per simulated
+// cycle, so the default run keeps the loop clean and `enabled` false.
+//
+// Phase buckets mirror the cycle loop's stage order. Two sub-phases are
+// *nested inside* their parent and must not be double-counted when
+// summing: `cosim` time is part of `commit`, and `replay` (the relaxation
+// pass reverting illegal selects) is part of `memory`. total() therefore
+// sums the six top-level phases only.
+#pragma once
+
+#include "util/bitops.hpp"
+
+namespace bsp::obs {
+
+struct HostProfile {
+  bool enabled = false;
+
+  // Top-level phases, in pipeline-stage order (seconds of host time).
+  double commit = 0;    // retire + architectural checks (includes cosim)
+  double resolve = 0;   // branch resolution + recovery
+  double select = 0;    // wakeup/select + slice-op execute
+  double memory = 0;    // LSQ disambiguation + cache access/verify
+                        // (includes replay)
+  double dispatch = 0;  // RUU/LSQ insert + rename + oracle step
+  double fetch = 0;     // front-end fetch/predict
+
+  // Nested sub-phases (already counted in their parent above).
+  double cosim = 0;     // co-simulation commit check   (subset of commit)
+  double replay = 0;    // selective-replay relaxation  (subset of memory)
+
+  // Simulated cycles the instrumented loop executed (idle skips count as
+  // one loop iteration, not their skipped length) — denominator for
+  // ns-per-loop-cycle reporting.
+  u64 loop_cycles = 0;
+
+  double total() const {
+    return commit + resolve + select + memory + dispatch + fetch;
+  }
+};
+
+}  // namespace bsp::obs

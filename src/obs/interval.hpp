@@ -1,0 +1,119 @@
+// Interval time-series sampling of SimStats, plus the self-describing
+// counter registry that names every counter exactly once.
+//
+// Registry
+// --------
+// `simstats_counters()` enumerates every u64 counter in SimStats — name,
+// unit, one-line description, and a member pointer — in the record order
+// the campaign store has always serialized them. The store's writer and
+// parser and the interval sampler all iterate this one table, so a new
+// SimStats counter added here appears everywhere at once and downstream
+// tooling can discover fields from the JSONL header instead of
+// hard-coding lists.
+//
+// Sampler
+// -------
+// `IntervalSampler` snapshots the *delta* of every registered counter
+// each time N more instructions have committed, recording rows in memory
+// (for the campaign store's per-task series) and optionally streaming
+// them as JSONL. Output is byte-deterministic for a fixed config +
+// program + seed: fixed key order, `%.6f` for derived rates, no
+// timestamps. Row cycles are measured-relative (warm-up excluded) — the
+// core rebase()s the sampler at the warm-up boundary.
+//
+// JSONL schema (one object per line):
+//   {"type":"header","version":1,"interval":N,"config":"...",
+//    "columns":[{"name":...,"unit":...,"desc":...},...],
+//    "derived":[{"name":"ipc",...},{"name":"replay_rate",...},
+//               {"name":"l1d_miss_rate",...}]}
+//   {"type":"sample","cycle":C,"committed":M,
+//    "delta":{"cycles":dc,...all registered counters...},
+//    "ipc":R,"replay_rate":R,"l1d_miss_rate":R}
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "util/bitops.hpp"
+
+namespace bsp::obs {
+
+struct CounterDesc {
+  const char* name;
+  const char* unit;   // "cycles", "insts", "events", "accesses"
+  const char* desc;
+  u64 SimStats::* field;
+};
+
+// Every u64 SimStats counter, in campaign-store record order. The store's
+// JSONL byte format depends on this order — append only.
+const std::vector<CounterDesc>& simstats_counters();
+
+// Index of `name` in simstats_counters(), or -1 if unregistered.
+int counter_index(const std::string& name);
+
+// Derived per-interval rates reported alongside the raw deltas.
+struct DerivedDesc {
+  const char* name;
+  const char* desc;
+};
+const std::vector<DerivedDesc>& derived_metrics();
+
+// One sampled interval: cumulative position + per-counter deltas in
+// simstats_counters() order.
+struct IntervalRow {
+  u64 cycle = 0;      // measured-relative cycle of the sample
+  u64 committed = 0;  // measured-relative committed instructions
+  std::vector<u64> delta;
+
+  double ipc() const;
+  double replay_rate() const;     // (load+op replays) / committed
+  double l1d_miss_rate() const;   // misses / (hits+misses)
+};
+
+class IntervalSampler {
+ public:
+  // Samples every `every` committed instructions; rows stream to `os` as
+  // JSONL when non-null (header first) and accumulate in rows() either way.
+  explicit IntervalSampler(u64 every, std::ostream* os = nullptr);
+
+  u64 every() const { return every_; }
+
+  // Emits the JSONL header. Call once before the run (the simulator does
+  // this from run() with the machine description).
+  void begin(const std::string& config);
+
+  // Cheap hot-path gate: has the next sample point been reached?
+  bool due(u64 committed) const { return committed >= next_at_; }
+
+  // Re-anchors the baseline (and drops any rows) — called at the warm-up
+  // boundary, where the core resets its SimStats.
+  void rebase(const SimStats& s);
+
+  // Records one row: deltas of every counter vs. the previous sample.
+  // `s.cycles` must already hold the current measured-relative cycle.
+  void sample(const SimStats& s);
+
+  // Flushes a final partial interval if any instructions committed since
+  // the last sample point.
+  void finish(const SimStats& s);
+
+  const std::vector<IntervalRow>& rows() const { return rows_; }
+
+  // Deterministic serialization (shared with the campaign store tests).
+  static std::string header_line(u64 every, const std::string& config);
+  static std::string row_line(const IntervalRow& row);
+
+ private:
+  void record(const SimStats& s);
+
+  u64 every_;
+  u64 next_at_;
+  std::ostream* os_;
+  SimStats base_{};
+  std::vector<IntervalRow> rows_;
+};
+
+}  // namespace bsp::obs

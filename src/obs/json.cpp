@@ -1,0 +1,149 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace bsp::obs {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  std::optional<JsonValue> parse() {
+    skip_ws();
+    JsonValue v;
+    if (!value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool lit(const char* word, JsonValue& out, JsonValue::Kind kind, bool b) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    out.kind = kind;
+    out.boolean = b;
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            out += static_cast<char>(
+                std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool value(JsonValue& out) {
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::String;
+      return string(out.str);
+    }
+    if (c == 't') return lit("true", out, JsonValue::Kind::Bool, true);
+    if (c == 'f') return lit("false", out, JsonValue::Kind::Bool, false);
+    if (c == 'n') return lit("null", out, JsonValue::Kind::Null, false);
+    return number(out);
+  }
+
+  bool number(JsonValue& out) {
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    out.number = std::strtod(start, &end);
+    if (end == start) return false;
+    pos_ += static_cast<std::size_t>(end - start);
+    out.kind = JsonValue::Kind::Number;
+    return true;
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::Array;
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      JsonValue v;
+      skip_ws();
+      if (!value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::Object;
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      JsonValue v;
+      if (!value(v)) return false;
+      out.object.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace bsp::obs

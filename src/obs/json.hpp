@@ -1,0 +1,44 @@
+// Minimal recursive-descent JSON parser — just enough to let the tests
+// validate the observability layer's own output (Chrome trace JSON,
+// interval-stats JSONL) without an external dependency. Not a general
+// JSON library: numbers are doubles, \uXXXX escapes outside Latin-1 are
+// replaced bytewise, and inputs larger than a trace file was ever meant
+// to be are the caller's problem.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bsp::obs {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;  // ordered: deterministic dumps
+
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+
+  // Object member access; nullptr when absent or not an object.
+  const JsonValue* get(const std::string& key) const {
+    if (kind != Kind::Object) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+// Parses one complete JSON document (trailing whitespace allowed, trailing
+// garbage rejected). Returns nullopt on any syntax error.
+std::optional<JsonValue> parse_json(const std::string& text);
+
+}  // namespace bsp::obs

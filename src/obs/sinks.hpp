@@ -1,0 +1,135 @@
+// Concrete TraceSink implementations.
+//
+// * PipeTextSink   — the original human-readable "pipeview" text trace,
+//                    byte-identical to the formatting the core used to
+//                    emit inline (pinned by tests), with the same
+//                    [start, end) cycle window.
+// * ChromeTraceSink— Chrome trace-event JSON. Open the file in Perfetto
+//                    (https://ui.perfetto.dev) or chrome://tracing. One
+//                    track per pipeline stage plus one per slice lane;
+//                    slice-op execution, cache accesses and in-flight
+//                    (dispatch→commit) windows are duration events, the
+//                    rest instants. Timestamps are simulated cycles
+//                    (1 cycle = 1 "µs" in the viewer).
+// * KonataSink     — Konata/Kanata pipeline-viewer log
+//                    (https://github.com/shioyadan/Konata): one row per
+//                    instruction, per-slice-op stages on separate lanes,
+//                    flush-retires for squashed wrong-path entries.
+//
+// All sinks buffer only what their format forces them to; none of them
+// feeds anything back into the simulator.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace bsp::obs {
+
+// ---------------------------------------------------------------------------
+// PipeTextSink
+
+class PipeTextSink : public TraceSink {
+ public:
+  explicit PipeTextSink(std::ostream& os, u64 start = 0, u64 end = ~0ull)
+      : os_(&os), start_(start), end_(end) {}
+
+  void event(const TraceEvent& ev) override;
+
+ private:
+  std::ostream* os_;
+  u64 start_, end_;
+};
+
+// ---------------------------------------------------------------------------
+// ChromeTraceSink
+
+class ChromeTraceSink : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::ostream& os) : os_(&os) {}
+
+  void begin(const TraceMeta& meta) override;
+  void event(const TraceEvent& ev) override;
+  void end() override;
+
+ private:
+  // Fixed thread-track ids (slice lanes occupy [kTidSlice0,
+  // kTidSlice0 + slices)).
+  static constexpr int kTidFrontend = 0;
+  static constexpr int kTidSlice0 = 1;
+  static constexpr int kTidLsq = 20;
+  static constexpr int kTidDcache = 21;
+  static constexpr int kTidBranch = 22;
+  static constexpr int kTidReplay = 23;
+  static constexpr int kTidCommit = 24;
+  static constexpr int kTidIdle = 25;
+
+  void emit_meta(int tid, const std::string& name);
+  void emit(int tid, const char* ph, const std::string& name, u64 ts, u64 dur,
+            const std::string& args_json);
+
+  std::ostream* os_;
+  bool first_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// KonataSink
+
+class KonataSink : public TraceSink {
+ public:
+  explicit KonataSink(std::ostream& os) : os_(&os) {}
+
+  void begin(const TraceMeta& meta) override;
+  void event(const TraceEvent& ev) override;
+  void end() override;
+
+ private:
+  // Lanes 0..kMaxSlices-1 carry the per-slice-op "X<i>" stages; one extra
+  // lane (index kMaxSlices) carries the cache-access "M" stage.
+  static constexpr std::size_t kNumLanes = kMaxSlices + 1;
+  struct InstState {
+    u64 fid = 0;           // Konata instruction id (dispatch order)
+    bool ds_open = false;  // "Ds" (dispatch→first select) stage open
+    std::array<bool, kNumLanes> open{};  // stage currently open per lane
+    std::array<u32, kNumLanes> gen{};    // per-lane generation: bumping it
+                                         // cancels a scheduled stage end
+  };
+  // A stage end scheduled for a future cycle; dropped if the lane's
+  // generation moved on (selective replay reverted the select).
+  struct PendingEnd {
+    u64 cycle;
+    u64 order;  // insertion order: deterministic tie-break within a cycle
+    u64 seq;
+    u32 lane;
+    u32 gen;
+    std::string stage;
+    bool operator>(const PendingEnd& o) const {
+      return cycle != o.cycle ? cycle > o.cycle : order > o.order;
+    }
+  };
+
+  InstState* find(u64 seq);
+  void advance_to(u64 cycle);   // emit C records up to `cycle`
+  void drain_until(u64 cycle);  // flush pending stage ends due by `cycle`
+  void open_lane(InstState& st, u64 seq, u32 lane, u64 end_cycle);
+  void close_lane(InstState& st, u32 lane);
+  void retire(u64 seq, InstState& st, u64 cycle, int type);
+
+  std::ostream* os_;
+  u64 next_fid_ = 0;
+  u64 next_rid_ = 0;
+  u64 next_order_ = 0;
+  u64 cur_cycle_ = 0;
+  bool started_ = false;
+  std::unordered_map<u64, InstState> live_;
+  std::priority_queue<PendingEnd, std::vector<PendingEnd>,
+                      std::greater<PendingEnd>>
+      pending_;
+};
+
+}  // namespace bsp::obs

@@ -2,6 +2,7 @@
 // range histograms and running means with deterministic output.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cmath>
@@ -41,6 +42,7 @@ class Histogram {
     counts_[i] += weight;
     total_ += weight;
     sum_ += value * weight;
+    prefix_valid_ = false;
   }
 
   u64 count(std::size_t bucket) const { return counts_[bucket]; }
@@ -52,12 +54,15 @@ class Histogram {
   double fraction(std::size_t bucket) const {
     return total_ ? static_cast<double>(counts_[bucket]) / total_ : 0.0;
   }
-  // Fraction of samples <= bucket.
+  // Fraction of samples <= bucket. Amortised O(1): the prefix sums are
+  // memoized and rebuilt lazily after the next add(), so report loops that
+  // sweep every bucket (CDF dumps, percentile tables) are linear overall
+  // instead of quadratic.
   double cumulative(std::size_t bucket) const {
-    u64 s = 0;
-    for (std::size_t i = 0; i <= bucket && i < counts_.size(); ++i)
-      s += counts_[i];
-    return total_ ? static_cast<double>(s) / total_ : 0.0;
+    if (!total_) return 0.0;
+    refresh_prefix();
+    const std::size_t i = bucket < prefix_.size() ? bucket : prefix_.size() - 1;
+    return static_cast<double>(prefix_[i]) / total_;
   }
   // Smallest bucket b with cumulative(b) >= p, for p in [0,1] (asserted).
   // p = 0 returns the smallest non-empty bucket (the minimum sample), not
@@ -69,19 +74,33 @@ class Histogram {
     if (total_ == 0) return counts_.size() - 1;
     u64 target = static_cast<u64>(p * static_cast<double>(total_) + 0.5);
     if (target == 0) target = 1;  // p = 0: the first sample
-    u64 s = 0;
-    for (std::size_t i = 0; i < counts_.size(); ++i) {
-      s += counts_[i];
-      if (s >= target) return i;
-    }
-    return counts_.size() - 1;
+    refresh_prefix();
+    const auto it = std::lower_bound(prefix_.begin(), prefix_.end(), target);
+    return it == prefix_.end()
+               ? counts_.size() - 1
+               : static_cast<std::size_t>(it - prefix_.begin());
   }
   std::size_t buckets() const { return counts_.size() - 1; }
 
  private:
+  void refresh_prefix() const {
+    if (prefix_valid_) return;
+    prefix_.resize(counts_.size());
+    u64 s = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      s += counts_[i];
+      prefix_[i] = s;
+    }
+    prefix_valid_ = true;
+  }
+
   std::vector<u64> counts_;
   u64 total_ = 0;
   u64 sum_ = 0;
+  // Memoized inclusive prefix sums for cumulative()/percentile();
+  // invalidated by add(), rebuilt on demand.
+  mutable std::vector<u64> prefix_;
+  mutable bool prefix_valid_ = false;
 };
 
 class RunningMean {
@@ -94,8 +113,11 @@ class RunningMean {
   }
   u64 count() const { return n_; }
   double mean() const { return n_ ? sum_ / n_ : 0.0; }
-  double min() const { return min_; }
-  double max() const { return max_; }
+  // An empty accumulator has no extrema; min()/max() are defined to return
+  // 0.0 (matching mean()) so report code can print an empty series without
+  // branching, instead of reading whatever the fields happened to hold.
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
 
  private:
   u64 n_ = 0;

@@ -232,8 +232,11 @@ TEST(Campaign, InjectedFailureIsRetriedThenRecordedWithoutAborting) {
         int n;
         { std::lock_guard<std::mutex> lock(m); n = ++attempts[task.id()]; }
         if (task.id() == poison) throw std::runtime_error("co-sim abort");
-        if (task.id() == flaky && n == 1)
-          return AttemptResult{{}, "transient divergence"};
+        if (task.id() == flaky && n == 1) {
+          AttemptResult fail;
+          fail.error = "transient divergence";
+          return fail;
+        }
         return fake_runner()(task);
       },
       options);

@@ -37,6 +37,49 @@ TEST(Histogram, PercentileBoundaries) {
   EXPECT_EQ(h.percentile(1.0), 7u);
 }
 
+TEST(Histogram, CumulativeMemoizationSurvivesInterleavedAdds) {
+  // cumulative()/percentile() memoize prefix sums; the cache must be
+  // invalidated by add() so queries interleaved with inserts stay exact.
+  Histogram h(8);
+  h.add(2);
+  EXPECT_DOUBLE_EQ(h.cumulative(1), 0.0);
+  EXPECT_DOUBLE_EQ(h.cumulative(2), 1.0);
+  h.add(0);  // must invalidate the memoized prefix
+  EXPECT_DOUBLE_EQ(h.cumulative(1), 0.5);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  h.add(7, 2);
+  EXPECT_DOUBLE_EQ(h.cumulative(2), 0.5);
+  EXPECT_DOUBLE_EQ(h.cumulative(7), 1.0);
+  EXPECT_EQ(h.percentile(1.0), 7u);
+  // Past-the-end queries clamp to the overflow bucket.
+  EXPECT_DOUBLE_EQ(h.cumulative(1000), 1.0);
+  // Repeated queries without intervening adds hit the cache and agree.
+  EXPECT_DOUBLE_EQ(h.cumulative(2), 0.5);
+  EXPECT_EQ(h.percentile(0.5), 2u);
+}
+
+TEST(RunningMean, EmptyAndExtrema) {
+  // Empty accumulator: extrema are defined as 0.0, matching mean(), so an
+  // empty series prints deterministically.
+  RunningMean m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.min(), 0.0);
+  EXPECT_DOUBLE_EQ(m.max(), 0.0);
+
+  // First sample seeds both extrema even when it is negative or larger than
+  // the 0.0 default.
+  m.add(-3.5);
+  EXPECT_DOUBLE_EQ(m.min(), -3.5);
+  EXPECT_DOUBLE_EQ(m.max(), -3.5);
+  m.add(4.0);
+  m.add(1.0);
+  EXPECT_EQ(m.count(), 3u);
+  EXPECT_DOUBLE_EQ(m.min(), -3.5);
+  EXPECT_DOUBLE_EQ(m.max(), 4.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.5);
+}
+
 TEST(DetailStats, ConsistentWithHeadlineCounters) {
   const Workload w = build_workload("gzip");
   Simulator sim(bitsliced_machine(2, kAllTechniques), w.program);

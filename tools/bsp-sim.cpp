@@ -7,15 +7,23 @@
 //                           bypass,ooo,branch,lsq,tag,specfwd,narrow
 //     --instructions N      commit budget                [default 200000]
 //     --trace [START END]   pipeview trace of cycles [START, END)
+//     --trace-perfetto F    Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)
+//     --trace-konata F      Konata pipeline log (github.com/shioyadan/Konata)
+//     --interval-stats F    JSONL time-series of counter deltas
+//     --interval N          sampling period in committed insns [default 10000]
+//     --host-profile        report where host time went per scheduler phase
 //     --print-config        dump the machine configuration first
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "asm/assembler.hpp"
 #include "asm/objfile.hpp"
 #include "core/simulator.hpp"
 #include "emu/checkpoint.hpp"
+#include "obs/interval.hpp"
+#include "obs/sinks.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -89,6 +97,9 @@ int main(int argc, char** argv) {
   bool detail = false;
   bool trace = false;
   Cycle trace_start = 0, trace_end = 200;
+  std::string perfetto_path, konata_path, interval_path;
+  u64 interval = 10'000;
+  bool host_profile = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -120,6 +131,20 @@ int main(int argc, char** argv) {
         trace_start = std::strtoull(argv[++i], nullptr, 0);
         trace_end = std::strtoull(argv[++i], nullptr, 0);
       }
+    } else if (a == "--trace-perfetto") {
+      perfetto_path = value();
+    } else if (a == "--trace-konata") {
+      konata_path = value();
+    } else if (a == "--interval-stats") {
+      interval_path = value();
+    } else if (a == "--interval") {
+      interval = std::strtoull(value(), nullptr, 0);
+      if (interval == 0) {
+        std::cerr << "bsp-sim: --interval must be > 0\n";
+        return 2;
+      }
+    } else if (a == "--host-profile") {
+      host_profile = true;
     } else if (a == "--print-config") {
       print_config = true;
     } else if (a == "--detail") {
@@ -128,7 +153,9 @@ int main(int argc, char** argv) {
       std::cout << "usage: bsp-sim <program.{s,bspo} | workload> "
                    "[--slices N] [--techniques SPEC] [-n N] [--warmup N] "
                    "[--checkpoint in.bspc] [--trace [START END]] "
-                   "[--print-config]\n";
+                   "[--trace-perfetto out.json] [--trace-konata out.kanata] "
+                   "[--interval-stats out.jsonl] [--interval N] "
+                   "[--host-profile] [--print-config]\n";
       return 0;
     } else if (!a.empty() && a[0] != '-' && input.empty()) {
       input = a;
@@ -162,6 +189,39 @@ int main(int argc, char** argv) {
                        : Simulator(cfg, *program);
   if (trace) sim.set_pipe_trace(std::cout, trace_start, trace_end);
   if (detail) sim.enable_detail();
+  if (host_profile) sim.enable_host_profile();
+
+  // Structured sinks and the interval sampler stream straight to their
+  // files; the ofstreams must outlive run().
+  const auto open_out = [](const std::string& path) {
+    auto os = std::make_unique<std::ofstream>(path);
+    if (!*os) {
+      std::cerr << "bsp-sim: cannot open " << path << " for writing\n";
+      std::exit(1);
+    }
+    return os;
+  };
+  std::unique_ptr<std::ofstream> perfetto_os, konata_os, interval_os;
+  std::unique_ptr<obs::ChromeTraceSink> perfetto_sink;
+  std::unique_ptr<obs::KonataSink> konata_sink;
+  std::unique_ptr<obs::IntervalSampler> sampler;
+  if (!perfetto_path.empty()) {
+    perfetto_os = open_out(perfetto_path);
+    perfetto_sink = std::make_unique<obs::ChromeTraceSink>(*perfetto_os);
+    sim.add_trace_sink(perfetto_sink.get());
+  }
+  if (!konata_path.empty()) {
+    konata_os = open_out(konata_path);
+    konata_sink = std::make_unique<obs::KonataSink>(*konata_os);
+    sim.add_trace_sink(konata_sink.get());
+  }
+  if (!interval_path.empty()) {
+    interval_os = open_out(interval_path);
+    sampler = std::make_unique<obs::IntervalSampler>(interval,
+                                                     interval_os.get());
+    sim.set_interval_sampler(sampler.get());
+  }
+
   const SimResult r = sim.run(instructions, warmup);
   if (!r.ok()) {
     std::cerr << "bsp-sim: " << r.error << "\n";
@@ -188,6 +248,29 @@ int main(int argc, char** argv) {
     std::cout << "extensions:   " << s.spec_forwards << " spec forwards ("
               << s.spec_forward_misses << " refuted), " << s.narrow_operands
               << " narrow results\n";
+  if (s.host_profile.enabled) {
+    const obs::HostProfile& hp = s.host_profile;
+    const double total = hp.total();
+    const auto pct = [&](double v) {
+      return total > 0 ? 100.0 * v / total : 0.0;
+    };
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "host:         %.3fs wall, %.3fs in phases over %llu loop "
+                  "cycles\n"
+                  "  commit   %5.1f%%  (co-sim %.1f%%)\n"
+                  "  resolve  %5.1f%%\n"
+                  "  select   %5.1f%%\n"
+                  "  memory   %5.1f%%  (replay %.1f%%)\n"
+                  "  dispatch %5.1f%%\n"
+                  "  fetch    %5.1f%%\n",
+                  s.host_seconds, total,
+                  static_cast<unsigned long long>(hp.loop_cycles),
+                  pct(hp.commit), pct(hp.cosim), pct(hp.resolve),
+                  pct(hp.select), pct(hp.memory), pct(hp.replay),
+                  pct(hp.dispatch), pct(hp.fetch));
+    std::cout << buf;
+  }
   if (detail) {
     const DetailedStats& d = sim.detail();
     const auto line = [](const char* name, const Histogram& h) {

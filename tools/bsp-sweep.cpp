@@ -78,6 +78,18 @@ int main(int argc, char** argv) {
                          1 + static_cast<unsigned>(
                                  std::strtoul(v.c_str(), nullptr, 0));
                    });
+  RunnerOptions runner_options;
+  parser.add_value("--interval-stats", "N",
+                   "record a per-task time-series of counter deltas every N "
+                   "committed instructions into each record's \"series\"",
+                   [&](const std::string& v) {
+                     runner_options.interval =
+                         std::strtoull(v.c_str(), nullptr, 0);
+                   });
+  parser.add_flag("--host-profile",
+                  "collect per-phase host timings (records' \"host_phases\" "
+                  "+ summary breakdown after the progress line)",
+                  &runner_options.host_profile);
   parser.add_flag("--no-progress", "suppress the live progress line",
                   &no_progress);
   parser.add_flag("--dry-run", "print the expanded task list and exit",
@@ -122,7 +134,7 @@ int main(int argc, char** argv) {
     options.out_path = "results/" + spec.name + ".jsonl";
 
   const CampaignReport report =
-      run_campaign(spec, make_sim_runner(), options);
+      run_campaign(spec, make_sim_runner(runner_options), options);
 
   std::cout << "== campaign " << spec.name << " ==\n"
             << report.total << " tasks: " << report.skipped << " resumed, "
