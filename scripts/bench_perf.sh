@@ -4,25 +4,60 @@
 # BENCH_simcore.json at the repo root so throughput regressions are
 # diffable across commits.
 #
-#   scripts/bench_perf.sh [build-dir] [output-json]
+#   scripts/bench_perf.sh [build-dir] [output-json] [--allow-debug-library]
 #
 # The tracked benchmarks are the whole-program simulator throughput runs
 # (BM_SimulatorThroughput: gzip, 20k commits, base/slice-2/slice-4 machines;
 # BM_TechniqueStackThroughput: the slice-4 cumulative technique stacks) plus
 # the emulator step rate. Wall-clock numbers are host- and load-sensitive:
 # compare runs from the same machine, and prefer the best of a few repeats.
+#
+# A baseline is only recorded when the benchmark context reports
+# "library_build_type": "release" — a debug-built Google Benchmark library
+# (its measurement loop carries assertion overhead) silently skews the
+# numbers, which is how a debug-library baseline once got checked in. On
+# hosts whose only libbenchmark is a debug build (some distro packages),
+# pass --allow-debug-library to record anyway; the context keeps the
+# honest "debug" tag so the provenance stays visible in the diff.
 set -eu
 
-BUILD="${1:-build-perf}"
-OUT="${2:-BENCH_simcore.json}"
+BUILD="build-perf"
+OUT="BENCH_simcore.json"
+ALLOW_DEBUG=0
+i=0
+for arg in "$@"; do
+  case "$arg" in
+    --allow-debug-library) ALLOW_DEBUG=1 ;;
+    *)
+      i=$((i + 1))
+      if [ "$i" -eq 1 ]; then BUILD="$arg"; else OUT="$arg"; fi
+      ;;
+  esac
+done
 
 cmake -S . -B "$BUILD" -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD" --target bench_microarch -j "$(nproc)" > /dev/null
 
+TMP="$OUT.tmp"
+trap 'rm -f "$TMP"' EXIT
+
 "$BUILD/bench/bench_microarch" \
   --benchmark_filter='SimulatorThroughput|TechniqueStackThroughput|EmulatorStep' \
   --benchmark_format=json \
-  --benchmark_out="$OUT" \
+  --benchmark_out="$TMP" \
   --benchmark_out_format=json
 
+LIB_BUILD=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['context'].get('library_build_type','unknown'))" "$TMP")
+if [ "$LIB_BUILD" != "release" ] && [ "$ALLOW_DEBUG" -ne 1 ]; then
+  echo "error: benchmark library_build_type is '$LIB_BUILD', not 'release';" >&2
+  echo "       refusing to record a baseline measured through a debug-built" >&2
+  echo "       Google Benchmark library (rerun with --allow-debug-library" >&2
+  echo "       to record anyway, e.g. where the distro package is debug)." >&2
+  exit 1
+fi
+if [ "$LIB_BUILD" != "release" ]; then
+  echo "warning: recording baseline against a '$LIB_BUILD' benchmark library" >&2
+fi
+
+mv "$TMP" "$OUT"
 echo "wrote $OUT"

@@ -51,14 +51,19 @@ CampaignReport run_campaign(const SweepSpec& spec, const TaskRunner& runner,
               rec.stats = out.stats;
               rec.interval = out.interval;
               rec.series = out.series;
+              rec.max_rss_kb = out.max_rss_kb;
+              rec.user_sec = out.user_sec;
+              rec.sys_sec = out.sys_sec;
               store.append(rec);  // thread-safe, atomic line append
               meter.task_done(out);
               std::lock_guard<std::mutex> lock(report_mutex);
               ++report.ran;
               if (out.ok())
                 ++report.ok;
+              else if (out.status == "crashed")
+                ++report.crashed;
               else
-                ++report.failed;
+                ++report.failed;  // "failed" and "timeout" statuses
               if (out.retried()) ++report.retried;
             });
   meter.finish();

@@ -26,7 +26,8 @@ struct CampaignReport {
   std::size_t skipped = 0;  // satisfied by existing records (resume)
   std::size_t ran = 0;      // executed this run
   std::size_t ok = 0;       // ... of which succeeded
-  std::size_t failed = 0;   // ... of which failed/timed out
+  std::size_t failed = 0;   // ... of which failed or timed out
+  std::size_t crashed = 0;  // ... of which died on a signal (process mode)
   std::size_t retried = 0;  // ... of which needed >1 attempt
   // Final state of every task in the grid (resumed + fresh), in grid order.
   std::vector<TaskRecord> records;

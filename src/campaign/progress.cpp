@@ -17,6 +17,7 @@ void ProgressMeter::task_done(const TaskOutcome& outcome) {
   ++done_;
   if (!outcome.ok()) ++failed_;
   if (outcome.retried()) ++retried_;
+  if (outcome.max_rss_kb > max_rss_kb_) max_rss_kb_ = outcome.max_rss_kb;
   if (outcome.ok()) {
     committed_ += outcome.stats.committed;
     host_seconds_ += outcome.stats.host_seconds;
@@ -72,11 +73,15 @@ void ProgressMeter::print_line_locked() {
   if (host_seconds_ > 0)
     std::snprintf(sim_rate, sizeof sim_rate, " | %.2fM commits/hs",
                   commits_per_host_second() / 1e6);
+  char rss[32] = "";
+  if (max_rss_kb_ > 0)
+    std::snprintf(rss, sizeof rss, " | peak %.0fMB",
+                  static_cast<double>(max_rss_kb_) / 1024.0);
   std::fprintf(stderr,
                "\r[%s] %zu/%zu done (%zu resumed) | %zu failed | %zu retried "
-               "| %.2f tasks/s%s | ETA %s   ",
+               "| %.2f tasks/s%s%s | ETA %s   ",
                name_.c_str(), done_ + skipped_, total_, skipped_, failed_,
-               retried_, rate, sim_rate, eta);
+               retried_, rate, sim_rate, rss, eta);
   std::fflush(stderr);
 }
 

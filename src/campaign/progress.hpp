@@ -34,6 +34,9 @@ class ProgressMeter {
   // Aggregate simulator throughput over successful tasks, in committed
   // instructions per host-second (0 until a task with host_seconds lands).
   double commits_per_host_second() const;
+  // Largest per-task peak RSS seen so far (process-isolation rusage;
+  // 0 until a task that carries one finishes).
+  long max_rss_kb() const { return max_rss_kb_; }
 
  private:
   void print_line_locked();
@@ -49,6 +52,7 @@ class ProgressMeter {
   std::size_t retried_ = 0;  // needed more than one attempt
   u64 committed_ = 0;        // summed over successful tasks
   double host_seconds_ = 0;  // summed over successful tasks
+  long max_rss_kb_ = 0;      // peak per-task RSS (process isolation only)
   obs::HostProfile phases_;  // summed host-phase profile (enabled if any)
   std::chrono::steady_clock::time_point start_;
   std::mutex mutex_;

@@ -1,12 +1,16 @@
 #include "campaign/scheduler.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <thread>
 
+#include "campaign/store.hpp"
 #include "util/parallel.hpp"
+#include "util/subprocess.hpp"
 
 namespace bsp::campaign {
 namespace {
@@ -30,7 +34,9 @@ AttemptResult guarded_call(const TaskRunner& runner, const TaskSpec& task) {
 // One attempt under a wall-clock deadline. The attempt runs on its own
 // thread; on timeout that thread is detached and its (eventual) result
 // discarded. Everything the detached thread touches is owned by the
-// shared_ptr state, so abandonment is memory-safe.
+// shared_ptr state, so abandonment is memory-safe — but the thread keeps
+// burning a core until it finishes. IsolationMode::kProcess is the mode
+// that actually reclaims the core (SIGKILL + reap).
 AttemptResult timed_call(const TaskRunner& runner, const TaskSpec& task,
                          double timeout_sec, bool* timed_out) {
   struct Shared {
@@ -63,10 +69,111 @@ AttemptResult timed_call(const TaskRunner& runner, const TaskSpec& task,
   return std::move(shared->result);
 }
 
+std::string fmt_timeout(double sec) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", sec);
+  return buf;
+}
+
+// Last non-empty line of a worker's stdout — the record line, tolerating
+// any stray diagnostics the worker printed before it.
+std::string last_nonempty_line(const std::string& text) {
+  std::size_t end = text.size();
+  while (end > 0) {
+    std::size_t begin = text.find_last_of('\n', end - 1);
+    begin = begin == std::string::npos ? 0 : begin + 1;
+    if (begin < end) return text.substr(begin, end - begin);
+    end = begin > 0 ? begin - 1 : 0;
+  }
+  return "";
+}
+
+// "; stderr: ..." suffix for error messages, trimmed to stay readable.
+std::string stderr_tail(const std::string& err) {
+  if (err.empty()) return "";
+  constexpr std::size_t kMax = 400;
+  std::string tail =
+      err.size() <= kMax ? err : "..." + err.substr(err.size() - kMax);
+  while (!tail.empty() && (tail.back() == '\n' || tail.back() == '\r'))
+    tail.pop_back();
+  return tail.empty() ? "" : "; stderr: " + tail;
+}
+
+// One task under process isolation: fork/exec the worker per attempt,
+// enforce the deadline with SIGKILL, and fold the worker's printed record
+// back into a TaskOutcome.
+TaskOutcome run_one_task_process(const TaskSpec& task,
+                                 const SchedulerOptions& options) {
+  TaskOutcome out;
+  const auto t0 = Clock::now();
+  const unsigned max_attempts = std::max(1u, options.max_attempts);
+  std::vector<std::string> argv = options.worker_cmd;
+  argv.push_back(task.id());
+  for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+    out.attempts = attempt;
+    SubprocessLimits limits;
+    limits.timeout_sec = options.timeout_sec;
+    const SubprocessResult sp = run_subprocess(argv, limits);
+    out.max_rss_kb = std::max(out.max_rss_kb, sp.max_rss_kb);
+    out.user_sec += sp.user_sec;
+    out.sys_sec += sp.sys_sec;
+    if (sp.timed_out) {
+      // Not retried — re-running a wedged configuration would just park
+      // another core on it; --retry-failed on a later run opts back in.
+      out.status = "timeout";
+      out.error = "worker SIGKILLed after exceeding " +
+                  fmt_timeout(options.timeout_sec) + "s wall-clock timeout";
+      break;
+    }
+    if (sp.spawn_error) {
+      out.status = "failed";
+      out.error = "worker spawn failed: " + sp.error;
+      continue;
+    }
+    if (sp.signal != 0) {
+      // The containment path: the worker died, the campaign did not. A
+      // crash can be transient (e.g. the kernel OOM killer), so it gets
+      // the same bounded retry as a failure.
+      out.status = "crashed";
+      out.error = "worker killed by " + signal_name(sp.signal) +
+                  stderr_tail(sp.err);
+      continue;
+    }
+    const auto rec = parse_jsonl(last_nonempty_line(sp.out));
+    if (!rec || rec->task.id() != task.id()) {
+      out.status = "failed";
+      out.error = "worker exited " + std::to_string(sp.exit_code) +
+                  (rec ? " with a record for the wrong task"
+                       : " without a usable record") +
+                  stderr_tail(sp.err);
+      continue;
+    }
+    out.status = rec->status;
+    out.error = rec->error;
+    out.stats = rec->stats;
+    out.interval = rec->interval;
+    out.series = rec->series;
+    if (out.status == "ok") break;
+  }
+  out.duration_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return out;
+}
+
 }  // namespace
 
 TaskOutcome run_one_task(const TaskSpec& task, const TaskRunner& runner,
                          const SchedulerOptions& options) {
+  if (options.isolate == IsolationMode::kProcess) {
+    if (options.worker_cmd.empty()) {
+      TaskOutcome out;
+      out.attempts = 1;
+      out.status = "failed";
+      out.error = "process isolation requested but no worker_cmd configured";
+      return out;
+    }
+    return run_one_task_process(task, options);
+  }
   TaskOutcome out;
   const auto t0 = Clock::now();
   const unsigned max_attempts = std::max(1u, options.max_attempts);

@@ -8,11 +8,21 @@
 //  * bounded retry — failed attempts are retried up to max_attempts before
 //    the task is recorded as "failed";
 //  * a per-attempt wall-clock timeout — a wedged attempt is abandoned and
-//    recorded as "timeout". The abandoned attempt's thread is detached, not
-//    killed (C++ has no safe thread kill): it keeps a core's worth of work
-//    alive until it finishes on its own, but the campaign moves on. Timed-
-//    out tasks are not retried — re-running a wedged configuration would
-//    just park another worker on it.
+//    recorded as "timeout".
+//
+// Two isolation modes govern how strong that containment is:
+//  * IsolationMode::kThread (default) — attempts run in-process on pool
+//    threads. Cheap (shared workload cache), but a segfaulting task takes
+//    the whole campaign down, and a timed-out attempt's thread can only be
+//    *detached*, not killed (C++ has no safe thread kill): it keeps a
+//    core's worth of work alive until it finishes on its own.
+//  * IsolationMode::kProcess — each attempt fork/execs a worker process
+//    (util/subprocess.hpp) that runs exactly one task and prints its
+//    TaskRecord JSONL on stdout. A crashing worker is recorded as
+//    "crashed" with its signal name instead of killing the sweep; a
+//    timed-out worker is SIGKILLed and reaped, so the core is actually
+//    reclaimed; per-task rusage (peak RSS, user/sys CPU) flows into the
+//    outcome. Costs a fork/exec and a workload re-build per task.
 #pragma once
 
 #include <functional>
@@ -43,20 +53,36 @@ struct AttemptResult {
 // make_sim_runner() does.
 using TaskRunner = std::function<AttemptResult(const TaskSpec&)>;
 
+enum class IsolationMode {
+  kThread,   // in-process attempts on pool threads (shared address space)
+  kProcess,  // one worker subprocess per attempt (crash/timeout containment)
+};
+
 struct SchedulerOptions {
   unsigned jobs = 0;          // worker threads (0 = hardware concurrency)
   unsigned max_attempts = 2;  // first try + bounded retries
   double timeout_sec = 0;     // per-attempt wall clock; 0 = no timeout
+  IsolationMode isolate = IsolationMode::kThread;
+  // kProcess only: argv prefix of the worker command; the scheduler appends
+  // the task id as the final argument. The worker must run that one task
+  // and print its TaskRecord as a single JSONL line on stdout (bsp-sweep's
+  // hidden --worker flag implements this protocol).
+  std::vector<std::string> worker_cmd;
 };
 
 struct TaskOutcome {
-  std::string status;  // "ok" | "failed" | "timeout"
+  std::string status;  // "ok" | "failed" | "timeout" | "crashed"
   std::string error;
   unsigned attempts = 0;
   double duration_ms = 0;  // wall clock across all attempts
   SimStats stats;          // meaningful only when status == "ok"
   u64 interval = 0;        // successful attempt's interval series, if any
   std::vector<std::vector<u64>> series;
+  // Process-mode rusage: peak RSS over all attempts, CPU summed across
+  // them. All zero in thread mode (the process-wide numbers would lie).
+  long max_rss_kb = 0;
+  double user_sec = 0;
+  double sys_sec = 0;
 
   bool ok() const { return status == "ok"; }
   bool retried() const { return attempts > 1; }

@@ -117,6 +117,11 @@ std::string to_jsonl(const TaskRecord& rec) {
      << ",\"attempts\":" << rec.attempts
      << ",\"duration_ms\":" << fmt_ms(rec.duration_ms)
      << ",\"host_seconds\":" << fmt_ms(rec.stats.host_seconds);
+  if (rec.max_rss_kb > 0 || rec.user_sec > 0 || rec.sys_sec > 0) {
+    os << ",\"rusage\":{\"max_rss_kb\":" << rec.max_rss_kb
+       << ",\"user_sec\":" << fmt_ms(rec.user_sec)
+       << ",\"sys_sec\":" << fmt_ms(rec.sys_sec) << "}";
+  }
   if (rec.stats.host_profile.enabled) {
     const obs::HostProfile& hp = rec.stats.host_profile;
     os << ",\"host_phases\":{\"commit\":" << fmt_sec(hp.commit)
@@ -251,6 +256,13 @@ std::optional<TaskRecord> parse_jsonl(const std::string& line) {
   // deliberately not part of the simulated-stats equivalence surface.
   if (const auto h = str("host_seconds"))
     rec.stats.host_seconds = std::strtod(h->c_str(), nullptr);
+  // Process-isolation rusage: optional; keys are unique within a line.
+  if (const auto v = num("max_rss_kb"))
+    rec.max_rss_kb = static_cast<long>(*v);
+  if (const auto v = str("user_sec"))
+    rec.user_sec = std::strtod(v->c_str(), nullptr);
+  if (const auto v = str("sys_sec"))
+    rec.sys_sec = std::strtod(v->c_str(), nullptr);
   if (jsonl_field(line, "host_phases")) {
     // Phase keys are unique within a line (no stats counter is an exact
     // match), so the flat extractor reads them through the nested object.
@@ -290,8 +302,9 @@ ResultStore::ResultStore(const std::string& path, bool truncate)
     std::error_code ec;
     std::filesystem::create_directories(p.parent_path(), ec);
   }
+  bool unterminated_tail = false;
   if (!truncate) {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary);
     std::string line;
     while (std::getline(in, line)) {
       auto rec = parse_jsonl(line);
@@ -305,10 +318,31 @@ ResultStore::ResultStore(const std::string& path, bool truncate)
         records_.push_back(std::move(*rec));
       }
     }
+    // A writer killed mid-append leaves the file without a final newline.
+    // Appending straight onto that would splice the next record into the
+    // partial line, corrupting both; note it so the first append starts on
+    // a fresh line instead.
+    std::ifstream tail(path, std::ios::binary);
+    if (tail) {
+      tail.seekg(0, std::ios::end);
+      if (tail.tellg() > 0) {
+        tail.seekg(-1, std::ios::end);
+        char last = '\n';
+        tail.get(last);
+        unterminated_tail = last != '\n';
+      }
+    }
   }
   file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
   if (!file_)
     throw std::runtime_error("campaign: cannot open result store " + path);
+  if (unterminated_tail) {
+    // Newline-terminate rather than truncate: a complete record that only
+    // lost its newline was parsed above and must keep its bytes; a torn
+    // tail becomes an isolated line every future load ignores.
+    std::fputc('\n', file_);
+    std::fflush(file_);
+  }
 }
 
 ResultStore::~ResultStore() {

@@ -26,7 +26,7 @@ namespace bsp::campaign {
 // One task's outcome, as written to (and parsed back from) the store.
 struct TaskRecord {
   TaskSpec task;
-  std::string status;  // "ok" | "failed" | "timeout"
+  std::string status;  // "ok" | "failed" | "timeout" | "crashed"
   std::string error;   // last attempt's error when status != "ok"
   unsigned attempts = 1;
   double duration_ms = 0;  // wall clock across all attempts
@@ -36,6 +36,11 @@ struct TaskRecord {
   // [cycle, committed, <delta per registered counter, registry order>].
   u64 interval = 0;
   std::vector<std::vector<u64>> series;
+  // Per-task rusage, recorded by the process-isolation scheduler (zero —
+  // and omitted from the JSONL — when the task ran in thread mode).
+  long max_rss_kb = 0;
+  double user_sec = 0;
+  double sys_sec = 0;
 };
 
 // Serialises one record as a single JSON line (no trailing newline).
@@ -64,7 +69,11 @@ class ResultStore {
   // Opens `path` for appending, creating it (and its parent directory) if
   // needed; `truncate` discards any existing records first. Existing
   // well-formed records are indexed for resume, later duplicates of a task
-  // id superseding earlier ones.
+  // id superseding earlier ones. A file left without a trailing newline by
+  // a killed writer is newline-terminated before the first append, so the
+  // next record starts on its own line: a torn tail stays an isolated
+  // ignorable line, and a complete record that merely lost its newline
+  // keeps its (already indexed) value.
   explicit ResultStore(const std::string& path, bool truncate = false);
   ~ResultStore();
 

@@ -1,12 +1,17 @@
 // Minimal declarative CLI parser shared by the bench drivers
 // (bench/common.hpp) and the campaign tools (tools/bsp-sweep.cpp), replacing
 // the hand-rolled strcmp chains each driver used to carry. Supports long and
-// short aliases, typed value options, repeatable options, and a generated
-// --help. Matches the historical bench behaviour: exits 0 on --help, exits 2
-// on an unknown option or a missing value.
+// short aliases, typed value options, repeatable options, hidden (internal)
+// options, and a generated --help. Matches the historical bench behaviour:
+// exits 0 on --help, exits 2 on an unknown option, a missing value, or —
+// via the typed overloads and the parse_cli_* helpers — a malformed
+// numeric value (trailing junk, overflow, or a negative where an unsigned
+// is expected all reject; they no longer silently parse as 0).
 #pragma once
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <functional>
 #include <iostream>
@@ -17,6 +22,47 @@
 #include "util/bitops.hpp"
 
 namespace bsp {
+
+// Strict CLI numeric parsing. `what` names the option for the complaint
+// (e.g. "--instructions"); any malformed value prints it and exits 2, the
+// same contract as an unknown option. Base 0, so hex ("0x5eed") works.
+inline u64 parse_cli_u64(const std::string& what, const std::string& v) {
+  const char* s = v.c_str();
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long x = std::strtoull(s, &end, 0);
+  // strtoull silently wraps negatives into huge values; reject the sign
+  // explicitly along with empty/partial parses and overflow.
+  if (v.empty() || v.find('-') != std::string::npos || end == s ||
+      *end != '\0' || errno == ERANGE) {
+    std::cerr << what << ": invalid numeric value '" << v << "'\n";
+    std::exit(2);
+  }
+  return static_cast<u64>(x);
+}
+
+inline unsigned parse_cli_unsigned(const std::string& what,
+                                   const std::string& v) {
+  const u64 x = parse_cli_u64(what, v);
+  if (x > UINT_MAX) {
+    std::cerr << what << ": value '" << v << "' out of range\n";
+    std::exit(2);
+  }
+  return static_cast<unsigned>(x);
+}
+
+inline double parse_cli_double(const std::string& what,
+                               const std::string& v) {
+  const char* s = v.c_str();
+  errno = 0;
+  char* end = nullptr;
+  const double x = std::strtod(s, &end);
+  if (v.empty() || end == s || *end != '\0' || errno == ERANGE) {
+    std::cerr << what << ": invalid numeric value '" << v << "'\n";
+    std::exit(2);
+  }
+  return x;
+}
 
 class ArgParser {
  public:
@@ -33,33 +79,34 @@ class ArgParser {
                 std::function<void()> fn) {
     options_.push_back({split(names), "", help,
                         [fn = std::move(fn)](const std::string&) { fn(); },
-                        false});
+                        false, false});
   }
 
-  // Value options; the handler conveniences parse with strtoull/strtod base
-  // 0, so hex ("0x5eed") and decimal both work.
+  // Value options; the typed conveniences parse strictly via parse_cli_*
+  // (base 0, so hex "0x5eed" and decimal both work) and exit 2 on garbage
+  // instead of silently yielding 0.
   void add_value(const std::string& names, const std::string& placeholder,
                  const std::string& help,
                  std::function<void(const std::string&)> fn) {
     options_.push_back(
-        {split(names), placeholder, help, std::move(fn), true});
+        {split(names), placeholder, help, std::move(fn), true, false});
   }
   void add_value(const std::string& names, const std::string& placeholder,
                  const std::string& help, u64* out) {
-    add_value(names, placeholder, help, [out](const std::string& v) {
-      *out = std::strtoull(v.c_str(), nullptr, 0);
+    add_value(names, placeholder, help, [out, names](const std::string& v) {
+      *out = parse_cli_u64(names, v);
     });
   }
   void add_value(const std::string& names, const std::string& placeholder,
                  const std::string& help, unsigned* out) {
-    add_value(names, placeholder, help, [out](const std::string& v) {
-      *out = static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 0));
+    add_value(names, placeholder, help, [out, names](const std::string& v) {
+      *out = parse_cli_unsigned(names, v);
     });
   }
   void add_value(const std::string& names, const std::string& placeholder,
                  const std::string& help, double* out) {
-    add_value(names, placeholder, help, [out](const std::string& v) {
-      *out = std::strtod(v.c_str(), nullptr);
+    add_value(names, placeholder, help, [out, names](const std::string& v) {
+      *out = parse_cli_double(names, v);
     });
   }
   void add_value(const std::string& names, const std::string& placeholder,
@@ -75,9 +122,25 @@ class ArgParser {
   }
   void add_value(const std::string& names, const std::string& placeholder,
                  const std::string& help, std::vector<u64>* out) {
-    add_value(names, placeholder, help, [out](const std::string& v) {
-      out->push_back(std::strtoull(v.c_str(), nullptr, 0));
+    add_value(names, placeholder, help, [out, names](const std::string& v) {
+      out->push_back(parse_cli_u64(names, v));
     });
+  }
+
+  // Internal plumbing options (e.g. bsp-sweep's --worker): parsed like any
+  // value option but left out of --help.
+  void add_hidden_value(const std::string& names,
+                        const std::string& placeholder,
+                        const std::string& help,
+                        std::function<void(const std::string&)> fn) {
+    options_.push_back(
+        {split(names), placeholder, help, std::move(fn), true, true});
+  }
+  void add_hidden_value(const std::string& names,
+                        const std::string& placeholder,
+                        const std::string& help, std::string* out) {
+    add_hidden_value(names, placeholder, help,
+                     [out](const std::string& v) { *out = v; });
   }
 
   // Parses argv[1..]; on --help/-h prints usage and exits 0, on an unknown
@@ -111,6 +174,7 @@ class ArgParser {
     std::vector<std::pair<std::string, std::string>> lines;
     std::size_t width = 0;
     for (const auto& o : options_) {
+      if (o.hidden) continue;
       std::string left;
       for (std::size_t i = 0; i < o.names.size(); ++i) {
         if (i) left += ", ";
@@ -134,6 +198,7 @@ class ArgParser {
     std::string help;
     std::function<void(const std::string&)> apply;
     bool takes_value;
+    bool hidden;
   };
 
   static std::vector<std::string> split(const std::string& names) {

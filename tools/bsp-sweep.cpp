@@ -8,24 +8,116 @@
 // with the same --out path resumes: tasks with existing records are
 // skipped.
 //
+// With --isolate process every task runs in its own worker subprocess
+// (this binary re-exec'd with the hidden --worker flag): a segfaulting
+// configuration is recorded as "crashed" with its signal name, a wedged
+// one is SIGKILLed at the --timeout deadline and its core reclaimed, and
+// per-task rusage lands in the store. The sweep itself exits 0 whenever it
+// ran to completion — per-task failures are data in the store (and the
+// summary), not a process error; use --retry-failed on a rerun to retry
+// them. Exit 2 is reserved for usage errors.
+//
 //   bsp-sweep --list
 //   bsp-sweep --campaign fig11                      # full paper sweep
 //   bsp-sweep --campaign fig11 -n 20000 -w li       # quick smoke slice
 //   bsp-sweep --campaign fig12 --out results/fig12.jsonl --retry-failed
+//   bsp-sweep --campaign fig11 --isolate process --timeout 600
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <chrono>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "campaign/builtin.hpp"
 #include "campaign/campaign.hpp"
 #include "util/cli.hpp"
+#include "util/subprocess.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
-  using namespace bsp;
-  using namespace bsp::campaign;
+namespace {
 
+using namespace bsp;
+using namespace bsp::campaign;
+
+// Fault-injection hook for the isolation tests and the CI crash-injection
+// smoke campaign: BSP_SWEEP_INJECT="kind=id-substring[,kind=id-substring]"
+// with kind in {segv, abort, wedge, fail}. A worker whose task id contains
+// the substring injects the fault instead of (or before) simulating. The
+// variable is inherited across the re-exec, so setting it on the parent
+// sweep is enough. Returns a non-empty error for kind=fail.
+std::string maybe_inject_fault(const std::string& task_id) {
+  const char* spec = std::getenv("BSP_SWEEP_INJECT");
+  if (!spec) return "";
+  std::string s = spec;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string entry = s.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string kind = entry.substr(0, eq);
+    const std::string substr = entry.substr(eq + 1);
+    if (substr.empty() || task_id.find(substr) == std::string::npos)
+      continue;
+    if (kind == "segv") std::raise(SIGSEGV);
+    if (kind == "abort") std::abort();
+    if (kind == "wedge")
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    if (kind == "fail") return "injected failure (BSP_SWEEP_INJECT)";
+  }
+  return "";
+}
+
+// The worker half of the process-isolation protocol: run exactly one task
+// of `spec` (found by id) and print its TaskRecord JSONL on stdout. The
+// parent scheduler owns timeout, retry, and rusage; attempts here is
+// always 1. Exit 0 whenever a record was printed — a task-level failure is
+// payload, not a worker error.
+int run_worker(const SweepSpec& spec, const RunnerOptions& runner_options,
+               const std::string& task_id) {
+  const TaskSpec* task = nullptr;
+  const auto tasks = spec.expand();
+  for (const auto& t : tasks)
+    if (t.id() == task_id) {
+      task = &t;
+      break;
+    }
+  if (!task) {
+    std::cerr << "bsp-sweep --worker: task '" << task_id
+              << "' not in the expanded campaign\n";
+    return 3;
+  }
+  const std::string injected = maybe_inject_fault(task_id);
+  const auto t0 = std::chrono::steady_clock::now();
+  AttemptResult r;
+  if (!injected.empty()) {
+    r.error = injected;
+  } else {
+    r = make_sim_runner(runner_options)(*task);
+  }
+  TaskRecord rec;
+  rec.task = *task;
+  rec.status = r.error.empty() ? "ok" : "failed";
+  rec.error = r.error;
+  rec.attempts = 1;
+  rec.duration_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  rec.stats = r.stats;
+  rec.interval = r.interval;
+  rec.series = r.series;
+  std::cout << to_jsonl(rec) << "\n" << std::flush;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   std::string campaign_name;
   bool list = false, dry_run = false, csv = false;
   bool fresh = false, retry_failed = false, no_progress = false;
@@ -33,6 +125,8 @@ int main(int argc, char** argv) {
   u64 instructions = 0, warmup = 0;
   std::vector<std::string> workloads;
   std::vector<u64> seeds;
+  std::string isolate = "thread";
+  std::string worker_task;
   CampaignOptions options;
 
   ArgParser parser(
@@ -44,12 +138,12 @@ int main(int argc, char** argv) {
   parser.add_value("-n, --n, --instructions", "N",
                    "override measured instructions per run",
                    [&](const std::string& v) {
-                     instructions = std::strtoull(v.c_str(), nullptr, 0);
+                     instructions = parse_cli_u64("--instructions", v);
                      has_n = true;
                    });
   parser.add_value("--warmup", "N", "override discarded timing warm-up",
                    [&](const std::string& v) {
-                     warmup = std::strtoull(v.c_str(), nullptr, 0);
+                     warmup = parse_cli_u64("--warmup", v);
                      has_warmup = true;
                    });
   parser.add_value("-w, --workload", "NAME",
@@ -67,7 +161,8 @@ int main(int argc, char** argv) {
   parser.add_flag("--fresh", "discard existing records instead of resuming",
                   &fresh);
   parser.add_flag("--retry-failed",
-                  "re-run tasks recorded as failed/timeout", &retry_failed);
+                  "re-run tasks recorded as failed/timeout/crashed",
+                  &retry_failed);
   parser.add_value("--timeout", "SEC",
                    "per-task wall-clock timeout (default: none)",
                    &options.scheduler.timeout_sec);
@@ -75,16 +170,21 @@ int main(int argc, char** argv) {
                    "extra attempts for a failed task (default 1)",
                    [&](const std::string& v) {
                      options.scheduler.max_attempts =
-                         1 + static_cast<unsigned>(
-                                 std::strtoul(v.c_str(), nullptr, 0));
+                         1 + parse_cli_unsigned("--retries", v);
                    });
+  parser.add_value("--isolate", "MODE",
+                   "task isolation: 'thread' (in-process, default) or "
+                   "'process' (one worker subprocess per task; crashes "
+                   "become \"crashed\" records, timeouts are SIGKILLed and "
+                   "reclaimed, rusage is recorded)",
+                   &isolate);
   RunnerOptions runner_options;
   parser.add_value("--interval-stats", "N",
                    "record a per-task time-series of counter deltas every N "
                    "committed instructions into each record's \"series\"",
                    [&](const std::string& v) {
                      runner_options.interval =
-                         std::strtoull(v.c_str(), nullptr, 0);
+                         parse_cli_u64("--interval-stats", v);
                    });
   parser.add_flag("--host-profile",
                   "collect per-phase host timings (records' \"host_phases\" "
@@ -95,6 +195,9 @@ int main(int argc, char** argv) {
   parser.add_flag("--dry-run", "print the expanded task list and exit",
                   &dry_run);
   parser.add_flag("--csv", "print the summary table as CSV", &csv);
+  parser.add_hidden_value("--worker", "TASK-ID",
+                          "(internal) run one task and print its record",
+                          &worker_task);
   parser.parse(argc, argv);
 
   if (list) {
@@ -115,6 +218,11 @@ int main(int argc, char** argv) {
               << "' (try --list)\n";
     return 2;
   }
+  if (isolate != "thread" && isolate != "process") {
+    std::cerr << "bsp-sweep: --isolate must be 'thread' or 'process', got '"
+              << isolate << "'\n";
+    return 2;
+  }
 
   SweepSpec spec = builtin->make();
   if (!workloads.empty()) spec.workloads = workloads;
@@ -122,9 +230,40 @@ int main(int argc, char** argv) {
   if (has_n) spec.instructions = instructions;
   if (has_warmup) spec.warmup = warmup;
 
+  if (!worker_task.empty()) return run_worker(spec, runner_options, worker_task);
+
   if (dry_run) {
     for (const auto& task : spec.expand()) std::cout << task.id() << "\n";
     return 0;
+  }
+
+  if (isolate == "process") {
+    options.scheduler.isolate = IsolationMode::kProcess;
+    // Worker re-exec: this binary plus everything that shaped the expanded
+    // spec (the task list must re-expand identically in the worker) and
+    // the per-task observability knobs. The scheduler appends the task id
+    // as --worker's value.
+    std::vector<std::string>& cmd = options.scheduler.worker_cmd;
+    cmd = {self_exe_path(argv[0]), "--campaign", spec.name,
+           "--n", std::to_string(spec.instructions),
+           "--warmup", std::to_string(spec.warmup)};
+    for (const auto& w : spec.workloads) {
+      cmd.push_back("-w");
+      cmd.push_back(w);
+    }
+    for (const u64 s : spec.seeds) {
+      char hex[32];
+      std::snprintf(hex, sizeof hex, "0x%llx",
+                    static_cast<unsigned long long>(s));
+      cmd.push_back("--seed");
+      cmd.push_back(hex);
+    }
+    if (runner_options.interval) {
+      cmd.push_back("--interval-stats");
+      cmd.push_back(std::to_string(runner_options.interval));
+    }
+    if (runner_options.host_profile) cmd.push_back("--host-profile");
+    cmd.push_back("--worker");
   }
 
   options.fresh = fresh;
@@ -139,8 +278,8 @@ int main(int argc, char** argv) {
   std::cout << "== campaign " << spec.name << " ==\n"
             << report.total << " tasks: " << report.skipped << " resumed, "
             << report.ran << " ran (" << report.ok << " ok, "
-            << report.failed << " failed, " << report.retried
-            << " retried)\n"
+            << report.failed << " failed, " << report.crashed
+            << " crashed, " << report.retried << " retried)\n"
             << "results: " << options.out_path << "\n\n";
   const Table summary = summary_table(spec, report);
   if (csv)
@@ -158,5 +297,8 @@ int main(int argc, char** argv) {
                   << "\n";
     }
   if (bad > 10) std::cout << "  ... and " << bad - 10 << " more\n";
-  return bad ? 1 : 0;
+  // Completing the sweep is success even when tasks failed — containment
+  // means the failures are records in the store, not a dead process. The
+  // counts above and the JSONL are the signal CI should assert on.
+  return 0;
 }
