@@ -85,6 +85,22 @@ void BM_EmulatorStepThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EmulatorStepThroughput);
 
+void BM_EmulatorFastRunThroughput(benchmark::State& state) {
+  // Same workload as the step() benchmark above so the pair reads as a
+  // speedup ratio: this is the fast-forward path campaigns use to reach
+  // checkpoint regions (no ExecRecord, dense predecoded dispatch).
+  const Workload w = build_workload("bzip");
+  Emulator emu(w.program);
+  constexpr u64 kChunk = 1 << 16;
+  u64 total = 0;
+  for (auto _ : state) {
+    if (emu.exited()) emu.load(w.program);
+    total += emu.run_fast(kChunk);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(BM_EmulatorFastRunThroughput);
+
 void BM_SimulatorThroughput(benchmark::State& state) {
   const Workload w = build_workload("gzip");
   const MachineConfig cfg = state.range(0) == 0

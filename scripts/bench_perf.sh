@@ -9,8 +9,14 @@
 # The tracked benchmarks are the whole-program simulator throughput runs
 # (BM_SimulatorThroughput: gzip, 20k commits, base/slice-2/slice-4 machines;
 # BM_TechniqueStackThroughput: the slice-4 cumulative technique stacks) plus
-# the emulator step rate. Wall-clock numbers are host- and load-sensitive:
-# compare runs from the same machine, and prefer the best of a few repeats.
+# the emulator step rate and the fast-forward interpreter rate
+# (BM_EmulatorFastRunThroughput — the run_fast path campaigns use to reach
+# checkpoint regions; the acceptance floor is 3x the step rate). The script
+# also times a small fast-forwarding sweep twice against one checkpoint
+# cache directory and records the cold/warm wall-clock seconds under
+# "ckpt_cache_sweep" in the output JSON. Wall-clock numbers are host- and
+# load-sensitive: compare runs from the same machine, and prefer the best
+# of a few repeats.
 #
 # A baseline is only recorded when the benchmark context reports
 # "library_build_type": "release" — a debug-built Google Benchmark library
@@ -42,7 +48,7 @@ TMP="$OUT.tmp"
 trap 'rm -f "$TMP"' EXIT
 
 "$BUILD/bench/bench_microarch" \
-  --benchmark_filter='SimulatorThroughput|TechniqueStackThroughput|EmulatorStep' \
+  --benchmark_filter='SimulatorThroughput|TechniqueStackThroughput|EmulatorStep|EmulatorFastRun' \
   --benchmark_format=json \
   --benchmark_out="$TMP" \
   --benchmark_out_format=json
@@ -59,5 +65,35 @@ if [ "$LIB_BUILD" != "release" ]; then
   echo "warning: recording baseline against a '$LIB_BUILD' benchmark library" >&2
 fi
 
+# Cold/warm checkpoint-cache sweep: the same small fast-forwarding
+# campaign twice against one cache directory. Cold pays the fast-forwards
+# and materialises the cache; warm restores everything from it, so
+# warm_sec < cold_sec is the end-to-end win the cache exists for.
+cmake --build "$BUILD" --target bsp-sweep -j "$(nproc)" > /dev/null
+CKPT_DIR=$(mktemp -d)
+SWEEP_OUT=$(mktemp -u)
+trap 'rm -f "$TMP"; rm -rf "$CKPT_DIR" "$SWEEP_OUT".*' EXIT
+sweep_secs() {
+  start=$(date +%s.%N)
+  "$BUILD/tools/bsp-sweep" --campaign fig11 -w gzip -n 5000 --warmup 1000 \
+    --fast-forward 2000000 --ckpt-cache "$CKPT_DIR" \
+    --out "$1" --fresh --no-progress > /dev/null
+  end=$(date +%s.%N)
+  echo "$start $end" | awk '{ printf "%.3f", $2 - $1 }'
+}
+COLD_SEC=$(sweep_secs "$SWEEP_OUT.cold.jsonl")
+WARM_SEC=$(sweep_secs "$SWEEP_OUT.warm.jsonl")
+python3 - "$TMP" "$COLD_SEC" "$WARM_SEC" <<'EOF'
+import json, sys
+path, cold, warm = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+data = json.load(open(path))
+data["ckpt_cache_sweep"] = {
+    "campaign": "fig11 -w gzip -n 5000 --warmup 1000 --fast-forward 2000000",
+    "cold_sec": cold,
+    "warm_sec": warm,
+}
+json.dump(data, open(path, "w"), indent=1)
+EOF
+
 mv "$TMP" "$OUT"
-echo "wrote $OUT"
+echo "wrote $OUT (ckpt cache sweep: cold ${COLD_SEC}s, warm ${WARM_SEC}s)"

@@ -4,7 +4,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 
+#include "campaign/ckpt_cache.hpp"
 #include "campaign/progress.hpp"
 #include "core/simulator.hpp"
 #include "obs/interval.hpp"
@@ -40,6 +42,10 @@ CampaignReport run_campaign(const SweepSpec& spec, const TaskRunner& runner,
   pending.reserve(todo.size());
   for (const std::size_t i : todo) pending.push_back(tasks[i]);
 
+  // Checkpoint-cache pre-pass: pay each distinct fast-forward once, up
+  // front, so the sweep's workers (thread or process) only ever restore.
+  report.prewarm = prewarm_checkpoint_cache(pending, options.scheduler);
+
   run_tasks(pending, runner, options.scheduler,
             [&](std::size_t pi, const TaskOutcome& out) {
               TaskRecord rec;
@@ -54,10 +60,14 @@ CampaignReport run_campaign(const SweepSpec& spec, const TaskRunner& runner,
               rec.max_rss_kb = out.max_rss_kb;
               rec.user_sec = out.user_sec;
               rec.sys_sec = out.sys_sec;
+              rec.ckpt_cache = out.ckpt_cache;
+              rec.ffwd_sec = out.ffwd_sec;
               store.append(rec);  // thread-safe, atomic line append
               meter.task_done(out);
               std::lock_guard<std::mutex> lock(report_mutex);
               ++report.ran;
+              if (out.ckpt_cache == "hit") ++report.ckpt_hits;
+              if (out.ckpt_cache == "miss") ++report.ckpt_misses;
               if (out.ok())
                 ++report.ok;
               else if (out.status == "crashed")
@@ -84,6 +94,12 @@ TaskRunner make_sim_runner(const RunnerOptions& options) {
     std::map<std::pair<std::string, u64>,
              std::shared_future<std::shared_ptr<const Workload>>>
         built;
+    // (workload, seed, fast_forward) -> start checkpoint, same
+    // build-once/share pattern: within one process each distinct
+    // fast-forward is paid (or its cache file read) exactly once, no matter
+    // how many concurrent tasks need it.
+    std::map<std::tuple<std::string, u64, u64>, std::shared_future<CkptFetch>>
+        ckpts;
   };
   auto cache = std::make_shared<Cache>();
   return [cache, options](const TaskSpec& task) -> AttemptResult {
@@ -120,7 +136,50 @@ TaskRunner make_sim_runner(const RunnerOptions& options) {
       r.error = std::string("workload build failed: ") + e.what();
       return r;
     }
-    Simulator sim(task.machine.build(), workload->program);
+    // Fast-forward tasks start from a shared checkpoint: in-process memo
+    // first, then the on-disk cache, then (cold path) one fast-forward run
+    // whose result every later task reuses.
+    CkptFetch ckpt;
+    if (task.fast_forward > 0) {
+      std::shared_future<CkptFetch> cfut;
+      bool ckpt_builder = false;
+      std::promise<CkptFetch> cpromise;
+      {
+        std::lock_guard<std::mutex> lock(cache->m);
+        const auto key =
+            std::make_tuple(task.workload, task.seed, task.fast_forward);
+        const auto it = cache->ckpts.find(key);
+        if (it == cache->ckpts.end()) {
+          cfut = cpromise.get_future().share();
+          cache->ckpts.emplace(key, cfut);
+          ckpt_builder = true;
+        } else {
+          cfut = it->second;
+        }
+      }
+      if (ckpt_builder)
+        cpromise.set_value(fetch_checkpoint(options.ckpt_cache_dir,
+                                            task.workload, task.seed,
+                                            workload->program,
+                                            task.fast_forward));
+      ckpt = cfut.get();
+      if (!ckpt.ok()) {
+        AttemptResult r;
+        r.error = "fast-forward failed: " + ckpt.error;
+        return r;
+      }
+      // Memo consumers after the first share the builder's fetch; only the
+      // builder reports its miss (and pays its ffwd_sec) so per-task
+      // records sum to the real host cost instead of multiply counting it.
+      if (!ckpt_builder) {
+        ckpt.hit = true;
+        ckpt.ffwd_sec = 0;
+      }
+    }
+    Simulator sim = task.fast_forward > 0
+                        ? Simulator(task.machine.build(), workload->program,
+                                    *ckpt.checkpoint)
+                        : Simulator(task.machine.build(), workload->program);
     obs::IntervalSampler sampler(options.interval ? options.interval : 1);
     if (options.interval) sim.set_interval_sampler(&sampler);
     if (options.host_profile) sim.enable_host_profile();
@@ -128,6 +187,11 @@ TaskRunner make_sim_runner(const RunnerOptions& options) {
     AttemptResult r;
     r.stats = res.stats;
     r.error = res.error;
+    if (task.fast_forward > 0) {
+      r.ckpt_cache = ckpt.hit ? "hit" : "miss";
+      r.ffwd_sec = ckpt.ffwd_sec;
+      if (options.host_profile) r.stats.host_profile.ffwd = ckpt.ffwd_sec;
+    }
     if (options.interval) {
       r.interval = options.interval;
       r.series.reserve(sampler.rows().size());
@@ -172,6 +236,7 @@ Table summary_table(const SweepSpec& spec, const CampaignReport& report) {
         probe.machine = spec.machines[mi];
         probe.instructions = spec.instructions;
         probe.warmup = spec.warmup;
+        probe.fast_forward = spec.fast_forward;
         const auto it = by_id.find(probe.id());
         if (it == by_id.end()) {
           row.push_back("-");

@@ -29,6 +29,13 @@ struct CampaignReport {
   std::size_t failed = 0;   // ... of which failed or timed out
   std::size_t crashed = 0;  // ... of which died on a signal (process mode)
   std::size_t retried = 0;  // ... of which needed >1 attempt
+  // Checkpoint-cache pre-pass stats (all zero when no --ckpt-cache dir or
+  // no fast_forward in the spec).
+  PrewarmStats prewarm;
+  // Per-task cache traffic: executed tasks whose start checkpoint came from
+  // the cache ("hit") vs. paid-here fast-forwards ("miss").
+  std::size_t ckpt_hits = 0;
+  std::size_t ckpt_misses = 0;
   // Final state of every task in the grid (resumed + fresh), in grid order.
   std::vector<TaskRecord> records;
 };
@@ -49,6 +56,11 @@ struct RunnerOptions {
   // Collect host-phase profiles (SimStats::host_profile, serialised as the
   // record's "host_phases" object) and feed the progress meter's breakdown.
   bool host_profile = false;
+  // Shared checkpoint cache directory for fast_forward > 0 tasks ("" = no
+  // on-disk cache; concurrent in-process tasks still share one fast-forward
+  // through the runner's memo). Point workers at the same directory the
+  // scheduler prewarmed.
+  std::string ckpt_cache_dir;
 };
 
 // The production runner: builds each (workload, seed) program once —

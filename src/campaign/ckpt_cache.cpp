@@ -1,0 +1,131 @@
+#include "campaign/ckpt_cache.hpp"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace bsp::campaign {
+namespace {
+
+struct Fnv1a {
+  u64 h = 14695981039346656037ull;
+  void bytes(const void* p, std::size_t n) {
+    const unsigned char* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void word(u64 v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(b, 8);
+  }
+};
+
+// Workload names come from workload_names() and seeds are numbers, so cache
+// file names are already safe; this guards against future callers passing a
+// path-ish workload string.
+std::string sanitise(const std::string& s) {
+  std::string out = s;
+  for (char& c : out)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '.'))
+      c = '_';
+  return out;
+}
+
+}  // namespace
+
+std::string checkpoint_cache_key(const Program& program, u64 fast_forward) {
+  Fnv1a f;
+  f.word(program.text_base);
+  f.word(program.text.size());
+  f.bytes(program.text.data(), program.text.size() * sizeof(u32));
+  f.word(program.data_base);
+  f.word(program.data.size());
+  f.bytes(program.data.data(), program.data.size());
+  f.word(program.entry);
+  f.word(fast_forward);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(f.h));
+  return buf;
+}
+
+std::string checkpoint_cache_path(const std::string& dir,
+                                  const std::string& workload, u64 seed,
+                                  const Program& program, u64 fast_forward) {
+  std::ostringstream os;
+  os << dir << "/" << sanitise(workload) << "-s" << std::hex << seed
+     << std::dec << "-ff" << fast_forward << "-"
+     << checkpoint_cache_key(program, fast_forward) << ".bspc";
+  return os.str();
+}
+
+CkptFetch fetch_checkpoint(const std::string& dir, const std::string& workload,
+                           u64 seed, const Program& program,
+                           u64 fast_forward) {
+  CkptFetch out;
+  if (fast_forward == 0) {
+    out.error = "fast_forward must be nonzero";
+    return out;
+  }
+
+  if (!dir.empty()) {
+    out.path =
+        checkpoint_cache_path(dir, workload, seed, program, fast_forward);
+    std::string load_error;
+    if (auto ckpt = load_checkpoint_file(out.path, &load_error)) {
+      out.checkpoint = std::make_shared<const Checkpoint>(std::move(*ckpt));
+      out.hit = true;
+      return out;
+    }
+    // Missing file is the normal cold path; a present-but-corrupt file (torn
+    // concurrent writer that died before rename never leaves one, but a
+    // truncated disk might) falls through and is overwritten below.
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // Qualified: the `fast_forward` parameter shadows the emu-layer function.
+  auto ckpt = ::bsp::fast_forward(program, fast_forward);
+  out.ffwd_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!ckpt) {
+    out.error = "program exited or faulted before fast_forward=" +
+                std::to_string(fast_forward);
+    return out;
+  }
+  out.checkpoint = std::make_shared<const Checkpoint>(std::move(*ckpt));
+
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    // Write-then-rename: readers never observe a partial file, and two
+    // concurrent materialisers of the same key race benignly (identical
+    // bytes, last rename wins). The pid suffix keeps their temp files apart.
+    std::ostringstream tmp;
+    tmp << out.path << ".tmp." << ::getpid();
+    if (!save_checkpoint_file(*out.checkpoint, tmp.str())) {
+      std::remove(tmp.str().c_str());
+      out.error = "cannot write checkpoint cache file " + tmp.str();
+      out.checkpoint = nullptr;
+      return out;
+    }
+    std::filesystem::rename(tmp.str(), out.path, ec);
+    if (ec) {
+      std::remove(tmp.str().c_str());
+      out.error = "cannot publish checkpoint cache file " + out.path + ": " +
+                  ec.message();
+      out.checkpoint = nullptr;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace bsp::campaign

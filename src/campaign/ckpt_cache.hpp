@@ -1,0 +1,60 @@
+// Shared on-disk checkpoint cache for campaign fast-forwards.
+//
+// Every task with the same (workload, seed, fast_forward) starts detailed
+// timing from the same architectural state, so an N-task sweep should pay
+// for one fast-forward, not N. This module materialises that state once as
+// a BSPC file in a cache directory and lets every later task — in this
+// process, a worker subprocess, or a concurrent sweep over the same
+// directory — restore it instead of re-emulating.
+//
+// Keying: the file name embeds an FNV-1a hash over the program image
+// (text/data bytes, bases, entry) and the fast-forward count. Workload
+// generator changes therefore miss the old entries instead of silently
+// reusing stale state — invalidation is automatic, and a cache directory
+// can be kept across code changes. The readable "<workload>-s<seed>-ffN-"
+// prefix exists for humans; only the hash carries correctness.
+//
+// Atomicity: writers serialise to "<final>.tmp.<pid>" and rename(2) into
+// place. Concurrent sweeps may both do the fast-forward, but a reader only
+// ever sees a complete file, and the last rename wins with identical bytes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "asm/program.hpp"
+#include "emu/checkpoint.hpp"
+
+namespace bsp::campaign {
+
+// Outcome of one cache lookup-or-materialise.
+struct CkptFetch {
+  std::shared_ptr<const Checkpoint> checkpoint;  // null on failure
+  bool hit = false;      // loaded from an existing cache file
+  double ffwd_sec = 0;   // host seconds spent fast-forwarding (miss only)
+  std::string path;      // cache file involved ("" when dir is empty)
+  std::string error;     // non-empty on failure
+
+  bool ok() const { return checkpoint != nullptr; }
+};
+
+// Content key: 64-bit FNV-1a over the program image and the fast-forward
+// count, as 16 lowercase hex digits.
+std::string checkpoint_cache_key(const Program& program, u64 fast_forward);
+
+// Full cache file path for a (workload, seed, program, fast_forward) tuple.
+std::string checkpoint_cache_path(const std::string& dir,
+                                  const std::string& workload, u64 seed,
+                                  const Program& program, u64 fast_forward);
+
+// Returns the checkpoint for (program, fast_forward), preferring the cache:
+//  * cache file exists and loads cleanly -> hit;
+//  * otherwise fast-forward on the emulator, publish atomically -> miss.
+// With an empty `dir` the fast-forward always runs and nothing is written
+// (ffwd_sec still reported). A corrupt cache file is treated as a miss and
+// overwritten. Thread- and process-safe against concurrent fetches of the
+// same tuple. fast_forward == 0 is invalid (callers skip the cache).
+CkptFetch fetch_checkpoint(const std::string& dir, const std::string& workload,
+                           u64 seed, const Program& program, u64 fast_forward);
+
+}  // namespace bsp::campaign

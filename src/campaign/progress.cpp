@@ -32,6 +32,7 @@ void ProgressMeter::task_done(const TaskOutcome& outcome) {
       phases_.fetch += hp.fetch;
       phases_.cosim += hp.cosim;
       phases_.replay += hp.replay;
+      phases_.ffwd += hp.ffwd;
       phases_.loop_cycles += hp.loop_cycles;
     }
   }
@@ -90,14 +91,19 @@ void ProgressMeter::print_phases_locked() {
   if (total <= 0) return;
   const auto pct = [&](double v) { return 100.0 * v / total; };
   // cosim and replay are nested inside commit and memory respectively.
+  // ffwd happens before the cycle loop, so it reports in absolute seconds
+  // beside the loop's 100%, not as a share of it.
+  char ffwd[40] = "";
+  if (phases_.ffwd > 0)
+    std::snprintf(ffwd, sizeof ffwd, " | ffwd %.2fs pre-loop", phases_.ffwd);
   std::fprintf(stderr,
                "[%s] host phases: commit %.1f%% (cosim %.1f%%) | "
                "resolve %.1f%% | select %.1f%% | memory %.1f%% "
-               "(replay %.1f%%) | dispatch %.1f%% | fetch %.1f%%\n",
+               "(replay %.1f%%) | dispatch %.1f%% | fetch %.1f%%%s\n",
                name_.c_str(), pct(phases_.commit), pct(phases_.cosim),
                pct(phases_.resolve), pct(phases_.select), pct(phases_.memory),
                pct(phases_.replay), pct(phases_.dispatch),
-               pct(phases_.fetch));
+               pct(phases_.fetch), ffwd);
 }
 
 }  // namespace bsp::campaign

@@ -8,9 +8,11 @@
 #include <mutex>
 #include <thread>
 
+#include "campaign/ckpt_cache.hpp"
 #include "campaign/store.hpp"
 #include "util/parallel.hpp"
 #include "util/subprocess.hpp"
+#include "workloads/workloads.hpp"
 
 namespace bsp::campaign {
 namespace {
@@ -153,6 +155,8 @@ TaskOutcome run_one_task_process(const TaskSpec& task,
     out.stats = rec->stats;
     out.interval = rec->interval;
     out.series = rec->series;
+    out.ckpt_cache = rec->ckpt_cache;
+    out.ffwd_sec = rec->ffwd_sec;
     if (out.status == "ok") break;
   }
   out.duration_ms =
@@ -161,6 +165,59 @@ TaskOutcome run_one_task_process(const TaskSpec& task,
 }
 
 }  // namespace
+
+PrewarmStats prewarm_checkpoint_cache(const std::vector<TaskSpec>& tasks,
+                                      const SchedulerOptions& options) {
+  PrewarmStats stats;
+  if (options.ckpt_cache_dir.empty()) return stats;
+
+  // One representative task per distinct (workload, seed, fast_forward):
+  // all tasks of a group start timing from the same architectural state.
+  struct Group {
+    std::string workload;
+    u64 seed = 0;
+    u64 fast_forward = 0;
+  };
+  std::vector<Group> groups;
+  for (const TaskSpec& t : tasks) {
+    if (t.fast_forward == 0) continue;
+    const auto same = [&](const Group& g) {
+      return g.workload == t.workload && g.seed == t.seed &&
+             g.fast_forward == t.fast_forward;
+    };
+    if (std::none_of(groups.begin(), groups.end(), same))
+      groups.push_back({t.workload, t.seed, t.fast_forward});
+  }
+  stats.groups = groups.size();
+  if (groups.empty()) return stats;
+
+  std::mutex m;
+  parallel_for(
+      groups.size(),
+      [&](std::size_t i) {
+        const Group& g = groups[i];
+        CkptFetch fetch;
+        try {
+          WorkloadParams params;
+          params.seed = g.seed;
+          const Workload w = build_workload(g.workload, params);
+          fetch = fetch_checkpoint(options.ckpt_cache_dir, g.workload, g.seed,
+                                   w.program, g.fast_forward);
+        } catch (const std::exception& e) {
+          fetch.error = std::string("workload build failed: ") + e.what();
+        }
+        std::lock_guard<std::mutex> lock(m);
+        if (!fetch.ok())
+          ++stats.failed;  // workers will hit the same error per-task
+        else if (fetch.hit)
+          ++stats.reused;
+        else
+          ++stats.materialised;
+        stats.ffwd_sec += fetch.ffwd_sec;
+      },
+      options.jobs);
+  return stats;
+}
 
 TaskOutcome run_one_task(const TaskSpec& task, const TaskRunner& runner,
                          const SchedulerOptions& options) {
@@ -196,6 +253,8 @@ TaskOutcome run_one_task(const TaskSpec& task, const TaskRunner& runner,
       out.stats = r.stats;
       out.interval = r.interval;
       out.series = r.series;
+      out.ckpt_cache = r.ckpt_cache;
+      out.ffwd_sec = r.ffwd_sec;
       break;
     }
     out.status = "failed";

@@ -44,6 +44,11 @@ struct AttemptResult {
   // order>]. Numeric-only so the store can serialise it losslessly.
   u64 interval = 0;
   std::vector<std::vector<u64>> series;
+  // Fast-forward bookkeeping (tasks with fast_forward > 0 only): where the
+  // start checkpoint came from ("hit" = cache file or in-process memo,
+  // "miss" = fast-forwarded here) and the host seconds that cost.
+  std::string ckpt_cache;
+  double ffwd_sec = 0;
 };
 
 // Runs a single attempt. May throw; the scheduler converts the exception
@@ -68,6 +73,11 @@ struct SchedulerOptions {
   // and print its TaskRecord as a single JSONL line on stdout (bsp-sweep's
   // hidden --worker flag implements this protocol).
   std::vector<std::string> worker_cmd;
+  // Shared on-disk checkpoint cache directory (campaign/ckpt_cache.hpp).
+  // "" = no cache: every worker fast-forwards for itself. When set,
+  // prewarm_checkpoint_cache() materialises each distinct checkpoint once
+  // before the sweep and workers (threads or subprocesses) restore from it.
+  std::string ckpt_cache_dir;
 };
 
 struct TaskOutcome {
@@ -83,10 +93,32 @@ struct TaskOutcome {
   long max_rss_kb = 0;
   double user_sec = 0;
   double sys_sec = 0;
+  // Fast-forward bookkeeping from the successful attempt (see
+  // AttemptResult).
+  std::string ckpt_cache;
+  double ffwd_sec = 0;
 
   bool ok() const { return status == "ok"; }
   bool retried() const { return attempts > 1; }
 };
+
+// Checkpoint-cache pre-pass: groups `tasks` by (workload, seed,
+// fast_forward), drops the fast_forward == 0 groups, and materialises each
+// remaining group's BSPC checkpoint into options.ckpt_cache_dir exactly
+// once (ckpt_cache.hpp does the content keying and the atomic publish).
+// Runs groups on options.jobs threads. After this pass every worker —
+// thread or subprocess, this sweep or a concurrent one over the same
+// directory — restores in milliseconds instead of re-emulating. No-op
+// (all-zero stats) when ckpt_cache_dir is empty.
+struct PrewarmStats {
+  std::size_t groups = 0;        // distinct (workload, seed, ff>0) tuples
+  std::size_t materialised = 0;  // fast-forwarded and published this call
+  std::size_t reused = 0;        // already present in the cache directory
+  std::size_t failed = 0;        // build/fast-forward/publish failures
+  double ffwd_sec = 0;           // host seconds across materialisations
+};
+PrewarmStats prewarm_checkpoint_cache(const std::vector<TaskSpec>& tasks,
+                                      const SchedulerOptions& options);
 
 // Runs one task to completion (attempts + timeout handling).
 TaskOutcome run_one_task(const TaskSpec& task, const TaskRunner& runner,

@@ -36,6 +36,7 @@ std::string TaskSpec::id() const {
   os << campaign << "/" << workload << "/seed=0x" << std::hex << seed
      << std::dec << "/" << machine.key() << "/n=" << instructions
      << "/w=" << warmup;
+  if (fast_forward != 0) os << "/ff=" << fast_forward;
   return os.str();
 }
 
@@ -52,6 +53,7 @@ std::vector<TaskSpec> SweepSpec::expand() const {
         t.machine = machine;
         t.instructions = instructions;
         t.warmup = warmup;
+        t.fast_forward = fast_forward;
         if (seen.insert(t.id()).second) tasks.push_back(std::move(t));
       }
     }

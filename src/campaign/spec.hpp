@@ -45,9 +45,15 @@ struct TaskSpec {
   MachinePoint machine;
   u64 instructions = 200'000;
   u64 warmup = 300'000;
+  // Instructions to fast-forward on the functional emulator before detailed
+  // timing starts (the paper skips ~1B per benchmark). 0 = start at reset.
+  // Tasks sharing (workload, seed, fast_forward) can reuse one checkpoint.
+  u64 fast_forward = 0;
 
   // Canonical unique key, e.g.
-  // "fig11/li/seed=0x5eed/sliced-x2-t0x1f/n=200000/w=300000".
+  // "fig11/li/seed=0x5eed/sliced-x2-t0x1f/n=200000/w=300000"; a nonzero
+  // fast_forward appends "/ff=N" (zero adds nothing, so pre-fast-forward
+  // stores resume unchanged).
   std::string id() const;
 };
 
@@ -58,6 +64,7 @@ struct SweepSpec {
   std::vector<u64> seeds = {0x5eedu};
   u64 instructions = 200'000;
   u64 warmup = 300'000;
+  u64 fast_forward = 0;  // applied to every expanded task
 
   // Deterministic expansion: workload-major, then seed, then machine point,
   // in declaration order. Duplicate grid entries (a repeated workload, seed

@@ -112,8 +112,10 @@ std::string to_jsonl(const TaskRecord& rec) {
      << std::dec << "\""
      << ",\"label\":\"" << escape(t.machine.label) << "\""
      << ",\"instructions\":" << t.instructions
-     << ",\"warmup\":" << t.warmup
-     << ",\"status\":\"" << escape(rec.status) << "\""
+     << ",\"warmup\":" << t.warmup;
+  // Written only when nonzero so pre-fast-forward stores stay byte-stable.
+  if (t.fast_forward != 0) os << ",\"fast_forward\":" << t.fast_forward;
+  os << ",\"status\":\"" << escape(rec.status) << "\""
      << ",\"attempts\":" << rec.attempts
      << ",\"duration_ms\":" << fmt_ms(rec.duration_ms)
      << ",\"host_seconds\":" << fmt_ms(rec.stats.host_seconds);
@@ -121,6 +123,10 @@ std::string to_jsonl(const TaskRecord& rec) {
     os << ",\"rusage\":{\"max_rss_kb\":" << rec.max_rss_kb
        << ",\"user_sec\":" << fmt_ms(rec.user_sec)
        << ",\"sys_sec\":" << fmt_ms(rec.sys_sec) << "}";
+  }
+  if (!rec.ckpt_cache.empty()) {
+    os << ",\"ckpt_cache\":\"" << escape(rec.ckpt_cache) << "\""
+       << ",\"ffwd_sec\":" << fmt_sec(rec.ffwd_sec);
   }
   if (rec.stats.host_profile.enabled) {
     const obs::HostProfile& hp = rec.stats.host_profile;
@@ -132,6 +138,7 @@ std::string to_jsonl(const TaskRecord& rec) {
        << ",\"fetch\":" << fmt_sec(hp.fetch)
        << ",\"cosim\":" << fmt_sec(hp.cosim)
        << ",\"replay\":" << fmt_sec(hp.replay)
+       << ",\"ffwd\":" << fmt_sec(hp.ffwd)
        << ",\"loop_cycles\":" << hp.loop_cycles << "}";
   }
   if (!rec.error.empty()) os << ",\"error\":\"" << escape(rec.error) << "\"";
@@ -247,6 +254,7 @@ std::optional<TaskRecord> parse_jsonl(const std::string& line) {
   rec.task.machine.label = *label;
   rec.task.instructions = *instructions;
   rec.task.warmup = *warmup;
+  if (const auto ff = num("fast_forward")) rec.task.fast_forward = *ff;
   rec.status = *status;
   rec.attempts = static_cast<unsigned>(*attempts);
   if (const auto e = str("error")) rec.error = *e;
@@ -263,6 +271,11 @@ std::optional<TaskRecord> parse_jsonl(const std::string& line) {
     rec.user_sec = std::strtod(v->c_str(), nullptr);
   if (const auto v = str("sys_sec"))
     rec.sys_sec = std::strtod(v->c_str(), nullptr);
+  // "ffwd_sec" and the host_phases "ffwd" key never collide: the extractor
+  // needles include the closing quote-colon.
+  if (const auto v = str("ckpt_cache")) rec.ckpt_cache = *v;
+  if (const auto v = str("ffwd_sec"))
+    rec.ffwd_sec = std::strtod(v->c_str(), nullptr);
   if (jsonl_field(line, "host_phases")) {
     // Phase keys are unique within a line (no stats counter is an exact
     // match), so the flat extractor reads them through the nested object.
@@ -280,6 +293,7 @@ std::optional<TaskRecord> parse_jsonl(const std::string& line) {
     phase("fetch", hp.fetch);
     phase("cosim", hp.cosim);
     phase("replay", hp.replay);
+    phase("ffwd", hp.ffwd);
     if (const auto v = num("loop_cycles")) hp.loop_cycles = *v;
   }
   if (rec.status == "ok") {

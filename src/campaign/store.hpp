@@ -41,6 +41,12 @@ struct TaskRecord {
   long max_rss_kb = 0;
   double user_sec = 0;
   double sys_sec = 0;
+  // Fast-forward bookkeeping (fast_forward > 0 tasks only; "" — and omitted
+  // from the JSONL — otherwise): "hit" when the start checkpoint came from
+  // the cache, "miss" when this task paid the fast-forward, plus the host
+  // seconds it spent doing so (0 for a hit).
+  std::string ckpt_cache;
+  double ffwd_sec = 0;
 };
 
 // Serialises one record as a single JSON line (no trailing newline).

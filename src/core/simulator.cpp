@@ -1833,4 +1833,10 @@ SimResult simulate(const MachineConfig& config, const Program& program,
   return Simulator(config, program).run(max_commits, warmup_commits);
 }
 
+SimResult simulate(const MachineConfig& config, const Program& program,
+                   const Checkpoint& start, u64 max_commits,
+                   u64 warmup_commits) {
+  return Simulator(config, program, start).run(max_commits, warmup_commits);
+}
+
 }  // namespace bsp

@@ -122,4 +122,11 @@ class Simulator {
 SimResult simulate(const MachineConfig& config, const Program& program,
                    u64 max_commits, u64 warmup_commits = 0);
 
+// Same, starting from a captured architectural state — the campaign
+// fast-forward entry point (checkpoint from emu/checkpoint.hpp or a
+// campaign ckpt-cache file).
+SimResult simulate(const MachineConfig& config, const Program& program,
+                   const Checkpoint& start, u64 max_commits,
+                   u64 warmup_commits = 0);
+
 }  // namespace bsp

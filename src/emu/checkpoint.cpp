@@ -109,9 +109,37 @@ std::optional<Checkpoint> load_checkpoint(std::istream& is,
   c.retired = (u64{hi32} << 32) | lo32;
   if (page_count > kMaxPages) return fail(error, "implausible page count");
 
+  // Cross-check the declared page count against the bytes actually present
+  // before allocating anything: cache files are written by other processes
+  // (possibly killed mid-write), so a hostile or torn header must produce a
+  // clear error, not a multi-gigabyte allocation followed by a short read.
+  if (is.rdbuf()) {
+    const std::istream::pos_type here = is.tellg();
+    if (here != std::istream::pos_type(-1)) {
+      is.seekg(0, std::ios::end);
+      const std::istream::pos_type end = is.tellg();
+      is.seekg(here);
+      if (end != std::istream::pos_type(-1)) {
+        const u64 remaining = static_cast<u64>(end - here);
+        const u64 needed =
+            u64{page_count} * (4 + u64{SparseMemory::kPageSize});
+        if (remaining < needed)
+          return fail(error, "page count exceeds file size");
+      }
+    }
+  }
+
+  u32 prev_base = 0;
   for (u32 i = 0; i < page_count; ++i) {
     Checkpoint::Page page;
     if (!get_u32(is, &page.base)) return fail(error, "truncated page header");
+    if ((page.base & (SparseMemory::kPageSize - 1)) != 0)
+      return fail(error, "misaligned page base");
+    // capture_checkpoint() emits pages in ascending base order; enforcing it
+    // here rejects duplicate/shuffled pages from corrupt files.
+    if (i > 0 && page.base <= prev_base)
+      return fail(error, "pages not in ascending order");
+    prev_base = page.base;
     page.bytes.resize(SparseMemory::kPageSize);
     if (!is.read(reinterpret_cast<char*>(page.bytes.data()),
                  SparseMemory::kPageSize))
@@ -140,7 +168,10 @@ std::optional<Checkpoint> fast_forward(const Program& program,
                                        u64 instructions) {
   Emulator emu(program);
   StepResult final;
-  const u64 done = emu.run(instructions, &final);
+  // The superblock interpreter is architecturally identical to a step()
+  // loop (tests pin checkpoint byte-equality), so the captured state is the
+  // same — just reached several times faster.
+  const u64 done = emu.run_fast(instructions, &final);
   if (done < instructions) return std::nullopt;
   return capture_checkpoint(emu);
 }

@@ -30,6 +30,7 @@ void Emulator::load(const Program& program) {
 
   decode_base_ = program.text_base;
   decode_cache_.assign(program.text.size(), DecodeSlot{});
+  fast_cache_.assign(program.text.size(), FastInst{});
 }
 
 bool branch_outcome(const DecodedInst& inst, u32 src1, u32 src2) {
@@ -347,6 +348,260 @@ u64 Emulator::run(u64 max_instructions, StepResult* final_result) {
     ++n;
   }
   if (final_result) *final_result = r;
+  return n;
+}
+
+bool Emulator::fill_fast_slot(FastInst& fi, u32 raw, u32 pc) {
+  const auto decoded = decode(raw);
+  if (!decoded) return false;
+  const DecodedInst& d = *decoded;
+  fi.raw = raw;
+  fi.kind = FastKind::kStep;
+  fi.dest = static_cast<u8>(d.dest());
+  fi.s1 = static_cast<u8>(d.src1());
+  fi.s2 = static_cast<u8>(d.src2());
+  fi.imm = d.imm_value();
+  switch (d.op) {
+    case Op::ADD: case Op::ADDU: fi.kind = FastKind::kAddu; break;
+    case Op::SUB: case Op::SUBU: fi.kind = FastKind::kSubu; break;
+    case Op::AND: fi.kind = FastKind::kAnd; break;
+    case Op::OR:  fi.kind = FastKind::kOr; break;
+    case Op::XOR: fi.kind = FastKind::kXor; break;
+    case Op::NOR: fi.kind = FastKind::kNor; break;
+    case Op::SLT: fi.kind = FastKind::kSlt; break;
+    case Op::SLTU: fi.kind = FastKind::kSltu; break;
+    case Op::ADDI: case Op::ADDIU: fi.kind = FastKind::kAddImm; break;
+    case Op::SLTI: fi.kind = FastKind::kSltImm; break;
+    case Op::SLTIU: fi.kind = FastKind::kSltuImm; break;
+    case Op::ANDI: fi.kind = FastKind::kAndImm; break;
+    case Op::ORI:  fi.kind = FastKind::kOrImm; break;
+    case Op::XORI: fi.kind = FastKind::kXorImm; break;
+    case Op::LUI:  fi.kind = FastKind::kLoadImm; break;
+    case Op::SLL:
+      fi.kind = raw == 0 ? FastKind::kNop : FastKind::kSllImm;
+      fi.imm = d.shamt;
+      break;
+    case Op::SRL: fi.kind = FastKind::kSrlImm; fi.imm = d.shamt; break;
+    case Op::SRA: fi.kind = FastKind::kSraImm; fi.imm = d.shamt; break;
+    case Op::SLLV: fi.kind = FastKind::kSllv; break;
+    case Op::SRLV: fi.kind = FastKind::kSrlv; break;
+    case Op::SRAV: fi.kind = FastKind::kSrav; break;
+    case Op::MULT: fi.kind = FastKind::kMult; break;
+    case Op::MULTU: fi.kind = FastKind::kMultu; break;
+    case Op::DIV: fi.kind = FastKind::kDiv; break;
+    case Op::DIVU: fi.kind = FastKind::kDivu; break;
+    case Op::MFHI: fi.kind = FastKind::kMfhi; break;
+    case Op::MFLO: fi.kind = FastKind::kMflo; break;
+    case Op::LB:  fi.kind = FastKind::kLb; break;
+    case Op::LBU: fi.kind = FastKind::kLbu; break;
+    case Op::LH:  fi.kind = FastKind::kLh; break;
+    case Op::LHU: fi.kind = FastKind::kLhu; break;
+    case Op::LW:  fi.kind = FastKind::kLw; break;
+    case Op::SB:  fi.kind = FastKind::kSb; break;
+    case Op::SH:  fi.kind = FastKind::kSh; break;
+    case Op::SW:  fi.kind = FastKind::kSw; break;
+    case Op::BEQ:  fi.kind = FastKind::kBeq;  fi.imm = d.branch_target(pc); break;
+    case Op::BNE:  fi.kind = FastKind::kBne;  fi.imm = d.branch_target(pc); break;
+    case Op::BLEZ: fi.kind = FastKind::kBlez; fi.imm = d.branch_target(pc); break;
+    case Op::BGTZ: fi.kind = FastKind::kBgtz; fi.imm = d.branch_target(pc); break;
+    case Op::BLTZ: fi.kind = FastKind::kBltz; fi.imm = d.branch_target(pc); break;
+    case Op::BGEZ: fi.kind = FastKind::kBgez; fi.imm = d.branch_target(pc); break;
+    case Op::J:    fi.kind = FastKind::kJ;    fi.imm = d.branch_target(pc); break;
+    case Op::JAL:  fi.kind = FastKind::kJal;  fi.imm = d.branch_target(pc); break;
+    case Op::JR:   fi.kind = FastKind::kJr; break;
+    case Op::JALR: fi.kind = FastKind::kJalr; break;
+    default: break;  // syscall, FP, LWC1/SWC1, ...: kStep
+  }
+  return true;
+}
+
+u64 Emulator::run_fast(u64 max_instructions, StepResult* final_result) {
+  StepResult last;
+  if (exited_) {
+    last.kind = StepResult::Kind::Exited;
+    last.exit_code = exit_code_;
+    if (final_result) *final_result = last;
+    return 0;
+  }
+  if (fast_cache_.size() != decode_cache_.size())
+    fast_cache_.assign(decode_cache_.size(), FastInst{});
+
+  u64 n = 0;
+  u32 pc = pc_;
+  u64 retired = retired_;
+  u32* const regs = regs_.data();
+  const u32 base = decode_base_;
+  const u32 nslots = static_cast<u32>(fast_cache_.size());
+  // Instruction-fetch page cache, separate from SparseMemory's data-access
+  // cache. Only non-null pointers may be cached (a store can allocate a
+  // page later); a mapped page's storage never moves.
+  const u8* ipage = nullptr;
+  u32 ipage_base = 1;  // never page-aligned, so the first fetch misses
+
+  while (n < max_instructions) {
+    if ((pc & 3u) == 0 && (pc - base) >> 2 < nslots) {
+      const u32 page = pc & ~(SparseMemory::kPageSize - 1);
+      if (page != ipage_base) {
+        ipage = mem_.page_bytes(pc);
+        if (ipage) ipage_base = page;
+      }
+      u32 raw = 0;
+      if (ipage && page == ipage_base)
+        std::memcpy(&raw, ipage + (pc & (SparseMemory::kPageSize - 1)), 4);
+      FastInst& fi = fast_cache_[(pc - base) >> 2];
+      if (fi.kind == FastKind::kUnfilled || fi.raw != raw)
+        if (!fill_fast_slot(fi, raw, pc)) goto slow_path;
+      switch (fi.kind) {
+        case FastKind::kNop: pc += 4; break;
+        case FastKind::kAddu: regs[fi.dest] = regs[fi.s1] + regs[fi.s2]; regs[0] = 0; pc += 4; break;
+        case FastKind::kSubu: regs[fi.dest] = regs[fi.s1] - regs[fi.s2]; regs[0] = 0; pc += 4; break;
+        case FastKind::kAnd:  regs[fi.dest] = regs[fi.s1] & regs[fi.s2]; regs[0] = 0; pc += 4; break;
+        case FastKind::kOr:   regs[fi.dest] = regs[fi.s1] | regs[fi.s2]; regs[0] = 0; pc += 4; break;
+        case FastKind::kXor:  regs[fi.dest] = regs[fi.s1] ^ regs[fi.s2]; regs[0] = 0; pc += 4; break;
+        case FastKind::kNor:  regs[fi.dest] = ~(regs[fi.s1] | regs[fi.s2]); regs[0] = 0; pc += 4; break;
+        case FastKind::kSlt:
+          regs[fi.dest] = static_cast<i32>(regs[fi.s1]) < static_cast<i32>(regs[fi.s2]);
+          regs[0] = 0; pc += 4; break;
+        case FastKind::kSltu: regs[fi.dest] = regs[fi.s1] < regs[fi.s2] ? 1 : 0; regs[0] = 0; pc += 4; break;
+        case FastKind::kAddImm: regs[fi.dest] = regs[fi.s1] + fi.imm; regs[0] = 0; pc += 4; break;
+        case FastKind::kSltImm:
+          regs[fi.dest] = static_cast<i32>(regs[fi.s1]) < static_cast<i32>(fi.imm);
+          regs[0] = 0; pc += 4; break;
+        case FastKind::kSltuImm: regs[fi.dest] = regs[fi.s1] < fi.imm ? 1 : 0; regs[0] = 0; pc += 4; break;
+        case FastKind::kAndImm: regs[fi.dest] = regs[fi.s1] & fi.imm; regs[0] = 0; pc += 4; break;
+        case FastKind::kOrImm:  regs[fi.dest] = regs[fi.s1] | fi.imm; regs[0] = 0; pc += 4; break;
+        case FastKind::kXorImm: regs[fi.dest] = regs[fi.s1] ^ fi.imm; regs[0] = 0; pc += 4; break;
+        case FastKind::kLoadImm: regs[fi.dest] = fi.imm; regs[0] = 0; pc += 4; break;
+        case FastKind::kSllImm: regs[fi.dest] = regs[fi.s2] << fi.imm; regs[0] = 0; pc += 4; break;
+        case FastKind::kSrlImm: regs[fi.dest] = regs[fi.s2] >> fi.imm; regs[0] = 0; pc += 4; break;
+        case FastKind::kSraImm:
+          regs[fi.dest] = static_cast<u32>(static_cast<i32>(regs[fi.s2]) >> fi.imm);
+          regs[0] = 0; pc += 4; break;
+        case FastKind::kSllv: regs[fi.dest] = regs[fi.s2] << (regs[fi.s1] & 31); regs[0] = 0; pc += 4; break;
+        case FastKind::kSrlv: regs[fi.dest] = regs[fi.s2] >> (regs[fi.s1] & 31); regs[0] = 0; pc += 4; break;
+        case FastKind::kSrav:
+          regs[fi.dest] = static_cast<u32>(static_cast<i32>(regs[fi.s2]) >> (regs[fi.s1] & 31));
+          regs[0] = 0; pc += 4; break;
+        case FastKind::kMult: {
+          const u64 p = static_cast<u64>(
+              static_cast<i64>(static_cast<i32>(regs[fi.s1])) *
+              static_cast<i64>(static_cast<i32>(regs[fi.s2])));
+          lo_ = static_cast<u32>(p);
+          hi_ = static_cast<u32>(p >> 32);
+          pc += 4; break;
+        }
+        case FastKind::kMultu: {
+          const u64 p = u64{regs[fi.s1]} * u64{regs[fi.s2]};
+          lo_ = static_cast<u32>(p);
+          hi_ = static_cast<u32>(p >> 32);
+          pc += 4; break;
+        }
+        case FastKind::kDiv: {
+          const u32 a = regs[fi.s1], b = regs[fi.s2];
+          if (b == 0) {
+            lo_ = 0;
+            hi_ = a;
+          } else {
+            lo_ = static_cast<u32>(static_cast<i32>(a) / static_cast<i32>(b));
+            hi_ = static_cast<u32>(static_cast<i32>(a) % static_cast<i32>(b));
+          }
+          pc += 4; break;
+        }
+        case FastKind::kDivu: {
+          const u32 a = regs[fi.s1], b = regs[fi.s2];
+          if (b == 0) {
+            lo_ = 0;
+            hi_ = a;
+          } else {
+            lo_ = a / b;
+            hi_ = a % b;
+          }
+          pc += 4; break;
+        }
+        case FastKind::kMfhi: regs[fi.dest] = hi_; regs[0] = 0; pc += 4; break;
+        case FastKind::kMflo: regs[fi.dest] = lo_; regs[0] = 0; pc += 4; break;
+        case FastKind::kLb: {
+          const u32 a = regs[fi.s1] + fi.imm;
+          regs[fi.dest] = sign_extend(mem_.load_u8(a), 8);
+          regs[0] = 0; pc += 4; break;
+        }
+        case FastKind::kLbu: {
+          const u32 a = regs[fi.s1] + fi.imm;
+          regs[fi.dest] = mem_.load_u8(a);
+          regs[0] = 0; pc += 4; break;
+        }
+        case FastKind::kLh: {
+          const u32 a = regs[fi.s1] + fi.imm;
+          if (a & 1u) goto slow_path;  // exact "misaligned load" fault
+          regs[fi.dest] = sign_extend(mem_.load_u16(a), 16);
+          regs[0] = 0; pc += 4; break;
+        }
+        case FastKind::kLhu: {
+          const u32 a = regs[fi.s1] + fi.imm;
+          if (a & 1u) goto slow_path;
+          regs[fi.dest] = mem_.load_u16(a);
+          regs[0] = 0; pc += 4; break;
+        }
+        case FastKind::kLw: {
+          const u32 a = regs[fi.s1] + fi.imm;
+          if (a & 3u) goto slow_path;
+          regs[fi.dest] = mem_.load_u32(a);
+          regs[0] = 0; pc += 4; break;
+        }
+        case FastKind::kSb:
+          mem_.store_u8(regs[fi.s1] + fi.imm, static_cast<u8>(regs[fi.s2]));
+          pc += 4; break;
+        case FastKind::kSh: {
+          const u32 a = regs[fi.s1] + fi.imm;
+          if (a & 1u) goto slow_path;
+          mem_.store_u16(a, static_cast<u16>(regs[fi.s2]));
+          pc += 4; break;
+        }
+        case FastKind::kSw: {
+          const u32 a = regs[fi.s1] + fi.imm;
+          if (a & 3u) goto slow_path;
+          mem_.store_u32(a, regs[fi.s2]);
+          pc += 4; break;
+        }
+        case FastKind::kBeq: pc = regs[fi.s1] == regs[fi.s2] ? fi.imm : pc + 4; break;
+        case FastKind::kBne: pc = regs[fi.s1] != regs[fi.s2] ? fi.imm : pc + 4; break;
+        case FastKind::kBlez: pc = static_cast<i32>(regs[fi.s1]) <= 0 ? fi.imm : pc + 4; break;
+        case FastKind::kBgtz: pc = static_cast<i32>(regs[fi.s1]) > 0 ? fi.imm : pc + 4; break;
+        case FastKind::kBltz: pc = static_cast<i32>(regs[fi.s1]) < 0 ? fi.imm : pc + 4; break;
+        case FastKind::kBgez: pc = static_cast<i32>(regs[fi.s1]) >= 0 ? fi.imm : pc + 4; break;
+        case FastKind::kJ: pc = fi.imm; break;
+        case FastKind::kJal: regs[fi.dest] = pc + 4; regs[0] = 0; pc = fi.imm; break;
+        case FastKind::kJr: pc = regs[fi.s1]; break;
+        case FastKind::kJalr: {
+          const u32 target = regs[fi.s1];  // read before a same-reg link write
+          regs[fi.dest] = pc + 4;
+          regs[0] = 0;
+          pc = target;
+          break;
+        }
+        case FastKind::kStep:
+        case FastKind::kUnfilled:
+          goto slow_path;
+      }
+      ++retired;
+      ++n;
+      continue;
+    }
+  slow_path:
+    // Anything the fast loop doesn't handle inline — misaligned or
+    // out-of-window pc, syscalls, FP, faults — is one exact step(), which
+    // also owns output, exit state and fault strings.
+    pc_ = pc;
+    retired_ = retired;
+    last = step();
+    pc = pc_;
+    retired = retired_;
+    if (!last.ok()) break;
+    ++n;
+  }
+  pc_ = pc;
+  retired_ = retired;
+  if (final_result) *final_result = last;
   return n;
 }
 

@@ -76,6 +76,18 @@ class Emulator {
   // Runs until exit/fault or `max_instructions`. Returns instructions run.
   u64 run(u64 max_instructions, StepResult* final_result = nullptr);
 
+  // Fast-forward engine: architecturally identical to run(), several times
+  // faster. Executes straight-line runs of predecoded instructions with a
+  // single dense dispatch per instruction — no ExecRecord is built, pc and
+  // the retirement count live in locals, and instruction fetch goes through
+  // a cached text-page pointer. Anything outside the hot integer core
+  // (syscalls, FP, instructions outside the predecode window, faults) falls
+  // back to one exact step(), so output, exit and fault behaviour — down to
+  // the fault string — match a step() loop bit for bit. The timing core's
+  // co-simulation keeps calling step() directly; this path is for
+  // fast-forwarding billions of instructions before detailed timing.
+  u64 run_fast(u64 max_instructions, StepResult* final_result = nullptr);
+
   u32 pc() const { return pc_; }
   void set_pc(u32 pc) { pc_ = pc; }
   u32 reg(unsigned i) const { return regs_[i]; }
@@ -119,6 +131,35 @@ class Emulator {
   };
   u32 decode_base_ = 0;
   std::vector<DecodeSlot> decode_cache_;
+
+  // Predecoded form run_fast() dispatches on: one dense opcode kind plus the
+  // handful of fields its handler needs, with immediates pre-extended and
+  // branch/jump targets pre-resolved (a slot's pc is fixed, so its target
+  // is too). `raw` tags the slot like DecodeSlot does — a code write misses
+  // the tag and re-predecodes, keeping self-modifying code exact.
+  enum class FastKind : u8 {
+    kUnfilled = 0,
+    kStep,  // syscall / FP / anything the fast loop defers to step()
+    kNop,
+    kAddu, kSubu, kAnd, kOr, kXor, kNor, kSlt, kSltu,
+    kAddImm, kSltImm, kSltuImm, kAndImm, kOrImm, kXorImm, kLoadImm,
+    kSllImm, kSrlImm, kSraImm, kSllv, kSrlv, kSrav,
+    kMult, kMultu, kDiv, kDivu, kMfhi, kMflo,
+    kLb, kLbu, kLh, kLhu, kLw, kSb, kSh, kSw,
+    kBeq, kBne, kBlez, kBgtz, kBltz, kBgez,
+    kJ, kJal, kJr, kJalr,
+  };
+  struct FastInst {
+    u32 raw = 0;
+    FastKind kind = FastKind::kUnfilled;
+    u8 dest = 0, s1 = 0, s2 = 0;
+    u32 imm = 0;  // extended immediate, shift amount, or absolute target pc
+  };
+  std::vector<FastInst> fast_cache_;
+
+  // Predecodes `raw` at `pc` into `fi`. False when decode() rejects it (the
+  // caller falls back to step() for the exact fault).
+  bool fill_fast_slot(FastInst& fi, u32 raw, u32 pc);
 
   std::array<u32, kNumRegs> regs_{};
   std::array<u32, 32> fp_regs_{};

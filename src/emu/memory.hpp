@@ -72,6 +72,17 @@ class SparseMemory {
 
   std::size_t pages_allocated() const { return pages_.size(); }
 
+  // Read-only pointer to the allocated page containing `addr` (null when the
+  // page was never touched). Page storage is heap-allocated and never moves
+  // while this SparseMemory lives, so the pointer stays valid across later
+  // loads/stores — the fast-forward interpreter caches it for instruction
+  // fetch. A null result must not be cached: a later store can allocate the
+  // page.
+  const u8* page_bytes(u32 addr) const {
+    const Page* p = find_page(addr);
+    return p ? p->bytes.data() : nullptr;
+  }
+
   // Visits every allocated page in ascending page-id order (deterministic,
   // for checkpoint serialisation). The callback receives the page's base
   // address and kPageSize bytes.

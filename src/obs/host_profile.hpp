@@ -34,6 +34,12 @@ struct HostProfile {
   double cosim = 0;     // co-simulation commit check   (subset of commit)
   double replay = 0;    // selective-replay relaxation  (subset of memory)
 
+  // Pre-loop phase: functional fast-forward to the task's start checkpoint
+  // (campaign tasks with fast_forward > 0; 0 on a checkpoint-cache hit).
+  // Happens before the cycle loop, so it is outside total() — total()
+  // remains "seconds inside the instrumented loop".
+  double ffwd = 0;
+
   // Simulated cycles the instrumented loop executed (idle skips count as
   // one loop iteration, not their skipped length) — denominator for
   // ns-per-loop-cycle reporting.

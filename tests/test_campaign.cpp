@@ -17,9 +17,13 @@
 #include <thread>
 #include <unistd.h>
 
+#include <filesystem>
+
 #include "campaign/builtin.hpp"
 #include "campaign/campaign.hpp"
+#include "campaign/ckpt_cache.hpp"
 #include "core/simulator.hpp"
+#include "emu/checkpoint.hpp"
 #include "workloads/workloads.hpp"
 
 namespace bsp::campaign {
@@ -382,6 +386,166 @@ TEST(Builtin, CampaignsExpandAndStayAlignedWithTheLegacyStacks) {
     for (const auto& t : tasks) ids.insert(t.id());
     EXPECT_EQ(ids.size(), tasks.size()) << c.name;
   }
+}
+
+TEST(SweepSpec, FastForwardEntersTaskIdOnlyWhenSet) {
+  // Byte-compat: ff == 0 must produce the exact ids of old stores, so
+  // existing campaign JSONL files still resume cleanly.
+  SweepSpec spec = small_spec();
+  const std::string plain = spec.expand().front().id();
+  EXPECT_EQ(plain.find("/ff="), std::string::npos);
+
+  spec.fast_forward = 5'000'000;
+  const TaskSpec t = spec.expand().front();
+  EXPECT_EQ(t.fast_forward, 5'000'000u);
+  EXPECT_EQ(t.id(), plain + "/ff=5000000");
+}
+
+TEST(ResultStore, JsonlRoundTripsCheckpointCacheFields) {
+  TaskRecord rec;
+  rec.task = small_spec().expand().front();
+  rec.task.fast_forward = 10'000'000;
+  rec.status = "ok";
+  rec.stats = fake_stats(rec.task);
+  rec.ckpt_cache = "hit";
+  rec.ffwd_sec = 2.25;
+
+  const std::string line = to_jsonl(rec);
+  EXPECT_NE(line.find("\"fast_forward\":10000000"), std::string::npos);
+  const auto back = parse_jsonl(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->task.id(), rec.task.id());
+  EXPECT_EQ(back->task.fast_forward, 10'000'000u);
+  EXPECT_EQ(back->ckpt_cache, "hit");
+  EXPECT_DOUBLE_EQ(back->ffwd_sec, 2.25);
+
+  // Records without fast-forward keep the legacy shape: no new keys.
+  TaskRecord legacy;
+  legacy.task = small_spec().expand().front();
+  legacy.status = "ok";
+  legacy.stats = fake_stats(legacy.task);
+  const std::string old_line = to_jsonl(legacy);
+  EXPECT_EQ(old_line.find("fast_forward"), std::string::npos);
+  EXPECT_EQ(old_line.find("ckpt_cache"), std::string::npos);
+  const auto lback = parse_jsonl(old_line);
+  ASSERT_TRUE(lback.has_value());
+  EXPECT_EQ(lback->task.fast_forward, 0u);
+  EXPECT_TRUE(lback->ckpt_cache.empty());
+  EXPECT_DOUBLE_EQ(lback->ffwd_sec, 0.0);
+}
+
+TEST(CkptCache, MissMaterialisesThenHitsAndSurvivesCorruption) {
+  const std::string dir =
+      testing::TempDir() + "bsp_ckptcache_" + std::to_string(::getpid());
+  std::filesystem::create_directories(dir);
+  const Workload w = build_workload("li");
+
+  const CkptFetch miss = fetch_checkpoint(dir, "li", 0x5eed, w.program, 30'000);
+  ASSERT_TRUE(miss.ok()) << miss.error;
+  EXPECT_FALSE(miss.hit);
+  EXPECT_GE(miss.ffwd_sec, 0.0);
+  EXPECT_EQ(miss.path, checkpoint_cache_path(dir, "li", 0x5eed, w.program,
+                                             30'000));
+  EXPECT_TRUE(std::filesystem::exists(miss.path));
+  EXPECT_EQ(miss.checkpoint->retired, 30'000u);
+
+  const CkptFetch hit = fetch_checkpoint(dir, "li", 0x5eed, w.program, 30'000);
+  ASSERT_TRUE(hit.ok()) << hit.error;
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.checkpoint->pc, miss.checkpoint->pc);
+  EXPECT_EQ(hit.checkpoint->regs, miss.checkpoint->regs);
+  EXPECT_EQ(hit.checkpoint->retired, miss.checkpoint->retired);
+  EXPECT_EQ(hit.checkpoint->pages.size(), miss.checkpoint->pages.size());
+
+  // Distinct fast-forward counts key distinct files.
+  EXPECT_NE(checkpoint_cache_path(dir, "li", 0x5eed, w.program, 30'000),
+            checkpoint_cache_path(dir, "li", 0x5eed, w.program, 60'000));
+
+  // A truncated cache file is a miss, not an error: re-materialised and
+  // overwritten with a good image.
+  {
+    std::ofstream out(miss.path, std::ios::binary | std::ios::trunc);
+    out << "BSPC";  // magic only
+  }
+  const CkptFetch heal = fetch_checkpoint(dir, "li", 0x5eed, w.program, 30'000);
+  ASSERT_TRUE(heal.ok()) << heal.error;
+  EXPECT_FALSE(heal.hit);
+  const CkptFetch again = fetch_checkpoint(dir, "li", 0x5eed, w.program,
+                                           30'000);
+  ASSERT_TRUE(again.ok()) << again.error;
+  EXPECT_TRUE(again.hit);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, WarmCheckpointCacheReproducesColdStatsWithAllHits) {
+  // The acceptance property end to end: a fast-forwarding sweep run cold
+  // (empty cache) and again warm (cache populated) must produce identical
+  // SimStats per task, with the warm run reporting every task as a cache
+  // hit and zero new materialisations.
+  SweepSpec spec;
+  spec.name = "ckptwarm";
+  spec.workloads = {"li"};
+  spec.seeds = {0x5eed};
+  spec.instructions = 2'000;
+  spec.warmup = 500;
+  spec.fast_forward = 50'000;
+  MachinePoint base;
+  base.label = "base";
+  spec.machines.push_back(base);
+  MachinePoint sliced;
+  sliced.label = "full x2";
+  sliced.kind = MachineKind::Sliced;
+  sliced.slices = 2;
+  sliced.techniques = kAllTechniques;
+  spec.machines.push_back(sliced);
+
+  const std::string dir =
+      testing::TempDir() + "bsp_ckptwarm_" + std::to_string(::getpid());
+  std::filesystem::create_directories(dir);
+  CampaignOptions options;
+  options.fresh = true;
+  options.progress = false;
+  options.scheduler.ckpt_cache_dir = dir;
+  RunnerOptions ropts;
+  ropts.ckpt_cache_dir = dir;
+
+  const std::string cold_path = temp_path("ckpt_cold");
+  const std::string warm_path = temp_path("ckpt_warm");
+  options.out_path = cold_path;
+  const auto cold = run_campaign(spec, make_sim_runner(ropts), options);
+  EXPECT_EQ(cold.ok, 2u);
+  EXPECT_EQ(cold.prewarm.groups, 1u);
+  EXPECT_EQ(cold.prewarm.materialised, 1u);
+  EXPECT_EQ(cold.prewarm.reused, 0u);
+  // The prewarm pass already paid the fast-forward, so the tasks
+  // themselves all restore from cache.
+  EXPECT_EQ(cold.ckpt_hits, 2u);
+  EXPECT_EQ(cold.ckpt_misses, 0u);
+
+  options.out_path = warm_path;
+  const auto warm = run_campaign(spec, make_sim_runner(ropts), options);
+  EXPECT_EQ(warm.ok, 2u);
+  EXPECT_EQ(warm.prewarm.materialised, 0u);
+  EXPECT_EQ(warm.prewarm.reused, 1u);
+  EXPECT_EQ(warm.ckpt_hits, 2u);
+  EXPECT_EQ(warm.ckpt_misses, 0u);
+
+  // Identical stats task by task — the cache is invisible to timing.
+  ASSERT_EQ(cold.records.size(), warm.records.size());
+  for (std::size_t i = 0; i < cold.records.size(); ++i) {
+    const SimStats& a = cold.records[i].stats;
+    const SimStats& b = warm.records[i].stats;
+    EXPECT_EQ(cold.records[i].task.id(), warm.records[i].task.id());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.branch_mispredicts, b.branch_mispredicts);
+    EXPECT_EQ(a.l1d_misses, b.l1d_misses);
+    EXPECT_EQ(a.way_mispredicts, b.way_mispredicts);
+  }
+
+  std::remove(cold_path.c_str());
+  std::remove(warm_path.c_str());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Campaign, SummaryTableCoversTheGrid) {

@@ -79,6 +79,86 @@ TEST(Checkpoint, RejectsGarbageAndTruncation) {
   }
 }
 
+TEST(Checkpoint, RejectsHostileHeaders) {
+  // A corrupt or malicious header must produce a clear error without
+  // ballooning allocations — workers load cache files other processes
+  // wrote, so the loader cannot trust any field.
+  const Workload w = build_workload("go");
+  const auto ckpt = fast_forward(w.program, 1'000);
+  ASSERT_TRUE(ckpt.has_value());
+  std::stringstream buf;
+  ASSERT_TRUE(save_checkpoint(*ckpt, buf));
+  const std::string pristine = buf.str();
+
+  // Layout: magic, version, pc, 32 regs, 32 fp regs, fcc, hi, lo,
+  // retired lo/hi, page_count — all u32s — then (base, page bytes) pairs.
+  const std::size_t page_count_off = (2 + 1 + 32 + 32 + 1 + 2 + 2) * 4;
+  const std::size_t first_base_off = page_count_off + 4;
+  const std::size_t second_base_off =
+      first_base_off + 4 + SparseMemory::kPageSize;
+  const auto read_u32 = [&](const std::string& b, std::size_t off) {
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= u32{static_cast<u8>(b[off + static_cast<std::size_t>(i)])}
+           << (8 * i);
+    return v;
+  };
+  const auto with_u32 = [&](std::size_t off, u32 v) {
+    std::string b = pristine;
+    for (int i = 0; i < 4; ++i)
+      b[off + static_cast<std::size_t>(i)] = static_cast<char>(v >> (8 * i));
+    return b;
+  };
+  const auto expect_error = [&](const std::string& bytes, const char* why) {
+    std::string error;
+    std::stringstream is(bytes);
+    EXPECT_FALSE(load_checkpoint(is, &error).has_value());
+    EXPECT_EQ(error, why);
+  };
+
+  // Page count far beyond the bytes actually present: rejected before any
+  // page allocation (the stream is seekable, so the size cross-check runs).
+  expect_error(with_u32(page_count_off, 0xfffffu),
+               "page count exceeds file size");
+  // Absurd page count: the hard bound rejects it on any stream.
+  expect_error(with_u32(page_count_off, 0xffffffffu),
+               "implausible page count");
+  // Misaligned page base.
+  expect_error(with_u32(first_base_off,
+                        read_u32(pristine, first_base_off) + 2),
+               "misaligned page base");
+  // Duplicate page (ascending-order violation). Needs >= 2 pages.
+  ASSERT_GE(ckpt->pages.size(), 2u);
+  expect_error(with_u32(second_base_off,
+                        read_u32(pristine, first_base_off)),
+               "pages not in ascending order");
+
+  // And the pristine image still loads.
+  std::string error;
+  std::stringstream is(pristine);
+  EXPECT_TRUE(load_checkpoint(is, &error).has_value()) << error;
+}
+
+TEST(Checkpoint, CaptureRestoreCaptureIsByteIdentical) {
+  // Paging-heavy kernel: mcf chases pointers across a large arena, so the
+  // checkpoint carries many pages. restore must reproduce every page byte
+  // so that a re-capture serialises to the identical BSPC image.
+  const Workload w = build_workload("mcf");
+  Emulator emu(w.program);
+  emu.run(120'000);
+  const Checkpoint first = capture_checkpoint(emu);
+  EXPECT_GE(first.pages.size(), 8u) << "want a paging-heavy image";
+
+  Emulator other(w.program);
+  restore_checkpoint(other, first);
+  const Checkpoint second = capture_checkpoint(other);
+
+  std::stringstream a, b;
+  ASSERT_TRUE(save_checkpoint(first, a));
+  ASSERT_TRUE(save_checkpoint(second, b));
+  EXPECT_EQ(a.str(), b.str());  // byte-for-byte equal serialisations
+}
+
 TEST(Checkpoint, FastForwardFailsOnExitedProgram) {
   const AsmResult r = assemble(
       ".text\nmain:\n  li $v0, 10\n  li $a0, 0\n  syscall\n");

@@ -6,6 +6,7 @@
 #include "asm/assembler.hpp"
 #include "emu/emulator.hpp"
 #include "util/rng.hpp"
+#include "workloads/workloads.hpp"
 
 namespace bsp {
 namespace {
@@ -329,6 +330,212 @@ TEST(Emulator, SparseMemoryBasics) {
   m.store_u32(SparseMemory::kPageSize - 2, 0x11223344);
   EXPECT_EQ(m.load_u32(SparseMemory::kPageSize - 2), 0x11223344u);
   EXPECT_GE(m.pages_allocated(), 2u);
+}
+
+TEST(Emulator, SparseMemoryUnalignedAccesses) {
+  SparseMemory m;
+  // Every in-page misalignment of u16 and u32, little-endian byte order.
+  m.store_u32(0x2001, 0xdeadbeef);
+  EXPECT_EQ(m.load_u32(0x2001), 0xdeadbeefu);
+  EXPECT_EQ(m.load_u8(0x2001), 0xefu);
+  EXPECT_EQ(m.load_u8(0x2004), 0xdeu);
+  m.store_u16(0x3003, 0xcafe);
+  EXPECT_EQ(m.load_u16(0x3003), 0xcafeu);
+  EXPECT_EQ(m.load_u8(0x3003), 0xfeu);
+  EXPECT_EQ(m.load_u8(0x3004), 0xcau);
+  // Unaligned loads assemble bytes from untouched memory as zero.
+  EXPECT_EQ(m.load_u32(0x4001), 0u);
+  EXPECT_EQ(m.load_u16(0x4001), 0u);
+  // An unaligned store overlapping existing data merges per byte.
+  m.store_u32(0x5000, 0x11223344);
+  m.store_u16(0x5001, 0xaabb);
+  EXPECT_EQ(m.load_u32(0x5000), 0x11aabb44u);
+}
+
+TEST(Emulator, SparseMemoryPageCrossingAccesses) {
+  SparseMemory m;
+  const u32 ps = SparseMemory::kPageSize;
+  // u16 and u32 straddling a page boundary at every split point.
+  for (u32 off = 1; off < 4; ++off) {
+    const u32 addr = 7 * ps - off;  // off bytes in the low page
+    const u32 v = 0xa0b0c0d0u + off;
+    m.store_u32(addr, v);
+    EXPECT_EQ(m.load_u32(addr), v) << "split " << off;
+    // Byte-level agreement across the boundary.
+    for (u32 i = 0; i < 4; ++i)
+      EXPECT_EQ(m.load_u8(addr + i), (v >> (8 * i)) & 0xffu);
+  }
+  m.store_u16(9 * ps - 1, 0x1234);
+  EXPECT_EQ(m.load_u16(9 * ps - 1), 0x1234u);
+  EXPECT_EQ(m.load_u8(9 * ps - 1), 0x34u);
+  EXPECT_EQ(m.load_u8(9 * ps), 0x12u);
+  // A page-crossing load where only one side is mapped zero-fills the rest.
+  m.store_u8(11 * ps - 1, 0x77);
+  EXPECT_EQ(m.load_u32(11 * ps - 1), 0x77u);
+}
+
+// --- run_fast(): the fast-forward interpreter must be architecturally
+// indistinguishable from a step() loop. ---
+
+// Runs the same program through run() and run_fast() (the latter in odd
+// chunk sizes so resume-at-any-pc is exercised) and expects identical
+// architectural state at every comparison point.
+void expect_fast_matches_step(const Program& p, u64 budget) {
+  Emulator slow(p), fast(p);
+  StepResult rs, rf;
+  const u64 ns = slow.run(budget, &rs);
+  u64 nf = 0;
+  while (nf < budget) {
+    const u64 chunk = std::min<u64>(7777, budget - nf);
+    const u64 got = fast.run_fast(chunk, &rf);
+    nf += got;
+    if (got < chunk) break;
+  }
+  EXPECT_EQ(ns, nf);
+  EXPECT_EQ(static_cast<int>(rs.kind), static_cast<int>(rf.kind));
+  EXPECT_EQ(rs.fault, rf.fault);
+  EXPECT_EQ(slow.pc(), fast.pc());
+  EXPECT_EQ(slow.hi(), fast.hi());
+  EXPECT_EQ(slow.lo(), fast.lo());
+  EXPECT_EQ(slow.instructions_retired(), fast.instructions_retired());
+  EXPECT_EQ(slow.output(), fast.output());
+  EXPECT_EQ(slow.exited(), fast.exited());
+  EXPECT_EQ(slow.exit_code(), fast.exit_code());
+  for (unsigned i = 0; i < kNumRegs; ++i)
+    EXPECT_EQ(slow.reg(i), fast.reg(i)) << "$" << i;
+  for (unsigned i = 0; i < 32; ++i)
+    EXPECT_EQ(slow.fp_reg(i), fast.fp_reg(i)) << "$f" << i;
+  EXPECT_EQ(slow.fcc(), fast.fcc());
+}
+
+TEST(EmulatorFastRun, MatchesStepAcrossWorkloads) {
+  for (const char* name : {"gzip", "li", "ijpeg", "mcf"}) {
+    SCOPED_TRACE(name);
+    WorkloadParams params;
+    params.seed = 0x5eed;
+    expect_fast_matches_step(build_workload(name, params).program, 200'000);
+  }
+}
+
+TEST(EmulatorFastRun, MatchesStepThroughExit) {
+  // Budget far beyond the program's length: both engines must agree on the
+  // exit, the exit code, and the retired count (the exit syscall retires
+  // but is not part of run()'s count).
+  const Program p = compile(R"(
+.text
+main:
+  li $t0, 50
+  li $t1, 0
+loop:
+  addiu $t1, $t1, 3
+  addiu $t0, $t0, -1
+  bgtz $t0, loop
+  li $v0, 1
+  addu $a0, $t1, $0
+  syscall
+  li $v0, 10
+  li $a0, 7
+  syscall
+)");
+  expect_fast_matches_step(p, 100'000);
+  Emulator fast(p);
+  StepResult r;
+  fast.run_fast(100'000, &r);
+  EXPECT_TRUE(fast.exited());
+  EXPECT_EQ(fast.exit_code(), 7);
+  EXPECT_EQ(fast.output(), "150");
+  // Exited emulators return immediately with Exited.
+  StepResult again;
+  EXPECT_EQ(fast.run_fast(10, &again), 0u);
+  EXPECT_EQ(again.kind, StepResult::Kind::Exited);
+}
+
+TEST(EmulatorFastRun, FaultParityIllegalInstruction) {
+  Program p = compile(".text\nmain:\n  nop\n  nop\n");
+  p.text[1] = 0xfc000000u;  // illegal opcode
+  Emulator slow(p), fast(p);
+  StepResult rs, rf;
+  const u64 ns = slow.run(10, &rs);
+  const u64 nf = fast.run_fast(10, &rf);
+  EXPECT_EQ(ns, nf);
+  EXPECT_EQ(rf.kind, StepResult::Kind::Fault);
+  EXPECT_EQ(rs.fault, rf.fault);  // byte-identical fault string
+  EXPECT_EQ(slow.pc(), fast.pc());
+}
+
+TEST(EmulatorFastRun, FaultParityMisalignedAccess) {
+  for (const char* inst : {"lw $t1, 1($t0)", "lh $t1, 1($t0)",
+                           "sw $t1, 2($t0)", "sh $t1, 1($t0)"}) {
+    SCOPED_TRACE(inst);
+    const Program p = compile(std::string(R"(
+.text
+main:
+  la $t0, buf
+  )") + inst + R"(
+.data
+buf: .word 0
+)");
+    Emulator slow(p), fast(p);
+    StepResult rs, rf;
+    EXPECT_EQ(slow.run(10, &rs), fast.run_fast(10, &rf));
+    EXPECT_EQ(rf.kind, StepResult::Kind::Fault);
+    EXPECT_EQ(rs.fault, rf.fault);
+    EXPECT_EQ(slow.pc(), fast.pc());
+  }
+}
+
+TEST(EmulatorFastRun, FaultParityWildJump) {
+  // Jump far outside the text image: the fast loop's window check must
+  // defer to step() and fault identically.
+  const Program p = compile(R"(
+.text
+main:
+  li $t0, 0x00100000
+  jr $t0
+)");
+  Emulator slow(p), fast(p);
+  StepResult rs, rf;
+  EXPECT_EQ(slow.run(10, &rs), fast.run_fast(10, &rf));
+  EXPECT_EQ(static_cast<int>(rs.kind), static_cast<int>(rf.kind));
+  EXPECT_EQ(rs.fault, rf.fault);
+  EXPECT_EQ(slow.pc(), fast.pc());
+}
+
+TEST(EmulatorFastRun, SelfModifyingCodeRedecodes) {
+  // Overwrite an addiu in a loop body through the data path; the fast
+  // cache's raw tag must miss and re-predecode, exactly like step()'s
+  // decode cache. The loop runs twice: once adding 1, once adding 5.
+  Program p = compile(R"(
+.text
+main:
+  li $t3, 0          # result accumulator
+  li $t4, 2          # outer trip count
+  la $t5, patch      # address of the instruction to rewrite
+  la $t7, newinst
+  lw $t6, 0($t7)     # encoded "addiu $t3, $t3, 5"
+outer:
+patch:
+  addiu $t3, $t3, 1
+  sw $t6, 0($t5)     # patch the instruction above for the next trip
+  addiu $t4, $t4, -1
+  bgtz $t4, outer
+  li $v0, 10
+  addu $a0, $t3, $0
+  syscall
+.data
+newinst: .word 0
+)");
+  // Poke the real encoding of "addiu $t3, $t3, 5" into the data word (the
+  // assembler is the encoding authority, not a hand-written constant).
+  const u32 encoded = compile(".text\nmain:\n  addiu $t3, $t3, 5\n").text[0];
+  const u32 off = p.symbol("newinst") - p.data_base;
+  for (u32 i = 0; i < 4; ++i)
+    p.data[off + i] = static_cast<u8>(encoded >> (8 * i));
+  expect_fast_matches_step(p, 1000);
+  Emulator fast(p);
+  fast.run_fast(1000);
+  EXPECT_TRUE(fast.exited());
+  EXPECT_EQ(fast.exit_code(), 6);  // 1 + 5
 }
 
 }  // namespace

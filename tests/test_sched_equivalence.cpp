@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -146,6 +147,25 @@ TEST(SchedEquivalence, CheckpointRestoredRun) {
   const auto ckpt = fast_forward(w.program, 40'000);
   ASSERT_TRUE(ckpt.has_value());
   Simulator sim(bitsliced_machine(4, kAllTechniques), w.program, *ckpt);
+  const SimResult r = sim.run(kCommits, kWarmup);
+  ASSERT_TRUE(r.ok()) << r.error;
+  expect_matches_golden("gzip/ckpt40k/s4/alltech", r.stats);
+}
+
+// The checkpoint *cache* must also be invisible: serialising the
+// checkpoint to BSPC bytes and loading it back — exactly what a sweep
+// worker does when it restores from the shared on-disk cache — has to
+// reproduce the same golden as the directly fast-forwarded run above.
+TEST(SchedEquivalence, CacheRoundTrippedCheckpointMatchesGolden) {
+  const Workload w = build_workload("gzip");
+  const auto ckpt = fast_forward(w.program, 40'000);
+  ASSERT_TRUE(ckpt.has_value());
+  std::stringstream buf;
+  ASSERT_TRUE(save_checkpoint(*ckpt, buf));
+  std::string error;
+  const auto loaded = load_checkpoint(buf, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  Simulator sim(bitsliced_machine(4, kAllTechniques), w.program, *loaded);
   const SimResult r = sim.run(kCommits, kWarmup);
   ASSERT_TRUE(r.ok()) << r.error;
   expect_matches_golden("gzip/ckpt40k/s4/alltech", r.stats);

@@ -45,12 +45,15 @@ int main(int argc, char** argv) {
   std::string input, save_ckpt, from_ckpt;
   u64 max_instructions = 1u << 30;
   bool stats = false;
+  bool fast = true;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--max" && i + 1 < argc) {
       max_instructions = std::strtoull(argv[++i], nullptr, 0);
     } else if (a == "--stats") {
       stats = true;
+    } else if (a == "--no-fast") {
+      fast = false;
     } else if (a == "--save-checkpoint" && i + 1 < argc) {
       save_ckpt = argv[++i];
     } else if (a == "--checkpoint" && i + 1 < argc) {
@@ -58,7 +61,9 @@ int main(int argc, char** argv) {
     } else if (a == "-h" || a == "--help") {
       std::cout << "usage: bsp-run program.{s,bspo} [--max N] [--stats]\n"
                 << "               [--checkpoint in.bspc] "
-                   "[--save-checkpoint out.bspc]\n";
+                   "[--save-checkpoint out.bspc] [--no-fast]\n"
+                << "--no-fast uses the one-instruction step() loop instead "
+                   "of the fast interpreter (debugging aid; same results)\n";
       return 0;
     } else if (!a.empty() && a[0] != '-' && input.empty()) {
       input = a;
@@ -86,7 +91,10 @@ int main(int argc, char** argv) {
     restore_checkpoint(emu, *ckpt);
   }
   StepResult final;
-  emu.run(max_instructions, &final);
+  if (fast)
+    emu.run_fast(max_instructions, &final);
+  else
+    emu.run(max_instructions, &final);
   std::cout << emu.output();
   if (final.kind == StepResult::Kind::Fault) {
     std::cerr << "\nbsp-run: fault at pc 0x" << std::hex << emu.pc()

@@ -111,6 +111,8 @@ int run_worker(const SweepSpec& spec, const RunnerOptions& runner_options,
   rec.stats = r.stats;
   rec.interval = r.interval;
   rec.series = r.series;
+  rec.ckpt_cache = r.ckpt_cache;
+  rec.ffwd_sec = r.ffwd_sec;
   std::cout << to_jsonl(rec) << "\n" << std::flush;
   return 0;
 }
@@ -121,8 +123,8 @@ int main(int argc, char** argv) {
   std::string campaign_name;
   bool list = false, dry_run = false, csv = false;
   bool fresh = false, retry_failed = false, no_progress = false;
-  bool has_n = false, has_warmup = false;
-  u64 instructions = 0, warmup = 0;
+  bool has_n = false, has_warmup = false, has_ff = false;
+  u64 instructions = 0, warmup = 0, fast_forward = 0;
   std::vector<std::string> workloads;
   std::vector<u64> seeds;
   std::string isolate = "thread";
@@ -145,6 +147,14 @@ int main(int argc, char** argv) {
                    [&](const std::string& v) {
                      warmup = parse_cli_u64("--warmup", v);
                      has_warmup = true;
+                   });
+  parser.add_value("--fast-forward", "N",
+                   "functionally fast-forward N instructions before timing "
+                   "starts (the paper skips ~1B per benchmark); tasks "
+                   "sharing a workload+seed reuse one checkpoint",
+                   [&](const std::string& v) {
+                     fast_forward = parse_cli_u64("--fast-forward", v);
+                     has_ff = true;
                    });
   parser.add_value("-w, --workload", "NAME",
                    "restrict to one workload (repeatable)", &workloads);
@@ -190,6 +200,15 @@ int main(int argc, char** argv) {
                   "collect per-phase host timings (records' \"host_phases\" "
                   "+ summary breakdown after the progress line)",
                   &runner_options.host_profile);
+  parser.add_value("--ckpt-cache", "DIR",
+                   "shared checkpoint cache for --fast-forward: each "
+                   "distinct (workload, seed) checkpoint is materialised "
+                   "once into DIR (atomic, safe for concurrent sweeps) and "
+                   "every task — and every later run — restores from it",
+                   [&](const std::string& v) {
+                     options.scheduler.ckpt_cache_dir = v;
+                     runner_options.ckpt_cache_dir = v;
+                   });
   parser.add_flag("--no-progress", "suppress the live progress line",
                   &no_progress);
   parser.add_flag("--dry-run", "print the expanded task list and exit",
@@ -229,6 +248,7 @@ int main(int argc, char** argv) {
   if (!seeds.empty()) spec.seeds = seeds;
   if (has_n) spec.instructions = instructions;
   if (has_warmup) spec.warmup = warmup;
+  if (has_ff) spec.fast_forward = fast_forward;
 
   if (!worker_task.empty()) return run_worker(spec, runner_options, worker_task);
 
@@ -258,6 +278,14 @@ int main(int argc, char** argv) {
       cmd.push_back("--seed");
       cmd.push_back(hex);
     }
+    if (spec.fast_forward != 0) {
+      cmd.push_back("--fast-forward");
+      cmd.push_back(std::to_string(spec.fast_forward));
+    }
+    if (!runner_options.ckpt_cache_dir.empty()) {
+      cmd.push_back("--ckpt-cache");
+      cmd.push_back(runner_options.ckpt_cache_dir);
+    }
     if (runner_options.interval) {
       cmd.push_back("--interval-stats");
       cmd.push_back(std::to_string(runner_options.interval));
@@ -279,8 +307,17 @@ int main(int argc, char** argv) {
             << report.total << " tasks: " << report.skipped << " resumed, "
             << report.ran << " ran (" << report.ok << " ok, "
             << report.failed << " failed, " << report.crashed
-            << " crashed, " << report.retried << " retried)\n"
-            << "results: " << options.out_path << "\n\n";
+            << " crashed, " << report.retried << " retried)\n";
+  if (report.prewarm.groups > 0 || report.ckpt_hits > 0 ||
+      report.ckpt_misses > 0) {
+    char ffwd[32];
+    std::snprintf(ffwd, sizeof ffwd, "%.2f", report.prewarm.ffwd_sec);
+    std::cout << "checkpoint cache: " << report.prewarm.materialised
+              << " materialised, " << report.prewarm.reused << " reused ("
+              << ffwd << "s fast-forward), tasks " << report.ckpt_hits
+              << " hit / " << report.ckpt_misses << " miss\n";
+  }
+  std::cout << "results: " << options.out_path << "\n\n";
   const Table summary = summary_table(spec, report);
   if (csv)
     summary.print_csv(std::cout);
