@@ -62,6 +62,11 @@ CampaignReport run_campaign(const SweepSpec& spec, const TaskRunner& runner,
               rec.sys_sec = out.sys_sec;
               rec.ckpt_cache = out.ckpt_cache;
               rec.ffwd_sec = out.ffwd_sec;
+              rec.sample_intervals = out.sample_intervals;
+              rec.sample_warmup = out.sample_warmup;
+              rec.ipc_mean = out.ipc_mean;
+              rec.ipc_ci95 = out.ipc_ci95;
+              rec.samples = out.samples;
               store.append(rec);  // thread-safe, atomic line append
               meter.task_done(out);
               std::lock_guard<std::mutex> lock(report_mutex);

@@ -66,6 +66,35 @@ std::string checkpoint_cache_path(const std::string& dir,
   return os.str();
 }
 
+std::string publish_checkpoint(const std::string& dir,
+                               const std::string& workload, u64 seed,
+                               const Program& program, u64 fast_forward,
+                               const Checkpoint& ckpt, std::string* error) {
+  const std::string path =
+      checkpoint_cache_path(dir, workload, seed, program, fast_forward);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  // Write-then-rename: readers never observe a partial file, and two
+  // concurrent materialisers of the same key race benignly (identical
+  // bytes, last rename wins). The pid suffix keeps their temp files apart.
+  std::ostringstream tmp;
+  tmp << path << ".tmp." << ::getpid();
+  if (!save_checkpoint_file(ckpt, tmp.str())) {
+    std::remove(tmp.str().c_str());
+    if (error) *error = "cannot write checkpoint cache file " + tmp.str();
+    return "";
+  }
+  std::filesystem::rename(tmp.str(), path, ec);
+  if (ec) {
+    std::remove(tmp.str().c_str());
+    if (error)
+      *error = "cannot publish checkpoint cache file " + path + ": " +
+               ec.message();
+    return "";
+  }
+  return path;
+}
+
 CkptFetch fetch_checkpoint(const std::string& dir, const std::string& workload,
                            u64 seed, const Program& program,
                            u64 fast_forward) {
@@ -103,24 +132,9 @@ CkptFetch fetch_checkpoint(const std::string& dir, const std::string& workload,
   out.checkpoint = std::make_shared<const Checkpoint>(std::move(*ckpt));
 
   if (!dir.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(dir, ec);
-    // Write-then-rename: readers never observe a partial file, and two
-    // concurrent materialisers of the same key race benignly (identical
-    // bytes, last rename wins). The pid suffix keeps their temp files apart.
-    std::ostringstream tmp;
-    tmp << out.path << ".tmp." << ::getpid();
-    if (!save_checkpoint_file(*out.checkpoint, tmp.str())) {
-      std::remove(tmp.str().c_str());
-      out.error = "cannot write checkpoint cache file " + tmp.str();
-      out.checkpoint = nullptr;
-      return out;
-    }
-    std::filesystem::rename(tmp.str(), out.path, ec);
-    if (ec) {
-      std::remove(tmp.str().c_str());
-      out.error = "cannot publish checkpoint cache file " + out.path + ": " +
-                  ec.message();
+    if (publish_checkpoint(dir, workload, seed, program, fast_forward,
+                           *out.checkpoint, &out.error)
+            .empty()) {
       out.checkpoint = nullptr;
       return out;
     }

@@ -47,6 +47,19 @@ std::string checkpoint_cache_path(const std::string& dir,
                                   const std::string& workload, u64 seed,
                                   const Program& program, u64 fast_forward);
 
+// Atomically publishes `ckpt` as the cache file for (workload, seed,
+// program, fast_forward) under `dir`: serialise to "<final>.tmp.<pid>",
+// rename(2) into place. Concurrent publishers of the same key race
+// benignly (identical bytes, last rename wins). Returns the final path, or
+// "" on failure with *error describing why. The sampled-simulation prewarm
+// uses this directly — it captures checkpoints from one incremental
+// emulator pass instead of calling fetch_checkpoint() per offset.
+std::string publish_checkpoint(const std::string& dir,
+                               const std::string& workload, u64 seed,
+                               const Program& program, u64 fast_forward,
+                               const Checkpoint& ckpt,
+                               std::string* error = nullptr);
+
 // Returns the checkpoint for (program, fast_forward), preferring the cache:
 //  * cache file exists and loads cleanly -> hit;
 //  * otherwise fast-forward on the emulator, publish atomically -> miss.

@@ -157,6 +157,11 @@ TaskOutcome run_one_task_process(const TaskSpec& task,
     out.series = rec->series;
     out.ckpt_cache = rec->ckpt_cache;
     out.ffwd_sec = rec->ffwd_sec;
+    out.sample_intervals = rec->sample_intervals;
+    out.sample_warmup = rec->sample_warmup;
+    out.ipc_mean = rec->ipc_mean;
+    out.ipc_ci95 = rec->ipc_ci95;
+    out.samples = rec->samples;
     if (out.status == "ok") break;
   }
   out.duration_ms =
@@ -255,6 +260,11 @@ TaskOutcome run_one_task(const TaskSpec& task, const TaskRunner& runner,
       out.series = r.series;
       out.ckpt_cache = r.ckpt_cache;
       out.ffwd_sec = r.ffwd_sec;
+      out.sample_intervals = r.sample_intervals;
+      out.sample_warmup = r.sample_warmup;
+      out.ipc_mean = r.ipc_mean;
+      out.ipc_ci95 = r.ipc_ci95;
+      out.samples = r.samples;
       break;
     }
     out.status = "failed";

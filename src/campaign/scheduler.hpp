@@ -49,6 +49,16 @@ struct AttemptResult {
   // "miss" = fast-forwarded here) and the host seconds that cost.
   std::string ckpt_cache;
   double ffwd_sec = 0;
+  // Sampled-simulation fields (src/sampling/; zero/empty when the task ran
+  // monolithically): interval count K and per-interval warm-up N, the
+  // per-interval IPC mean with its 95% confidence half-width, and one
+  // numeric row per measured interval —
+  // [index, offset, warmup, commits, cycles, committed].
+  u64 sample_intervals = 0;
+  u64 sample_warmup = 0;
+  double ipc_mean = 0;
+  double ipc_ci95 = 0;
+  std::vector<std::vector<u64>> samples;
 };
 
 // Runs a single attempt. May throw; the scheduler converts the exception
@@ -97,6 +107,13 @@ struct TaskOutcome {
   // AttemptResult).
   std::string ckpt_cache;
   double ffwd_sec = 0;
+  // Sampled-simulation fields from the successful attempt (see
+  // AttemptResult; zero/empty for monolithic tasks).
+  u64 sample_intervals = 0;
+  u64 sample_warmup = 0;
+  double ipc_mean = 0;
+  double ipc_ci95 = 0;
+  std::vector<std::vector<u64>> samples;
 
   bool ok() const { return status == "ok"; }
   bool retried() const { return attempts > 1; }

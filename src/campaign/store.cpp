@@ -163,6 +163,26 @@ std::string to_jsonl(const TaskRecord& rec) {
       os << "]";
     }
   }
+  // Sampled-simulation block, only when the task actually sampled — a
+  // monolithic store stays byte-identical to pre-sampling builds.
+  if (rec.sample_intervals > 0) {
+    os << ",\"sample_intervals\":" << rec.sample_intervals
+       << ",\"sample_warmup\":" << rec.sample_warmup;
+    if (rec.status == "ok") {
+      os << ",\"ipc_mean\":" << fmt_sec(rec.ipc_mean)
+         << ",\"ipc_ci95\":" << fmt_sec(rec.ipc_ci95);
+      if (!rec.samples.empty()) {
+        os << ",\"samples\":[";
+        for (std::size_t r = 0; r < rec.samples.size(); ++r) {
+          os << (r ? ",[" : "[");
+          for (std::size_t i = 0; i < rec.samples[r].size(); ++i)
+            os << (i ? "," : "") << rec.samples[r][i];
+          os << "]";
+        }
+        os << "]";
+      }
+    }
+  }
   os << "}";
   return os.str();
 }
@@ -305,6 +325,18 @@ std::optional<TaskRecord> parse_jsonl(const std::string& line) {
     if (const auto iv = num("interval")) rec.interval = *iv;
     if (const auto arr = jsonl_array_field(line, "series"))
       rec.series = parse_series(*arr);
+  }
+  // Sampled-simulation block (optional; "sample_warmup" never collides
+  // with "warmup" — the extractor needles include the opening quote).
+  if (const auto k = num("sample_intervals")) {
+    rec.sample_intervals = *k;
+    if (const auto n = num("sample_warmup")) rec.sample_warmup = *n;
+    if (const auto v = jsonl_field(line, "ipc_mean"))
+      rec.ipc_mean = std::strtod(v->c_str(), nullptr);
+    if (const auto v = jsonl_field(line, "ipc_ci95"))
+      rec.ipc_ci95 = std::strtod(v->c_str(), nullptr);
+    if (const auto arr = jsonl_array_field(line, "samples"))
+      rec.samples = parse_series(*arr);
   }
   return rec;
 }

@@ -47,6 +47,17 @@ struct TaskRecord {
   // seconds it spent doing so (0 for a hit).
   std::string ckpt_cache;
   double ffwd_sec = 0;
+  // Sampled-simulation fields (src/sampling/): interval count K and
+  // per-interval warm-up N, the per-interval IPC mean ± 95% CI half-width,
+  // and one numeric row per measured interval —
+  // [index, offset, warmup, commits, cycles, committed]. All zero/empty —
+  // and omitted from the JSONL, keeping monolithic stores byte-stable —
+  // when the task ran monolithically.
+  u64 sample_intervals = 0;
+  u64 sample_warmup = 0;
+  double ipc_mean = 0;
+  double ipc_ci95 = 0;
+  std::vector<std::vector<u64>> samples;
 };
 
 // Serialises one record as a single JSON line (no trailing newline).

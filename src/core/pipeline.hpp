@@ -200,6 +200,20 @@ struct SimStats {
     return committed ? static_cast<double>(loads) / committed : 0.0;
   }
 
+  // Accumulates another run's counters into this one — the sampled-
+  // simulation stitcher's primitive (src/sampling/). Every registered u64
+  // counter (obs/interval.hpp registry, so a newly added counter merges
+  // automatically) is summed; merging the per-interval stats of a sharded
+  // run in any order reproduces what one monolithic accumulation would have
+  // counted. `host_seconds` is also summed, which makes the merged value
+  // the *serial* host cost (sum over intervals, i.e. total CPU time); the
+  // wall clock of a parallel sampled run is the max over concurrent
+  // intervals plus the prewarm and is reported separately by the sampling
+  // engine (SampledResult::wall_sec) — never read merged host_seconds as
+  // elapsed time. host_profile phases sum likewise (CPU time, not wall).
+  // Defined in core/stats_merge.cpp.
+  void merge(const SimStats& other);
+
   // Simulated commits (cycles) retired per host-second: the simulator-
   // throughput figures the campaign engine and bench drivers report.
   double commits_per_host_second() const {
@@ -222,6 +236,17 @@ struct DetailedStats {
   Histogram branch_resolve_delay{100}; // resolve cycle - dispatch cycle
   Histogram commit_width{4};           // commits per cycle
   Histogram idle_skip_length{256};     // cycles jumped per idle-skip event
+
+  // Folds another run's distributions into this one (per-histogram sample
+  // union); used when stitching per-interval detail stats.
+  void merge(const DetailedStats& other) {
+    ruu_occupancy.merge(other.ruu_occupancy);
+    lsq_occupancy.merge(other.lsq_occupancy);
+    load_to_use.merge(other.load_to_use);
+    branch_resolve_delay.merge(other.branch_resolve_delay);
+    commit_width.merge(other.commit_width);
+    idle_skip_length.merge(other.idle_skip_length);
+  }
 };
 
 }  // namespace bsp

@@ -1,0 +1,22 @@
+// SimStats::merge — the sampled-simulation stitcher's primitive.
+//
+// Lives in its own TU (not simulator.cpp) because it is the one piece of
+// core that depends on the obs counter *registry* rather than on any
+// particular counter: iterating simstats_counters() instead of naming
+// fields means a counter added to the registry is merged automatically,
+// and a counter added to SimStats but not registered fails the directed
+// unit test (tests/test_sampling.cpp) rather than silently dropping out
+// of sampled aggregates.
+
+#include "core/pipeline.hpp"
+#include "obs/interval.hpp"
+
+namespace bsp {
+
+void SimStats::merge(const SimStats& other) {
+  for (const auto& c : obs::simstats_counters()) this->*(c.field) += other.*(c.field);
+  host_seconds += other.host_seconds;  // sum-of-serial; see pipeline.hpp
+  host_profile.merge(other.host_profile);
+}
+
+}  // namespace bsp

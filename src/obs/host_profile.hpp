@@ -48,6 +48,23 @@ struct HostProfile {
   double total() const {
     return commit + resolve + select + memory + dispatch + fetch;
   }
+
+  // Accumulates another run's profile (phase sums; enabled if either side
+  // was). Host time is additive across runs whether they executed serially
+  // or in parallel — the sum is total CPU time spent, not wall clock.
+  void merge(const HostProfile& other) {
+    enabled = enabled || other.enabled;
+    commit += other.commit;
+    resolve += other.resolve;
+    select += other.select;
+    memory += other.memory;
+    dispatch += other.dispatch;
+    fetch += other.fetch;
+    cosim += other.cosim;
+    replay += other.replay;
+    ffwd += other.ffwd;
+    loop_cycles += other.loop_cycles;
+  }
 };
 
 }  // namespace bsp::obs

@@ -1,0 +1,42 @@
+#include "sampling/plan.hpp"
+
+#include <algorithm>
+
+namespace bsp::sampling {
+
+SamplePlan plan_intervals(u64 max_commits, u64 warmup, u64 fast_forward,
+                          unsigned intervals, u64 sample_warmup) {
+  SamplePlan plan;
+  plan.max_commits = max_commits;
+  plan.warmup = warmup;
+  plan.fast_forward = fast_forward;
+  plan.sample_warmup = sample_warmup;
+
+  u64 k = std::max<u64>(1, std::min<u64>(intervals ? intervals : 1,
+                                         std::max<u64>(1, max_commits)));
+  const u64 base = max_commits / k;
+  const u64 extra = max_commits % k;  // first `extra` chunks get one more
+
+  u64 measured_start = 0;
+  for (u64 i = 0; i < k; ++i) {
+    IntervalSpec spec;
+    spec.index = static_cast<unsigned>(i);
+    spec.commits = base + (i < extra ? 1 : 0);
+    spec.measured_start = measured_start;
+    if (i == 0) {
+      // The monolithic boundary, verbatim: K=1 reduces to the monolithic
+      // run and interval 0 of any plan replays its exact first chunk.
+      spec.offset = fast_forward;
+      spec.warmup = warmup;
+    } else {
+      const u64 pos = fast_forward + warmup + measured_start;
+      spec.warmup = std::min(sample_warmup, pos);
+      spec.offset = pos - spec.warmup;
+    }
+    measured_start += spec.commits;
+    plan.intervals.push_back(spec);
+  }
+  return plan;
+}
+
+}  // namespace bsp::sampling

@@ -1,0 +1,94 @@
+#include "sampling/runner.hpp"
+
+#include <cassert>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "workloads/workloads.hpp"
+
+namespace bsp::sampling {
+
+campaign::TaskRunner make_sampled_runner(const SampleOptions& options) {
+  assert(options.worker_cmd.empty() &&
+         "sweep tasks sample with threads; see runner.hpp");
+  // Shared (workload, seed) -> Workload memo, same build-once/share
+  // pattern as make_sim_runner: everything sits behind a shared_ptr so a
+  // detached timed-out attempt stays memory-safe.
+  struct Cache {
+    std::mutex m;
+    std::map<std::pair<std::string, u64>,
+             std::shared_future<std::shared_ptr<const Workload>>>
+        built;
+  };
+  auto cache = std::make_shared<Cache>();
+  return [cache, options](const campaign::TaskSpec& task)
+             -> campaign::AttemptResult {
+    std::shared_future<std::shared_ptr<const Workload>> fut;
+    bool builder = false;
+    std::promise<std::shared_ptr<const Workload>> promise;
+    {
+      std::lock_guard<std::mutex> lock(cache->m);
+      const auto key = std::make_pair(task.workload, task.seed);
+      const auto it = cache->built.find(key);
+      if (it == cache->built.end()) {
+        fut = promise.get_future().share();
+        cache->built.emplace(key, fut);
+        builder = true;
+      } else {
+        fut = it->second;
+      }
+    }
+    if (builder) {
+      try {
+        WorkloadParams params;
+        params.seed = task.seed;
+        promise.set_value(std::make_shared<const Workload>(
+            build_workload(task.workload, params)));
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+    }
+    std::shared_ptr<const Workload> workload;
+    try {
+      workload = fut.get();
+    } catch (const std::exception& e) {
+      campaign::AttemptResult r;
+      r.error = std::string("workload build failed: ") + e.what();
+      return r;
+    }
+
+    // The task itself already occupies one scheduler slot; its interval
+    // workers run inline on that slot so a sweep's total thread count
+    // stays at the scheduler's --jobs.
+    SampleOptions opts = options;
+    opts.jobs = 1;
+    const SampledResult res = run_sampled(
+        task.machine.build(), workload->program, task.workload, task.seed,
+        task.instructions, task.warmup, task.fast_forward, opts);
+
+    campaign::AttemptResult r;
+    r.stats = res.aggregate;
+    r.error = res.error;
+    if (res.ckpt_materialised + res.ckpt_reused > 0) {
+      r.ckpt_cache = res.ckpt_materialised ? "miss" : "hit";
+      r.ffwd_sec = res.prewarm_sec;
+      if (options.host_profile)
+        r.stats.host_profile.ffwd = res.prewarm_sec;
+    }
+    r.sample_intervals = res.plan.intervals.size();
+    r.sample_warmup = res.plan.sample_warmup;
+    r.ipc_mean = res.ipc.mean;
+    r.ipc_ci95 = res.ipc.ci95;
+    for (const IntervalResult& iv : res.intervals) {
+      if (!iv.measured()) continue;
+      r.samples.push_back({iv.spec.index, iv.spec.offset, iv.spec.warmup,
+                           iv.spec.commits, iv.stats.cycles,
+                           iv.stats.committed});
+    }
+    return r;
+  };
+}
+
+}  // namespace bsp::sampling

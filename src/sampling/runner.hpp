@@ -1,0 +1,28 @@
+// Campaign integration: a TaskRunner that simulates each sweep task via
+// the sampled-simulation engine instead of one monolithic Simulator::run.
+//
+// Lives in src/sampling/ (not src/campaign/) to keep the library graph
+// acyclic: bsp_sampling links bsp_campaign for the checkpoint cache and
+// store helpers, so the campaign library cannot link back. bsp-sweep picks
+// this runner over make_sim_runner() when --sample-intervals is given.
+//
+// Each task's (workload, seed, task.fast_forward ± warm-up) interval
+// checkpoints land in the shared cache directory keyed by functional
+// offset, so every machine point of a sweep grid — and every rerun over
+// the same directory — reuses one functional prewarm per (workload, seed).
+#pragma once
+
+#include "campaign/campaign.hpp"
+#include "sampling/sampled.hpp"
+
+namespace bsp::sampling {
+
+// Builds the sampling TaskRunner. `options.worker_cmd` must be empty:
+// inside a sweep, interval workers always run as threads (the sweep's own
+// --isolate process already wraps the whole task in a subprocess; nesting
+// another fork/exec layer per interval would multiply process churn for
+// no extra containment). Workload programs are built once per (workload,
+// seed) and shared across concurrent tasks, as in make_sim_runner().
+campaign::TaskRunner make_sampled_runner(const SampleOptions& options);
+
+}  // namespace bsp::sampling

@@ -1,0 +1,52 @@
+#include "sampling/stitch.hpp"
+
+#include <cmath>
+
+namespace bsp::sampling {
+
+double t_critical_975(unsigned df) {
+  // Standard two-sided 95% Student-t critical values, df = 1..30; the
+  // normal quantile 1.96 beyond (error < 0.5% by df 31). df == 0 means a
+  // single sample: no variance estimate exists, so return a sentinel large
+  // enough that any CI built from it is conspicuously useless rather than
+  // accidentally tight.
+  static const double kTable[31] = {
+      1e9,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+      2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+      2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+      2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+  return df <= 30 ? kTable[df] : 1.96;
+}
+
+IpcEstimate estimate_ipc(const std::vector<IntervalResult>& intervals) {
+  IpcEstimate est;
+  u64 committed = 0, cycles = 0;
+  double sum = 0;
+  std::vector<double> ipcs;
+  for (const IntervalResult& r : intervals) {
+    if (!r.measured()) continue;
+    committed += r.stats.committed;
+    cycles += r.stats.cycles;
+    ipcs.push_back(r.stats.ipc());
+    sum += ipcs.back();
+  }
+  est.n = static_cast<unsigned>(ipcs.size());
+  if (cycles) est.weighted = static_cast<double>(committed) / cycles;
+  if (est.n == 0) return est;
+  est.mean = sum / est.n;
+  if (est.n < 2) return est;  // no variance estimate from one interval
+  double ss = 0;
+  for (const double ipc : ipcs) ss += (ipc - est.mean) * (ipc - est.mean);
+  est.stddev = std::sqrt(ss / (est.n - 1));
+  est.ci95 = t_critical_975(est.n - 1) * est.stddev / std::sqrt(est.n);
+  return est;
+}
+
+SimStats stitch_stats(const std::vector<IntervalResult>& intervals) {
+  SimStats out;
+  for (const IntervalResult& r : intervals)
+    if (r.measured()) out.merge(r.stats);
+  return out;
+}
+
+}  // namespace bsp::sampling

@@ -1,0 +1,62 @@
+// Stitcher for sampled simulation: folds per-interval SimStats into one
+// aggregate and puts an error bound on the headline IPC.
+//
+// Two IPC figures come out of a K-interval run:
+//  * `weighted` — sum(committed) / sum(cycles) over all measured
+//    intervals: the IPC of the stitched stream, the direct analogue of
+//    the monolithic run's ipc() (and exactly it when K = 1).
+//  * `mean` ± `ci95` — the unweighted mean of per-interval IPCs with a
+//    Student-t 95% confidence half-width (t_{0.975, K-1} * s / sqrt(K)).
+//    Treating the K interval IPCs as samples of the program's IPC over
+//    time, the CI bounds how far the estimate can sit from the long-run
+//    value; the CI acceptance check asserts the monolithic IPC falls
+//    inside it. Intervals here are contiguous and exhaustive (coverage =
+//    100%), so unlike true sparse sampling the CI is a self-consistency
+//    bound on warm-up error plus phase variance, not an extrapolation
+//    bound — ARCHITECTURE.md §12 spells out the methodology.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "sampling/plan.hpp"
+
+namespace bsp::sampling {
+
+// One interval's outcome (worker output / stitcher input).
+struct IntervalResult {
+  IntervalSpec spec;
+  SimStats stats;        // measured-region stats (valid when ok())
+  std::string error;     // non-empty on failure (co-sim divergence, ...)
+  bool skipped = false;  // program exited before this interval's offset
+  bool exited = false;   // program exited inside this interval
+  int exit_code = 0;
+  double host_sec = 0;   // wall seconds this interval's worker spent
+
+  bool ok() const { return error.empty(); }
+  bool measured() const { return ok() && !skipped; }
+};
+
+// Student-t distribution 97.5% quantile (two-sided 95%) for `df` degrees
+// of freedom; df >= 31 returns the normal approximation 1.96, df == 0
+// (single sample: no variance estimate) returns +inf semantics via a
+// large sentinel documented at the definition.
+double t_critical_975(unsigned df);
+
+struct IpcEstimate {
+  unsigned n = 0;       // measured intervals contributing
+  double weighted = 0;  // sum(committed) / sum(cycles)
+  double mean = 0;      // unweighted mean of per-interval IPCs
+  double stddev = 0;    // sample standard deviation of those IPCs
+  double ci95 = 0;      // t_{0.975, n-1} * stddev / sqrt(n); 0 when n < 2
+};
+
+// Computes the estimate over every measured() interval.
+IpcEstimate estimate_ipc(const std::vector<IntervalResult>& intervals);
+
+// Merges every measured() interval's stats (SimStats::merge — counters
+// sum; the merged host_seconds is the serial CPU cost, not wall clock).
+SimStats stitch_stats(const std::vector<IntervalResult>& intervals);
+
+}  // namespace bsp::sampling

@@ -45,6 +45,21 @@ class Histogram {
     prefix_valid_ = false;
   }
 
+  // Combines another histogram's samples into this one (per-bucket count
+  // sums). Both histograms must have the same bucket count — merging
+  // differently-shaped distributions is a logic error, asserted. Used by the
+  // sampled-simulation stitcher to fold per-interval distributions into an
+  // aggregate; merging is exactly equivalent to having add()ed every sample
+  // into one histogram.
+  void merge(const Histogram& other) {
+    assert(counts_.size() == other.counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+      counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    prefix_valid_ = false;
+  }
+
   u64 count(std::size_t bucket) const { return counts_[bucket]; }
   u64 overflow() const { return counts_.back(); }
   u64 total() const { return total_; }
@@ -110,6 +125,19 @@ class RunningMean {
     sum_ += v;
     min_ = n_ == 1 ? v : (v < min_ ? v : min_);
     max_ = n_ == 1 ? v : (v > max_ ? v : max_);
+  }
+  // Combines another accumulator's samples (order-independent; an empty
+  // side contributes nothing, including to min/max).
+  void merge(const RunningMean& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = other.min_ < min_ ? other.min_ : min_;
+    max_ = other.max_ > max_ ? other.max_ : max_;
   }
   u64 count() const { return n_; }
   double mean() const { return n_ ? sum_ / n_ : 0.0; }

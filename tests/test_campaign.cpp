@@ -477,6 +477,120 @@ TEST(CkptCache, MissMaterialisesThenHitsAndSurvivesCorruption) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(CkptCache, ConcurrentMaterialisationRaceIsSafe) {
+  // Two threads race the same cold cache entry. Each writes to a private
+  // tmp file and renames into place, so both must succeed, produce
+  // identical checkpoints, and leave one valid cache file that later
+  // fetches hit — no torn file, no error, regardless of who wins the
+  // rename.
+  const std::string dir =
+      testing::TempDir() + "bsp_ckptrace_" + std::to_string(::getpid());
+  std::filesystem::create_directories(dir);
+  const Workload w = build_workload("li");
+
+  CkptFetch a, b;
+  std::thread ta([&] {
+    a = fetch_checkpoint(dir, "li", 0x5eed, w.program, 20'000);
+  });
+  std::thread tb([&] {
+    b = fetch_checkpoint(dir, "li", 0x5eed, w.program, 20'000);
+  });
+  ta.join();
+  tb.join();
+  ASSERT_TRUE(a.ok()) << a.error;
+  ASSERT_TRUE(b.ok()) << b.error;
+  EXPECT_EQ(a.checkpoint->pc, b.checkpoint->pc);
+  EXPECT_EQ(a.checkpoint->regs, b.checkpoint->regs);
+  EXPECT_EQ(a.checkpoint->retired, 20'000u);
+  EXPECT_TRUE(std::filesystem::exists(a.path));
+  // No tmp litter survives the race.
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+
+  const CkptFetch after = fetch_checkpoint(dir, "li", 0x5eed, w.program,
+                                           20'000);
+  ASSERT_TRUE(after.ok()) << after.error;
+  EXPECT_TRUE(after.hit);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, SimRunnerMemoisesTheCheckpointSoOneTaskPaysTheMiss) {
+  // Within one runner (one sweep), concurrent tasks sharing a
+  // (workload, seed, ff) group must fast-forward once: the shared-future
+  // memo makes exactly one task the payer ("miss"); every other task
+  // reports "hit" even when they all start simultaneously.
+  const std::string dir =
+      testing::TempDir() + "bsp_ckptmemo_" + std::to_string(::getpid());
+  std::filesystem::create_directories(dir);
+  RunnerOptions ropts;
+  ropts.ckpt_cache_dir = dir;
+  const TaskRunner runner = make_sim_runner(ropts);
+
+  SweepSpec spec = small_spec();
+  spec.workloads = {"li"};
+  spec.seeds = {0x5eed};
+  spec.fast_forward = 30'000;
+  spec.instructions = 500;
+  const auto tasks = spec.expand();
+  ASSERT_EQ(tasks.size(), 2u);
+
+  std::vector<AttemptResult> results(tasks.size());
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    threads.emplace_back([&, i] { results[i] = runner(tasks[i]); });
+  for (auto& t : threads) t.join();
+
+  std::size_t misses = 0, hits = 0;
+  for (const AttemptResult& r : results) {
+    ASSERT_TRUE(r.error.empty()) << r.error;
+    if (r.ckpt_cache == "miss") ++misses;
+    if (r.ckpt_cache == "hit") ++hits;
+  }
+  EXPECT_EQ(misses, 1u);
+  EXPECT_EQ(hits, tasks.size() - 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, JsonlRoundTripsSampledFields) {
+  TaskRecord rec;
+  rec.task = small_spec().expand().front();
+  rec.status = "ok";
+  rec.stats = fake_stats(rec.task);
+  rec.sample_intervals = 4;
+  rec.sample_warmup = 2'000;
+  rec.ipc_mean = 1.537625;
+  rec.ipc_ci95 = 0.078125;
+  rec.samples = {{0, 0, 0, 1'000, 12'648, 1'000},
+                 {1, 0, 1'000, 1'000, 9'967, 1'000}};
+
+  const auto back = parse_jsonl(to_jsonl(rec));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->sample_intervals, 4u);
+  EXPECT_EQ(back->sample_warmup, 2'000u);
+  EXPECT_DOUBLE_EQ(back->ipc_mean, 1.537625);
+  EXPECT_DOUBLE_EQ(back->ipc_ci95, 0.078125);
+  EXPECT_EQ(back->samples, rec.samples);
+
+  // Non-sampled records keep the legacy byte shape: no sampled keys at
+  // all, and parsing leaves the fields zeroed.
+  TaskRecord legacy;
+  legacy.task = rec.task;
+  legacy.status = "ok";
+  legacy.stats = fake_stats(legacy.task);
+  const std::string line = to_jsonl(legacy);
+  EXPECT_EQ(line.find("sample_intervals"), std::string::npos);
+  EXPECT_EQ(line.find("ipc_mean"), std::string::npos);
+  EXPECT_EQ(line.find("\"samples\""), std::string::npos);
+  const auto lback = parse_jsonl(line);
+  ASSERT_TRUE(lback.has_value());
+  EXPECT_EQ(lback->sample_intervals, 0u);
+  EXPECT_TRUE(lback->samples.empty());
+}
+
 TEST(Campaign, WarmCheckpointCacheReproducesColdStatsWithAllHits) {
   // The acceptance property end to end: a fast-forwarding sweep run cold
   // (empty cache) and again warm (cache populated) must produce identical

@@ -22,6 +22,7 @@
 #include "config/machine_config.hpp"
 #include "core/simulator.hpp"
 #include "emu/checkpoint.hpp"
+#include "sampling/sampled.hpp"
 #include "workloads/workloads.hpp"
 
 namespace bsp {
@@ -169,6 +170,22 @@ TEST(SchedEquivalence, CacheRoundTrippedCheckpointMatchesGolden) {
   const SimResult r = sim.run(kCommits, kWarmup);
   ASSERT_TRUE(r.ok()) << r.error;
   expect_matches_golden("gzip/ckpt40k/s4/alltech", r.stats);
+}
+
+// The sampled-simulation engine with a single interval must *be* the
+// monolithic run: the planner keeps interval 0 on the run's own boundary,
+// so the stitched aggregate has to reproduce the scan-scheduler golden
+// bit for bit — any divergence means sampling perturbed the simulation
+// itself, not just the estimate.
+TEST(SchedEquivalence, OneIntervalSampledRunMatchesGolden) {
+  const Workload w = build_workload("gzip");
+  sampling::SampleOptions opts;
+  opts.intervals = 1;
+  const sampling::SampledResult s = sampling::run_sampled(
+      base_machine(), w.program, "gzip", 0x5eed, kCommits, kWarmup,
+      /*fast_forward=*/0, opts);
+  ASSERT_TRUE(s.ok()) << s.error;
+  expect_matches_golden("gzip/base", s.aggregate);
 }
 
 // The idle-cycle skip must be invisible in simulated time: cycles advance

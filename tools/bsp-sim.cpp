@@ -6,6 +6,9 @@
 //     --techniques SPEC     none | all | extended | comma list of
 //                           bypass,ooo,branch,lsq,tag,specfwd,narrow
 //     --instructions N      commit budget                [default 200000]
+//     --warmup N            detail commits discarded before measuring
+//     --fast-forward N      functional instructions skipped before detail
+//     --checkpoint F        start from a captured BSPC state
 //     --trace [START END]   pipeview trace of cycles [START, END)
 //     --trace-perfetto F    Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)
 //     --trace-konata F      Konata pipeline log (github.com/shioyadan/Konata)
@@ -13,17 +16,31 @@
 //     --interval N          sampling period in committed insns [default 10000]
 //     --host-profile        report where host time went per scheduler phase
 //     --print-config        dump the machine configuration first
+//   Sampled simulation (src/sampling/): shard the measured region into K
+//   intervals and simulate them in parallel, stitching the stats back
+//   together with a confidence interval on the IPC estimate.
+//     --sample-intervals K  interval count (0 = monolithic)   [default 0]
+//     --sample-warmup N     per-interval warm-up commits      [default 2000]
+//     --sample-jobs J       interval parallelism (0 = cores)
+//     --sample-isolate M    thread | process                  [default thread]
+//     --sample-out F        per-interval results as JSONL
+//     --ckpt-cache DIR      shared BSPC checkpoint cache directory
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <vector>
 
 #include "asm/assembler.hpp"
 #include "asm/objfile.hpp"
+#include "campaign/ckpt_cache.hpp"
 #include "core/simulator.hpp"
 #include "emu/checkpoint.hpp"
 #include "obs/interval.hpp"
 #include "obs/sinks.hpp"
+#include "sampling/sampled.hpp"
+#include "util/subprocess.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -85,6 +102,57 @@ std::optional<TechniqueSet> parse_techniques(const std::string& spec) {
   return set;
 }
 
+// The headline stats block — shared verbatim between the monolithic run
+// and the sampled aggregate, so a 1-interval sampled run's output diffs
+// clean against the monolithic run (the CI smoke relies on this).
+void print_stats(const SimStats& s) {
+  std::cout << "instructions: " << s.committed << "\n"
+            << "cycles:       " << s.cycles << "\n"
+            << "IPC:          " << s.ipc() << "\n"
+            << "branches:     " << s.branches << " ("
+            << 100.0 * s.branch_accuracy() << "% predicted)\n"
+            << "loads:        " << s.loads << " (" << s.load_forwards
+            << " forwarded, " << s.loads_issued_partial_lsq
+            << " issued on partial bits)\n"
+            << "L1D:          " << s.l1d_hits << " hits / " << s.l1d_misses
+            << " misses\n"
+            << "replays:      " << s.load_replays << " loads, "
+            << s.op_replays << " slice-ops, " << s.way_mispredicts
+            << " way mispredicts\n"
+            << "early:        " << s.early_resolved_branches
+            << " branch resolutions, " << s.early_miss_detects
+            << " miss detects\n";
+  if (s.spec_forwards || s.narrow_operands)
+    std::cout << "extensions:   " << s.spec_forwards << " spec forwards ("
+              << s.spec_forward_misses << " refuted), " << s.narrow_operands
+              << " narrow results\n";
+}
+
+void print_host_profile(const SimStats& s) {
+  if (!s.host_profile.enabled) return;
+  const obs::HostProfile& hp = s.host_profile;
+  const double total = hp.total();
+  const auto pct = [&](double v) {
+    return total > 0 ? 100.0 * v / total : 0.0;
+  };
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "host:         %.3fs wall, %.3fs in phases over %llu loop "
+                "cycles\n"
+                "  commit   %5.1f%%  (co-sim %.1f%%)\n"
+                "  resolve  %5.1f%%\n"
+                "  select   %5.1f%%\n"
+                "  memory   %5.1f%%  (replay %.1f%%)\n"
+                "  dispatch %5.1f%%\n"
+                "  fetch    %5.1f%%\n",
+                s.host_seconds, total,
+                static_cast<unsigned long long>(hp.loop_cycles),
+                pct(hp.commit), pct(hp.cosim), pct(hp.resolve),
+                pct(hp.select), pct(hp.memory), pct(hp.replay),
+                pct(hp.dispatch), pct(hp.fetch));
+  std::cout << buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,6 +161,7 @@ int main(int argc, char** argv) {
   TechniqueSet techniques = kAllTechniques;
   u64 instructions = 200'000;
   u64 warmup = 0;
+  u64 fast_forward = 0;
   bool print_config = false;
   bool detail = false;
   bool trace = false;
@@ -100,6 +169,16 @@ int main(int argc, char** argv) {
   std::string perfetto_path, konata_path, interval_path;
   u64 interval = 10'000;
   bool host_profile = false;
+  unsigned sample_intervals = 0;
+  u64 sample_warmup = 2'000;
+  unsigned sample_jobs = 0;
+  bool sample_process = false;
+  std::string sample_out, ckpt_cache;
+  long sample_worker = -1;  // hidden: run one interval, print its JSONL
+
+  // Original argv, re-forwarded verbatim to --sample-isolate process
+  // workers (plus the resolved cache dir and the hidden worker flag).
+  std::vector<std::string> raw_args(argv + 1, argv + argc);
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -123,6 +202,29 @@ int main(int argc, char** argv) {
       instructions = std::strtoull(value(), nullptr, 0);
     } else if (a == "--warmup") {
       warmup = std::strtoull(value(), nullptr, 0);
+    } else if (a == "--fast-forward") {
+      fast_forward = std::strtoull(value(), nullptr, 0);
+    } else if (a == "--sample-intervals") {
+      sample_intervals =
+          static_cast<unsigned>(std::strtoul(value(), nullptr, 0));
+    } else if (a == "--sample-warmup") {
+      sample_warmup = std::strtoull(value(), nullptr, 0);
+    } else if (a == "--sample-jobs") {
+      sample_jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 0));
+    } else if (a == "--sample-isolate") {
+      const std::string mode = value();
+      if (mode == "process") {
+        sample_process = true;
+      } else if (mode != "thread") {
+        std::cerr << "bsp-sim: --sample-isolate must be thread or process\n";
+        return 2;
+      }
+    } else if (a == "--sample-out") {
+      sample_out = value();
+    } else if (a == "--ckpt-cache") {
+      ckpt_cache = value();
+    } else if (a == "--sample-worker") {
+      sample_worker = std::strtol(value(), nullptr, 0);
     } else if (a == "--checkpoint") {
       ckpt_path = value();
     } else if (a == "--trace") {
@@ -152,10 +254,14 @@ int main(int argc, char** argv) {
     } else if (a == "-h" || a == "--help") {
       std::cout << "usage: bsp-sim <program.{s,bspo} | workload> "
                    "[--slices N] [--techniques SPEC] [-n N] [--warmup N] "
-                   "[--checkpoint in.bspc] [--trace [START END]] "
+                   "[--fast-forward N] [--checkpoint in.bspc] "
+                   "[--trace [START END]] "
                    "[--trace-perfetto out.json] [--trace-konata out.kanata] "
                    "[--interval-stats out.jsonl] [--interval N] "
-                   "[--host-profile] [--print-config]\n";
+                   "[--host-profile] [--print-config] "
+                   "[--sample-intervals K] [--sample-warmup N] "
+                   "[--sample-jobs J] [--sample-isolate thread|process] "
+                   "[--sample-out out.jsonl] [--ckpt-cache DIR]\n";
       return 0;
     } else if (!a.empty() && a[0] != '-' && input.empty()) {
       input = a;
@@ -176,6 +282,119 @@ int main(int argc, char** argv) {
       slices == 1 ? base_machine() : bitsliced_machine(slices, techniques);
   if (print_config) std::cout << cfg.describe() << "\n";
 
+  // Checkpoint-cache keying seed: bsp-sim builds workloads with the
+  // default WorkloadParams seed, and the content hash carries correctness
+  // anyway (the readable prefix is for humans).
+  constexpr u64 kSeed = 0x5eed;
+
+  // Hidden per-interval worker (--sample-isolate process protocol): the
+  // parent re-execs itself with its own CLI plus this flag; the worker
+  // recomputes the identical plan, restores its interval's checkpoint
+  // from the shared cache, simulates it, and prints one JSONL line.
+  if (sample_worker >= 0) {
+    const sampling::SamplePlan plan = sampling::plan_intervals(
+        instructions, warmup, fast_forward, sample_intervals, sample_warmup);
+    if (static_cast<std::size_t>(sample_worker) >= plan.intervals.size()) {
+      std::cerr << "bsp-sim: --sample-worker index out of range\n";
+      return 2;
+    }
+    const sampling::IntervalSpec spec =
+        plan.intervals[static_cast<std::size_t>(sample_worker)];
+    std::optional<Checkpoint> start;
+    if (spec.offset > 0) {
+      const std::string path = campaign::checkpoint_cache_path(
+          ckpt_cache, input, kSeed, *program, spec.offset);
+      std::string error;
+      start = load_checkpoint_file(path, &error);
+      if (!start) {
+        sampling::IntervalResult fail;
+        fail.spec = spec;
+        fail.error = "cannot load interval checkpoint: " + error;
+        std::cout << sampling::interval_to_jsonl(fail) << "\n";
+        return 1;
+      }
+    }
+    const sampling::IntervalResult r = sampling::run_one_interval(
+        cfg, *program, spec, start ? &*start : nullptr, host_profile);
+    std::cout << sampling::interval_to_jsonl(r) << "\n";
+    return r.ok() ? 0 : 1;
+  }
+
+  if (sample_intervals > 0) {
+    if (!ckpt_path.empty()) {
+      std::cerr << "bsp-sim: --checkpoint cannot be combined with sampled "
+                   "simulation (use --fast-forward)\n";
+      return 2;
+    }
+    if (trace || detail || !perfetto_path.empty() || !konata_path.empty() ||
+        !interval_path.empty()) {
+      std::cerr << "bsp-sim: tracing/--detail/--interval-stats describe one "
+                   "monolithic run; drop --sample-intervals\n";
+      return 2;
+    }
+    sampling::SampleOptions opts;
+    opts.intervals = sample_intervals;
+    opts.warmup = sample_warmup;
+    opts.jobs = sample_jobs;
+    opts.host_profile = host_profile;
+    opts.ckpt_cache_dir = ckpt_cache;
+    if (sample_process) {
+      if (ckpt_cache.empty()) {
+        // Workers are separate processes: they restore from disk, so
+        // materialise the cache in a throwaway directory.
+        char tmpl[] = "/tmp/bsp-sample-XXXXXX";
+        const char* dir = ::mkdtemp(tmpl);
+        if (!dir) {
+          std::cerr << "bsp-sim: cannot create temporary checkpoint cache\n";
+          return 1;
+        }
+        ckpt_cache = dir;
+        opts.ckpt_cache_dir = ckpt_cache;
+      }
+      opts.worker_cmd.push_back(self_exe_path(argv[0]));
+      opts.worker_cmd.insert(opts.worker_cmd.end(), raw_args.begin(),
+                             raw_args.end());
+      // Later flags win in the parse loop, so re-appending the resolved
+      // cache dir overrides whatever the original argv said.
+      opts.worker_cmd.push_back("--ckpt-cache");
+      opts.worker_cmd.push_back(ckpt_cache);
+      opts.worker_cmd.push_back("--sample-worker");
+      // run_sampled appends the interval index as the final argument.
+    }
+    const sampling::SampledResult res =
+        sampling::run_sampled(cfg, *program, input, kSeed, instructions,
+                              warmup, fast_forward, opts);
+    if (!sample_out.empty()) {
+      std::ofstream os(sample_out);
+      if (!os) {
+        std::cerr << "bsp-sim: cannot open " << sample_out
+                  << " for writing\n";
+        return 1;
+      }
+      for (const sampling::IntervalResult& r : res.intervals)
+        os << sampling::interval_to_jsonl(r) << "\n";
+    }
+    if (!res.ok()) {
+      std::cerr << "bsp-sim: " << res.error << "\n";
+      return 1;
+    }
+    print_stats(res.aggregate);
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  "sampled:      %zu intervals, warmup %llu, %zu ckpts "
+                  "materialised, %zu reused\n"
+                  "IPC estimate: %.6f +/- %.6f (weighted %.6f, n=%u)\n"
+                  "wall:         %.3fs total (%.3fs prewarm, %.3fs serial "
+                  "detail)\n",
+                  res.plan.intervals.size(),
+                  static_cast<unsigned long long>(res.plan.sample_warmup),
+                  res.ckpt_materialised, res.ckpt_reused, res.ipc.mean,
+                  res.ipc.ci95, res.ipc.weighted, res.ipc.n, res.wall_sec,
+                  res.prewarm_sec, res.aggregate.host_seconds);
+    std::cout << buf;
+    return res.exited ? res.exit_code : 0;
+  }
+
   std::optional<Checkpoint> ckpt;
   if (!ckpt_path.empty()) {
     std::string error;
@@ -184,6 +403,22 @@ int main(int argc, char** argv) {
       std::cerr << "bsp-sim: " << error << "\n";
       return 1;
     }
+  }
+  if (fast_forward > 0) {
+    if (ckpt) {
+      std::cerr << "bsp-sim: --checkpoint and --fast-forward are mutually "
+                   "exclusive\n";
+      return 2;
+    }
+    // Through the campaign cache when --ckpt-cache is given (publishes for
+    // later runs), a plain emulator fast-forward otherwise.
+    campaign::CkptFetch fetch = campaign::fetch_checkpoint(
+        ckpt_cache, input, kSeed, *program, fast_forward);
+    if (!fetch.ok()) {
+      std::cerr << "bsp-sim: " << fetch.error << "\n";
+      return 1;
+    }
+    ckpt = *fetch.checkpoint;
   }
   Simulator sim = ckpt ? Simulator(cfg, *program, *ckpt)
                        : Simulator(cfg, *program);
@@ -228,49 +463,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   const SimStats& s = r.stats;
-  std::cout << "instructions: " << s.committed << "\n"
-            << "cycles:       " << s.cycles << "\n"
-            << "IPC:          " << s.ipc() << "\n"
-            << "branches:     " << s.branches << " ("
-            << 100.0 * s.branch_accuracy() << "% predicted)\n"
-            << "loads:        " << s.loads << " (" << s.load_forwards
-            << " forwarded, " << s.loads_issued_partial_lsq
-            << " issued on partial bits)\n"
-            << "L1D:          " << s.l1d_hits << " hits / " << s.l1d_misses
-            << " misses\n"
-            << "replays:      " << s.load_replays << " loads, "
-            << s.op_replays << " slice-ops, " << s.way_mispredicts
-            << " way mispredicts\n"
-            << "early:        " << s.early_resolved_branches
-            << " branch resolutions, " << s.early_miss_detects
-            << " miss detects\n";
-  if (s.spec_forwards || s.narrow_operands)
-    std::cout << "extensions:   " << s.spec_forwards << " spec forwards ("
-              << s.spec_forward_misses << " refuted), " << s.narrow_operands
-              << " narrow results\n";
-  if (s.host_profile.enabled) {
-    const obs::HostProfile& hp = s.host_profile;
-    const double total = hp.total();
-    const auto pct = [&](double v) {
-      return total > 0 ? 100.0 * v / total : 0.0;
-    };
-    char buf[256];
-    std::snprintf(buf, sizeof buf,
-                  "host:         %.3fs wall, %.3fs in phases over %llu loop "
-                  "cycles\n"
-                  "  commit   %5.1f%%  (co-sim %.1f%%)\n"
-                  "  resolve  %5.1f%%\n"
-                  "  select   %5.1f%%\n"
-                  "  memory   %5.1f%%  (replay %.1f%%)\n"
-                  "  dispatch %5.1f%%\n"
-                  "  fetch    %5.1f%%\n",
-                  s.host_seconds, total,
-                  static_cast<unsigned long long>(hp.loop_cycles),
-                  pct(hp.commit), pct(hp.cosim), pct(hp.resolve),
-                  pct(hp.select), pct(hp.memory), pct(hp.replay),
-                  pct(hp.dispatch), pct(hp.fetch));
-    std::cout << buf;
-  }
+  print_stats(s);
+  print_host_profile(s);
   if (detail) {
     const DetailedStats& d = sim.detail();
     const auto line = [](const char* name, const Histogram& h) {

@@ -33,6 +33,7 @@
 
 #include "campaign/builtin.hpp"
 #include "campaign/campaign.hpp"
+#include "sampling/runner.hpp"
 #include "util/cli.hpp"
 #include "util/subprocess.hpp"
 #include "util/table.hpp"
@@ -78,7 +79,7 @@ std::string maybe_inject_fault(const std::string& task_id) {
 // parent scheduler owns timeout, retry, and rusage; attempts here is
 // always 1. Exit 0 whenever a record was printed — a task-level failure is
 // payload, not a worker error.
-int run_worker(const SweepSpec& spec, const RunnerOptions& runner_options,
+int run_worker(const SweepSpec& spec, const TaskRunner& runner,
                const std::string& task_id) {
   const TaskSpec* task = nullptr;
   const auto tasks = spec.expand();
@@ -98,7 +99,7 @@ int run_worker(const SweepSpec& spec, const RunnerOptions& runner_options,
   if (!injected.empty()) {
     r.error = injected;
   } else {
-    r = make_sim_runner(runner_options)(*task);
+    r = runner(*task);
   }
   TaskRecord rec;
   rec.task = *task;
@@ -113,6 +114,11 @@ int run_worker(const SweepSpec& spec, const RunnerOptions& runner_options,
   rec.series = r.series;
   rec.ckpt_cache = r.ckpt_cache;
   rec.ffwd_sec = r.ffwd_sec;
+  rec.sample_intervals = r.sample_intervals;
+  rec.sample_warmup = r.sample_warmup;
+  rec.ipc_mean = r.ipc_mean;
+  rec.ipc_ci95 = r.ipc_ci95;
+  rec.samples = r.samples;
   std::cout << to_jsonl(rec) << "\n" << std::flush;
   return 0;
 }
@@ -209,6 +215,25 @@ int main(int argc, char** argv) {
                      options.scheduler.ckpt_cache_dir = v;
                      runner_options.ckpt_cache_dir = v;
                    });
+  unsigned sample_intervals = 0;
+  u64 sample_warmup = 2000;
+  parser.add_value("--sample-intervals", "K",
+                   "sampled simulation: split each task's measured window "
+                   "into K intervals, detail-simulate them in sequence from "
+                   "functional checkpoints, and record per-interval stats "
+                   "plus a mean-IPC estimate with a 95% confidence interval",
+                   [&](const std::string& v) {
+                     sample_intervals =
+                         parse_cli_unsigned("--sample-intervals", v);
+                   });
+  parser.add_value("--sample-warmup", "N",
+                   "per-interval detail warm-up commits discarded before "
+                   "each measured interval (default 2000; interval 0 uses "
+                   "the task's own warm-up so K=1 matches the monolithic "
+                   "run exactly)",
+                   [&](const std::string& v) {
+                     sample_warmup = parse_cli_u64("--sample-warmup", v);
+                   });
   parser.add_flag("--no-progress", "suppress the live progress line",
                   &no_progress);
   parser.add_flag("--dry-run", "print the expanded task list and exit",
@@ -250,7 +275,20 @@ int main(int argc, char** argv) {
   if (has_warmup) spec.warmup = warmup;
   if (has_ff) spec.fast_forward = fast_forward;
 
-  if (!worker_task.empty()) return run_worker(spec, runner_options, worker_task);
+  // One task = one scheduler slot either way: the sampled runner simulates
+  // its intervals serially inside the slot, so sweep-level parallelism
+  // (and process isolation) keep working unchanged.
+  const auto make_runner = [&]() -> TaskRunner {
+    if (sample_intervals == 0) return make_sim_runner(runner_options);
+    sampling::SampleOptions sopts;
+    sopts.intervals = sample_intervals;
+    sopts.warmup = sample_warmup;
+    sopts.ckpt_cache_dir = runner_options.ckpt_cache_dir;
+    sopts.host_profile = runner_options.host_profile;
+    return sampling::make_sampled_runner(sopts);
+  };
+
+  if (!worker_task.empty()) return run_worker(spec, make_runner(), worker_task);
 
   if (dry_run) {
     for (const auto& task : spec.expand()) std::cout << task.id() << "\n";
@@ -291,6 +329,12 @@ int main(int argc, char** argv) {
       cmd.push_back(std::to_string(runner_options.interval));
     }
     if (runner_options.host_profile) cmd.push_back("--host-profile");
+    if (sample_intervals > 0) {
+      cmd.push_back("--sample-intervals");
+      cmd.push_back(std::to_string(sample_intervals));
+      cmd.push_back("--sample-warmup");
+      cmd.push_back(std::to_string(sample_warmup));
+    }
     cmd.push_back("--worker");
   }
 
@@ -301,7 +345,7 @@ int main(int argc, char** argv) {
     options.out_path = "results/" + spec.name + ".jsonl";
 
   const CampaignReport report =
-      run_campaign(spec, make_sim_runner(runner_options), options);
+      run_campaign(spec, make_runner(), options);
 
   std::cout << "== campaign " << spec.name << " ==\n"
             << report.total << " tasks: " << report.skipped << " resumed, "
