@@ -5,6 +5,16 @@
 # diffable across commits.
 #
 #   scripts/bench_perf.sh [build-dir] [output-json] [--allow-debug-library]
+#   scripts/bench_perf.sh --check [build-dir] [baseline-json]
+#
+# --check is the regression gate: instead of recording a new baseline it
+# re-measures the BM_SimulatorThroughput configs and the scheduler
+# microbenches (BM_WakeupSelect / BM_DispatchOnly) and compares them
+# against the committed baseline JSON, exiting non-zero if any tracked
+# benchmark lost more than 15% of its items_per_second. The same
+# library_build_type gate applies (Release builds only unless
+# --allow-debug-library): a debug-library measurement would fail the
+# threshold for reasons that have nothing to do with the code under test.
 #
 # Alongside the microbenchmark baseline the script records
 # BENCH_sampling.json: monolithic vs sampled-simulation (K=8) wall clock
@@ -39,10 +49,12 @@ set -eu
 BUILD="build-perf"
 OUT="BENCH_simcore.json"
 ALLOW_DEBUG=0
+CHECK=0
 i=0
 for arg in "$@"; do
   case "$arg" in
     --allow-debug-library) ALLOW_DEBUG=1 ;;
+    --check) CHECK=1 ;;
     *)
       i=$((i + 1))
       if [ "$i" -eq 1 ]; then BUILD="$arg"; else OUT="$arg"; fi
@@ -56,8 +68,14 @@ cmake --build "$BUILD" --target bench_microarch -j "$(nproc)" > /dev/null
 TMP="$OUT.tmp"
 trap 'rm -f "$TMP"' EXIT
 
+FILTER='SimulatorThroughput|TechniqueStackThroughput|EmulatorStep|EmulatorFastRun|WakeupSelect|DispatchOnly'
+if [ "$CHECK" -eq 1 ]; then
+  # The gate re-measures only the benchmarks it compares.
+  FILTER='SimulatorThroughput/|WakeupSelect|DispatchOnly'
+fi
+
 "$BUILD/bench/bench_microarch" \
-  --benchmark_filter='SimulatorThroughput|TechniqueStackThroughput|EmulatorStep|EmulatorFastRun' \
+  --benchmark_filter="$FILTER" \
   --benchmark_format=json \
   --benchmark_out="$TMP" \
   --benchmark_out_format=json
@@ -72,6 +90,37 @@ if [ "$LIB_BUILD" != "release" ] && [ "$ALLOW_DEBUG" -ne 1 ]; then
 fi
 if [ "$LIB_BUILD" != "release" ]; then
   echo "warning: recording baseline against a '$LIB_BUILD' benchmark library" >&2
+fi
+
+if [ "$CHECK" -eq 1 ]; then
+  if [ ! -f "$OUT" ]; then
+    echo "error: --check needs a committed baseline at $OUT" >&2
+    exit 1
+  fi
+  python3 - "$TMP" "$OUT" <<'EOF'
+import json, sys
+fresh_doc, base_doc = (json.load(open(p)) for p in sys.argv[1:3])
+rate = lambda doc: {b["name"]: b["items_per_second"]
+                    for b in doc["benchmarks"] if "items_per_second" in b}
+fresh, base = rate(fresh_doc), rate(base_doc)
+tracked = sorted(set(fresh) & set(base))
+if not tracked:
+    sys.exit("error: no tracked benchmarks shared with the baseline "
+             "(regenerate it with scripts/bench_perf.sh)")
+failed = False
+for name in tracked:
+    ratio = fresh[name] / base[name]
+    tag = "ok" if ratio >= 0.85 else "REGRESSION"
+    if ratio < 0.85:
+        failed = True
+    print(f"{tag:>10}  {name}: {fresh[name]/1e6:.3f}M/s "
+          f"vs baseline {base[name]/1e6:.3f}M/s ({ratio:.2f}x)")
+if failed:
+    sys.exit("error: >15% throughput regression against the committed "
+             "baseline")
+EOF
+  echo "throughput check passed (within 15% of $OUT)"
+  exit 0
 fi
 
 # Cold/warm checkpoint-cache sweep: the same small fast-forwarding

@@ -34,6 +34,10 @@ struct ProducerRef {
 
 // One schedulable micro-operation: a bit-slice of an instruction's execution
 // (or the whole instruction for full-collect classes / unsliced machines).
+// The simulator keeps these as struct-of-arrays slabs indexed by RUU slot
+// (select and done cycles in separate dense arrays) rather than embedded in
+// RuuEntry; this struct remains the conceptual unit and is still used by
+// standalone scheduling helpers/tests.
 struct SliceOp {
   Cycle select_cycle = kNever;  // cycle the scheduler picked it
   Cycle done_cycle = kNever;    // cycle its result slice(s) broadcast
@@ -41,6 +45,60 @@ struct SliceOp {
   bool selected() const { return select_cycle != kNever; }
   bool done_by(Cycle now) const { return done_cycle <= now; }
   void reset() { select_cycle = done_cycle = kNever; }
+};
+
+// Result-time class of an entry, fixed at dispatch: which completion time(s)
+// a consumer of slice `k` of the result must wait for. Collapses the
+// per-wakeup branching over (is-load, exec class, op count, narrow-width)
+// into one dense switch on the hottest path in the simulator.
+enum : u8 {
+  kResSliced = 0,  // slice k available at ops[k].done
+  kResLoad,        // all slices at data_cycle (loads)
+  kResLast,        // all slices at the last op's done (compares)
+  kResSingle,      // one op: everything at ops[0].done
+  kResNarrow,      // narrow-width release: every slice at ops[0].done
+};
+
+// Dispatch-invariant schedule shape of one static instruction (one text
+// word), predecoded once at Simulator construction under the machine's
+// slice geometry and technique set. Dispatch copies a few bytes out of this
+// row instead of re-deriving class, order, latency, rename ids and
+// source-need masks per dynamic instance — those per-dispatch lookups
+// (slice_order / needed_source_slices / reads_amount_slice0 and friends)
+// dominated dispatch-phase profiles.
+struct StaticInst {
+  // Flat predicate bits; the per-cycle state machines branch on these
+  // instead of re-deriving ExecClass properties through the op-info table.
+  enum : u16 {
+    kFlagLoad = 1u << 0,
+    kFlagStore = 1u << 1,
+    kFlagMem = 1u << 2,
+    kFlagControl = 1u << 3,
+    kFlagCondBranch = 1u << 4,   // includes FP branches
+    kFlagJumpReg = 1u << 5,
+    kFlagWritesHiLo = 1u << 6,
+    kFlagIntMulDiv = 1u << 7,    // single unpipelined integer mul/div unit
+    kFlagFpMulDiv = 1u << 8,     // single unpipelined FP mul/div/sqrt unit
+    kFlagFpAlu = 1u << 9,        // FP ALU pool (incl. FP compare/branch)
+    kFlagNarrowCand = 1u << 10,  // NarrowWidth on, non-FP register dest:
+                                 // dispatch runs the dynamic narrow test
+    kFlagEarlyEq = 1u << 11,     // multi-op BranchEq under EarlyBranch:
+                                 // resolve_time walks the compare slices
+    kFlagWatched = 1u << 12,     // cond branch or jr: joins branch_watch
+  };
+
+  DecodedInst inst;
+  u16 flags = 0;
+  u8 kind = 0;            // ExecClass, dense for flat switches
+  u8 num_ops = 1;         // slice-ops (geometry count) or 1 (collect)
+  u16 op_latency = 1;     // cycles from select to done, per op
+  SliceOrder order = SliceOrder::Collect;
+  u8 res_kind = kResSliced;  // static part; narrow upgraded at dispatch
+  u8 src1_ext = 0, src2_ext = 0, dest_ext = 0;  // rename-map ids
+  u8 hilo_src = 0;        // HI/LO source rename id (mfhi/mflo), 0: none
+  // Source-slice need masks, [op_idx][which] (0=src1, 1=src2, 2=HI/LO);
+  // a pure function of (opcode, slice order, geometry, techniques).
+  std::array<std::array<u32, 3>, kMaxSlices> need{};
 };
 
 // Progress of a load/store through the memory system.
@@ -51,29 +109,37 @@ enum class MemPhase : u8 {
 };
 
 struct RuuEntry {
+  // --- hot scheduler header --------------------------------------------------
+  // Everything the wakeup/select/replay loops read when this entry is
+  // consulted as a producer lives up front, so a producer probe touches the
+  // entry's first cache line only (the per-op select/done cycles are
+  // struct-of-arrays slabs in the simulator, indexed by RUU slot).
   bool valid = false;
-  u64 seq = 0;
   bool bogus = false;      // wrong-path: occupies resources, no effects
+  u8 res_kind = kResSliced;  // result-time class (kRes*), fixed at dispatch
+  u8 num_ops = 1;            // slice-ops (geometry count) or 1 (collect)
+  SliceOrder order = SliceOrder::Collect;
+  u16 flags = 0;             // StaticInst flag bits, copied at dispatch
+  u16 op_latency = 1;        // cycles from select to done, per op
+  u64 seq = 0;
+  Cycle data_cycle = kNever;  // load data availability (speculative
+                              // until verified)
+  Cycle ready_floor = 0;      // dispatch_cycle + issue_to_exec_stages
+  // Register sources resolved at dispatch: [0]=src1, [1]=src2, [2]=HI/LO.
+  std::array<ProducerRef, 3> sources;
+  const StaticInst* si = nullptr;  // predecoded row (source-need masks,
+                                   // rename ids)
+
+  // --- cold state ------------------------------------------------------------
   u32 pc = 0;
   DecodedInst inst;
   ExecRecord oracle;       // architectural effects (valid when !bogus)
-
   Cycle dispatch_cycle = 0;
-
-  // Register sources resolved at dispatch: [0]=src1, [1]=src2, [2]=HI/LO.
-  std::array<ProducerRef, 3> sources;
-
-  unsigned num_ops = 1;          // slice-ops (geometry count) or 1 (collect)
-  unsigned op_latency = 1;       // cycles from select to done, per op
-  SliceOrder order = SliceOrder::Collect;
-  std::array<SliceOp, kMaxSlices> ops;
 
   // --- memory state (loads & stores) ---
   MemPhase mem_phase = MemPhase::Agen;
   Cycle lsq_decision_cycle = kNever;  // when the LSQ let the load proceed
   Cycle access_start_cycle = kNever;  // cache probe start (loads)
-  Cycle data_cycle = kNever;          // load data availability (speculative
-                                      // until verified)
   bool data_final = false;            // verification complete
   bool forwarded = false;             // data came from an older store
   int forward_store = -1;             // RUU index of that store
@@ -112,29 +178,43 @@ struct RuuEntry {
   bool is_load() const { return !bogus ? oracle.is_load : inst.is_load(); }
   bool is_store() const { return !bogus ? oracle.is_store : inst.is_store(); }
 
-  // All slice-ops complete by `now`?
-  bool ops_done(Cycle now) const {
-    for (unsigned i = 0; i < num_ops; ++i)
-      if (!ops[i].done_by(now)) return false;
-    return true;
-  }
-  Cycle last_op_done() const {
-    Cycle m = 0;
-    for (unsigned i = 0; i < num_ops; ++i) {
-      if (ops[i].done_cycle == kNever) return kNever;
-      m = std::max(m, ops[i].done_cycle);
-    }
-    return m;
-  }
-  void reset_ops() {
-    for (auto& op : ops) op.reset();
+  // Dispatch-time reset: clears exactly the fields a recycled slot could
+  // otherwise leak into the new incarnation. Everything not listed is
+  // either written unconditionally by dispatch before any read (valid,
+  // bogus, seq, pc, si, inst, flags/num_ops/op_latency/order/res_kind,
+  // ready_floor, dispatch_cycle, sources[0..1], prediction state from the
+  // fetch slot) or only ever read behind a guard that dispatch re-arms
+  // (prev_* behind dest/hi-lo renames, forward_store_seq and
+  // spec_forward_value behind `forwarded`/way markers, narrow_result
+  // behind the narrow-candidate branch). Clearing the whole entry instead
+  // is correct but rewrites ~3 cache lines of cold state per dispatch.
+  void reset_for_dispatch() {
+    data_cycle = kNever;
+    sources[2] = ProducerRef{};
+    mem_phase = MemPhase::Agen;
+    lsq_decision_cycle = kNever;
+    access_start_cycle = kNever;
+    data_final = false;
+    forwarded = false;
+    forward_store = -1;
+    used_partial_lsq = false;
+    used_partial_tag = false;
+    early_miss = false;
+    predicted_way = -1;
+    true_data_cycle = kNever;
+    mispredicted = false;
+    resolved = false;
+    resolve_cycle = kNever;
+    recovery_done = false;
   }
 };
 
-// A pre-decoded instruction travelling down the front end.
+// A pre-decoded instruction travelling down the front end: a pointer into
+// the static-instruction table plus per-fetch prediction state (the front
+// end no longer copies a DecodedInst per slot per cycle).
 struct FetchSlot {
   u32 pc = 0;
-  DecodedInst inst;
+  const StaticInst* si = nullptr;
   Cycle dispatch_ready = 0;  // earliest cycle it can enter the RUU
   bool predicted_taken = false;
   u32 predicted_target = 0;

@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <array>
 #include <chrono>
-#include <deque>
-#include <map>
 #include <ostream>
 #include <set>
 #include <sstream>
@@ -83,27 +82,69 @@ struct Simulator::Impl {
         predictor(cfg.branch),
         mem(cfg.memory),
         ruu(core.ruu_entries),
-        op_token(core.ruu_entries),
-        need_masks(core.ruu_entries),
+        op_sel_(core.ruu_entries * kMaxSlices, kNever),
+        op_done_(core.ruu_entries * kMaxSlices, kNever),
+        op_token(core.ruu_entries * kMaxSlices, 0),
         waiters(core.ruu_entries),
         consumers(core.ruu_entries),
         relax_queued(core.ruu_entries, 0),
         ifq_capacity(std::max<unsigned>(32, 8 * core.fetch_width)) {
-    for (auto& t : op_token) t.fill(0);
-    // Pre-size the per-entry edge lists and scheduler buffers: dependence
-    // fan-out is small in practice, and reserving here keeps the steady
-    // state free of vector growth on the dispatch/wakeup hot paths.
-    for (auto& c : consumers) c.reserve(8);
-    for (auto& w : waiters) w.reserve(8);
-    for (auto& s : wheel) s.reserve(4);
-    pending.reserve(64);
-    cand_scratch.reserve(64);
-    wake_scratch.reserve(16);
-    branch_watch.reserve(64);
+    wheel_head.fill(-1);
+    far_min.fill(kNever);
+    lsq.init(core.lsq_entries);
+    fetch_q.init(ifq_capacity + core.fetch_width);
+    // Pre-size the node pools and scheduler buffers from the machine shape:
+    // at most ruu_entries * geometry slice-ops are in flight, each resident
+    // in exactly one waiter list / wheel slot / pending (stale refs add a
+    // small constant factor). Reserving here keeps the steady state free of
+    // heap allocation on the dispatch/wakeup hot paths; the steady-state
+    // test asserts these capacities never grow (scratch_reallocations()).
+    const std::size_t max_ops = std::size_t{core.ruu_entries} * geom.count;
+    wait_pool.reserve(2 * max_ops + 64);
+    cons_pool.reserve(4 * core.ruu_entries + 64);
+    pending.reserve(2 * max_ops + 64);
+    cand_scratch.reserve(2 * max_ops + 64);
+    views_scratch.reserve(core.lsq_entries);
+    relax_work.reserve(core.ruu_entries);
+    branch_watch.reserve(2 * core.ruu_entries);
+    far_scratch.reserve(64);
+    far_overflow.reserve(64);
     rename.fill(ProducerRef{});
     fetch_pc = program.entry;
-    predecoded.reserve(prog.text.size());
-    for (const u32 raw : prog.text) predecoded.push_back(decode(raw));
+    // Dense predecoded table: one row per text word (plus a shared nop row
+    // for off-image wrong-path fetches), built once under this machine's
+    // geometry/techniques. Dispatch and fetch index it by pc.
+    nop_si = build_static(make_nop());
+    stab.reserve(prog.text.size());
+    stab_ok.reserve(prog.text.size());
+    for (const u32 raw : prog.text) {
+      const auto d = decode(raw);
+      stab_ok.push_back(d.has_value());
+      stab.push_back(d ? build_static(*d) : nop_si);
+    }
+    scratch_baseline_ = scratch_capacities();
+  }
+
+  // --- scratch-growth accounting -------------------------------------------
+  // Capacities of every hot-path scratch vector and node pool. Snapshotted
+  // at the end of construction; scratch_reallocations() counts how many
+  // have since grown — any nonzero count means a steady-state reallocation
+  // slipped onto the dispatch/wakeup path (pinned by the no-growth test).
+  static constexpr std::size_t kScratchVecs = 9;
+  std::array<std::size_t, kScratchVecs> scratch_capacities() const {
+    return {wait_pool.capacity(),    cons_pool.capacity(),
+            pending.capacity(),      cand_scratch.capacity(),
+            views_scratch.capacity(), relax_work.capacity(),
+            branch_watch.capacity(), far_scratch.capacity(),
+            far_overflow.capacity()};
+  }
+  std::array<std::size_t, kScratchVecs> scratch_baseline_{};
+  unsigned scratch_reallocations() const {
+    const auto caps = scratch_capacities();
+    unsigned grown = 0;
+    for (std::size_t i = 0; i < kScratchVecs; ++i)
+      grown += caps[i] > scratch_baseline_[i] ? 1u : 0u;
+    return grown;
   }
 
   const MachineConfig cfg;
@@ -136,45 +177,289 @@ struct Simulator::Impl {
     u64 seq;          // entry incarnation
     unsigned op_idx;  // slice-op within the entry
     u32 token;        // scheduling incarnation of that op
+    // Selection-order key, precomputed at queue time: (seq << 3) | the
+    // op's slice visit position. Sorting candidates by this single integer
+    // reproduces the scan scheduler's oldest-entry-then-visit-order walk
+    // without touching the RUU inside the comparator. (A dead ref's key is
+    // frozen at its old incarnation — harmless, it is dropped on sight.)
+    u64 key;
+    // sched_epoch at queue time. Every path that moves a recorded time
+    // *later* (replay, load retime, spec-forward miss) bumps sched_epoch,
+    // and times otherwise only transition kNever -> finite (which cannot
+    // raise a ready time that was already finite when this ref was
+    // queued), so while the epoch still matches, the ready time computed
+    // at queue time is still exact and select can skip re-deriving it.
+    u64 epoch;
   };
   struct ConsumerRef {
     unsigned idx;
     u64 seq;
   };
 
+  // --- struct-of-arrays scheduler slabs ------------------------------------
+  // Per-slice-op select/done cycles and scheduling tokens live in dense
+  // slabs indexed [ruu_idx * kMaxSlices + op_idx] instead of inside the
+  // (large) RuuEntry: a producer probe on the wakeup path touches the
+  // producer's hot header line plus one slab line, never the cold body.
+  std::vector<Cycle> op_sel_;
+  std::vector<Cycle> op_done_;
   // Per-op scheduling incarnation: bumped whenever the op is (re)queued or
   // selected, invalidating any refs still floating in the queues.
-  std::vector<std::array<u32, kMaxSlices>> op_token;
-  // Per-op source-need masks ([idx][op_idx][which]), precomputed at dispatch:
-  // they depend only on (opcode, slice order, geometry), all fixed for the
-  // entry's lifetime, and op_ready_time() re-derives them often enough on the
-  // wakeup path to show up in profiles.
-  std::vector<std::array<std::array<u32, 3>, kMaxSlices>> need_masks;
+  std::vector<u32> op_token;
+
+  unsigned eidx(const RuuEntry& e) const {
+    return static_cast<unsigned>(&e - ruu.data());
+  }
+  Cycle& op_sel(unsigned idx, unsigned op) {
+    return op_sel_[idx * kMaxSlices + op];
+  }
+  Cycle& op_done(unsigned idx, unsigned op) {
+    return op_done_[idx * kMaxSlices + op];
+  }
+  const Cycle* op_done_row(unsigned idx) const {
+    return &op_done_[idx * kMaxSlices];
+  }
+  bool op_selected(unsigned idx, unsigned op) const {
+    return op_sel_[idx * kMaxSlices + op] != kNever;
+  }
+  // All slice-ops of entry `idx` complete by `c`? (kNever compares greater.)
+  bool ops_done(unsigned idx, Cycle c) const {
+    const Cycle* d = op_done_row(idx);
+    const unsigned n = ruu[idx].num_ops;
+    for (unsigned i = 0; i < n; ++i)
+      if (d[i] > c) return false;
+    return true;
+  }
+  Cycle last_op_done(unsigned idx) const {
+    const Cycle* d = op_done_row(idx);
+    const unsigned n = ruu[idx].num_ops;
+    Cycle m = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      if (d[i] == kNever) return kNever;
+      m = std::max(m, d[i]);
+    }
+    return m;
+  }
+  void reset_ops(unsigned idx) {
+    for (unsigned i = 0; i < kMaxSlices; ++i)
+      op_sel(idx, i) = op_done(idx, i) = kNever;
+  }
+
+  // --- free-list-recycled dependence-edge pools ----------------------------
+  // Waiter and consumer lists are singly-linked lists of pool nodes with
+  // O(1) append (tail pointers preserve registration order — replay
+  // worklist order depends on it) and O(1) whole-list recycling at
+  // dispatch. The pools are reserved at construction, so the steady state
+  // allocates nothing.
+  struct WaitNode {
+    OpRef ref;
+    int next;
+  };
+  struct ConsNode {
+    ConsumerRef ref;
+    int next;
+  };
+  struct NodeList {
+    int head = -1;
+    int tail = -1;
+  };
+  std::vector<WaitNode> wait_pool;
+  int wait_free = -1;
+  std::vector<ConsNode> cons_pool;
+  int cons_free = -1;
+
+  int wait_alloc() {
+    if (wait_free < 0) {
+      wait_pool.push_back(WaitNode{});
+      return static_cast<int>(wait_pool.size() - 1);
+    }
+    const int n = wait_free;
+    wait_free = wait_pool[n].next;
+    return n;
+  }
+  void wait_release(int n) {
+    wait_pool[n].next = wait_free;
+    wait_free = n;
+  }
+  int cons_alloc() {
+    if (cons_free < 0) {
+      cons_pool.push_back(ConsNode{});
+      return static_cast<int>(cons_pool.size() - 1);
+    }
+    const int n = cons_free;
+    cons_free = cons_pool[n].next;
+    return n;
+  }
+  void wait_append(NodeList& l, const OpRef& r) {
+    const int n = wait_alloc();
+    wait_pool[n].ref = r;
+    wait_pool[n].next = -1;
+    if (l.tail < 0)
+      l.head = n;
+    else
+      wait_pool[l.tail].next = n;
+    l.tail = n;
+  }
+  void cons_append(NodeList& l, const ConsumerRef& r) {
+    const int n = cons_alloc();
+    cons_pool[n].ref = r;
+    cons_pool[n].next = -1;
+    if (l.tail < 0)
+      l.head = n;
+    else
+      cons_pool[l.tail].next = n;
+    l.tail = n;
+  }
+  // O(1) whole-list recycling: splice the list onto the free list.
+  void wait_recycle(NodeList& l) {
+    if (l.head < 0) return;
+    wait_pool[l.tail].next = wait_free;
+    wait_free = l.head;
+    l.head = l.tail = -1;
+  }
+  void cons_recycle(NodeList& l) {
+    if (l.head < 0) return;
+    cons_pool[l.tail].next = cons_free;
+    cons_free = l.head;
+    l.head = l.tail = -1;
+  }
+
   // Producer entry -> ops blocked on one of its still-undefined times.
-  // Consumed (and cleared) whenever the producer publishes a new time.
-  std::vector<std::vector<OpRef>> waiters;
+  // Consumed (detached, then walked) whenever the producer publishes a new
+  // time.
+  std::vector<NodeList> waiters;
   // Producer entry -> dependent entries, registered at rename (plus the
   // store -> forwarded-load edges added when a forward is recorded). These
   // persist for the producer's lifetime: selective replay walks them to
   // revert only the transitive dependents of a re-timed value.
-  std::vector<std::vector<ConsumerRef>> consumers;
+  std::vector<NodeList> consumers;
   // Ops whose computed ready cycle is in the future: a timing wheel over the
   // next kWheelSize cycles (slot = cycle mod size; every entry's cycle lies
   // in (now, now + kWheelSize) so the slot is unambiguous), with a summary
-  // bitmap for O(1)-ish next-event queries and a spill map for the rare
-  // beyond-horizon wakeups. Slot vectors keep their capacity across reuse,
-  // so the steady state allocates nothing.
+  // bitmap for O(1)-ish next-event queries. Slot lists share the waiter
+  // node pool (within-slot order is irrelevant: candidates are sorted by
+  // the unique (seq, visit-pos) key before selection). Beyond-horizon
+  // wakeups go to the hierarchical far wheel below.
   static constexpr unsigned kWheelBits = 10;
   static constexpr Cycle kWheelSize = Cycle{1} << kWheelBits;
   static constexpr unsigned kWheelWords = kWheelSize / 64;
-  std::array<std::vector<OpRef>, kWheelSize> wheel;
+  std::array<int, kWheelSize> wheel_head;
   std::array<u64, kWheelWords> wheel_bits{};
   u64 wheel_count = 0;
-  std::map<Cycle, std::vector<OpRef>> wake_far;
+  // Beyond-horizon wakeups: a hierarchical coarse wheel over epochs of
+  // kWheelSize cycles (epoch = cycle >> kWheelBits). A wakeup landing past
+  // the fine horizon always lies in a strictly-future epoch; epochs within
+  // the next kFarEpochs map unambiguously to bucket (epoch & 63), tracked
+  // by a summary bitmap and a per-bucket minimum so both insertion and the
+  // idle skip's next-event query are O(1) — no ordered-map node churn. The
+  // (practically unreachable) beyond-window tail spills to a flat overflow
+  // vector with its own minimum, redistributed only when that minimum
+  // enters the window; each entry therefore moves O(1) times amortized.
+  static constexpr unsigned kFarEpochs = 64;
+  struct FarWake {
+    Cycle c;
+    OpRef ref;
+  };
+  std::array<std::vector<FarWake>, kFarEpochs> far_bucket;
+  std::array<Cycle, kFarEpochs> far_min;
+  u64 far_bits = 0;
+  u64 far_count = 0;
+  Cycle far_epoch = 0;  // epoch of `now` at the last drain
+  std::vector<FarWake> far_overflow;
+  Cycle far_overflow_min = kNever;
+  std::vector<FarWake> far_scratch;  // drain staging
+
+  void wheel_push(Cycle c, const OpRef& ref) {
+    const unsigned slot = static_cast<unsigned>(c & (kWheelSize - 1));
+    const int n = wait_alloc();
+    wait_pool[static_cast<unsigned>(n)].ref = ref;
+    wait_pool[static_cast<unsigned>(n)].next = wheel_head[slot];
+    wheel_head[slot] = n;
+    wheel_bits[slot >> 6] |= u64{1} << (slot & 63);
+    ++wheel_count;
+  }
+
+  void far_push(Cycle c, const OpRef& ref) {
+    const Cycle ep = c >> kWheelBits;
+    if (ep - far_epoch < kFarEpochs) {
+      const unsigned b = static_cast<unsigned>(ep & (kFarEpochs - 1));
+      far_bucket[b].push_back(FarWake{c, ref});
+      far_min[b] = std::min(far_min[b], c);
+      far_bits |= u64{1} << b;
+      ++far_count;
+    } else {
+      far_overflow.push_back(FarWake{c, ref});
+      far_overflow_min = std::min(far_overflow_min, c);
+    }
+  }
+
+  // Drains every bucket whose epoch `now` has reached or passed, routing
+  // each staged entry to wherever it belongs under the advanced clock.
+  void drain_far() {
+    const Cycle cur = now >> kWheelBits;
+    if (cur == far_epoch) return;
+    if (far_count) {
+      far_scratch.clear();
+      const Cycle first =
+          cur - far_epoch >= kFarEpochs ? cur - (kFarEpochs - 1)
+                                        : far_epoch + 1;
+      for (Cycle ep = first; ep <= cur; ++ep) {
+        const unsigned b = static_cast<unsigned>(ep & (kFarEpochs - 1));
+        const u64 bit = u64{1} << b;
+        if (!(far_bits & bit)) continue;
+        far_scratch.insert(far_scratch.end(), far_bucket[b].begin(),
+                           far_bucket[b].end());
+        far_count -= far_bucket[b].size();
+        far_bucket[b].clear();
+        far_min[b] = kNever;
+        far_bits &= ~bit;
+      }
+      far_epoch = cur;
+      for (const FarWake& fw : far_scratch) {
+        if (fw.c <= now)
+          pending.push_back(fw.ref);
+        else if (fw.c - now < kWheelSize)
+          wheel_push(fw.c, fw.ref);
+        else
+          far_push(fw.c, fw.ref);
+      }
+    }
+    far_epoch = cur;
+    if (!far_overflow.empty() &&
+        (far_overflow_min >> kWheelBits) < cur + kFarEpochs) {
+      far_scratch.clear();
+      far_scratch.swap(far_overflow);
+      far_overflow_min = kNever;
+      for (const FarWake& fw : far_scratch) {
+        if (fw.c <= now)
+          pending.push_back(fw.ref);
+        else if (fw.c - now < kWheelSize)
+          wheel_push(fw.c, fw.ref);
+        else
+          far_push(fw.c, fw.ref);
+      }
+    }
+  }
+
+  // Earliest staged far wakeup (kNever if none): the nearest nonempty
+  // epoch bucket holds the global bucket minimum (epochs partition time),
+  // found by rotating the summary bitmap to the window start.
+  Cycle far_next() const {
+    Cycle best = far_overflow_min;
+    if (far_bits) {
+      const unsigned start =
+          static_cast<unsigned>((far_epoch + 1) & (kFarEpochs - 1));
+      const u64 rot =
+          (far_bits >> start) | (far_bits << ((kFarEpochs - start) & 63));
+      const unsigned k = static_cast<unsigned>(std::countr_zero(rot));
+      best = std::min(best, far_min[(start + k) & (kFarEpochs - 1)]);
+    }
+    return best;
+  }
   // Ops ready at (or before) the current cycle, awaiting selection.
   std::vector<OpRef> pending;
-  // Reused scratch buffers (capacity recycles; see wake_waiters/select).
-  std::vector<OpRef> wake_scratch;
+  // Reused scratch buffers (capacity reserved at construction; the
+  // steady-state test asserts they never grow).
   std::vector<OpRef> cand_scratch;
   std::vector<StoreView> views_scratch;
   // Future cycles at which *something* can happen (op completions, load data
@@ -238,13 +523,90 @@ struct Simulator::Impl {
   // than for lack of RUU/LSQ space), the cycle it becomes dispatchable.
   Cycle dispatch_blocked_until = kNever;
 
-  // Unified LSQ: RUU indices of in-flight memory ops, oldest first.
-  std::deque<int> lsq;
+  // Unified LSQ: RUU indices of in-flight memory ops, oldest first. A flat
+  // power-of-two ring (capacity fixed by the machine config) instead of a
+  // segmented deque: the disambiguation walk indexes it every cycle.
+  struct IntRing {
+    std::vector<int> buf;
+    unsigned mask = 0;
+    unsigned head = 0;
+    unsigned count = 0;
+    void init(unsigned capacity) {
+      unsigned cap = 1;
+      while (cap < capacity) cap <<= 1;
+      buf.assign(cap, -1);
+      mask = cap - 1;
+    }
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+    int front() const { return buf[head]; }
+    int back() const { return buf[(head + count - 1) & mask]; }
+    int operator[](std::size_t i) const {
+      return buf[(head + static_cast<unsigned>(i)) & mask];
+    }
+    void push_back(int v) {
+      buf[(head + count) & mask] = v;
+      ++count;
+    }
+    void pop_front() {
+      head = (head + 1) & mask;
+      --count;
+    }
+    void pop_back() { --count; }
+  };
+  IntRing lsq;
+
+  // Count of LSQ entries not yet in MemPhase::Done: when zero the per-cycle
+  // memory walk has nothing to advance and is skipped wholesale. Every
+  // phase transition funnels through set_mem_phase() so the counter cannot
+  // drift from the queue contents.
+  int mem_active_ = 0;
+  // First LSQ position that can be non-Done: positions below it hold only
+  // finished entries awaiting commit, so the per-cycle walk starts here.
+  // Invariant upkeep: commit shifts it down with the head, any Done ->
+  // non-Done regression (replay) resets it to zero, and dispatch can only
+  // append at/after it.
+  std::size_t mem_scan_from = 0;
+  // Line address of the last I-cache probe (see fetch()); ~0u is never a
+  // line address, so the first fetch always probes.
+  u32 last_fetch_line_ = ~0u;
+  void set_mem_phase(RuuEntry& e, MemPhase p) {
+    if (e.mem_phase == MemPhase::Done && p != MemPhase::Done)
+      mem_scan_from = 0;
+    mem_active_ += static_cast<int>(e.mem_phase == MemPhase::Done) -
+                   static_cast<int>(p == MemPhase::Done);
+    e.mem_phase = p;
+  }
 
   std::array<ProducerRef, kNumRenameRegs> rename;
 
-  // Front end.
-  std::deque<FetchSlot> fetch_q;
+  // Front end: same ring idiom for fetch slots (bounded by the IFQ
+  // capacity plus one fetch group).
+  struct FetchRing {
+    std::vector<FetchSlot> buf;
+    unsigned mask = 0;
+    unsigned head = 0;
+    unsigned count = 0;
+    void init(unsigned capacity) {
+      unsigned cap = 1;
+      while (cap < capacity) cap <<= 1;
+      buf.assign(cap, FetchSlot{});
+      mask = cap - 1;
+    }
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+    const FetchSlot& front() const { return buf[head]; }
+    void push_back(const FetchSlot& s) {
+      buf[(head + count) & mask] = s;
+      ++count;
+    }
+    void pop_front() {
+      head = (head + 1) & mask;
+      --count;
+    }
+    void clear() { count = 0; }
+  };
+  FetchRing fetch_q;
   const unsigned ifq_capacity;
   u32 fetch_pc = 0;
   Cycle fetch_stall_until = 0;
@@ -317,22 +679,25 @@ struct Simulator::Impl {
     if (error.empty()) error = "cycle " + std::to_string(now) + ": " + why;
   }
 
-  // When each slice of `e`'s *result* becomes available.
+  // When each slice of `e`'s *result* becomes available: one dense switch
+  // on the dispatch-time result class (kRes*) instead of re-deriving
+  // is-load / exec-class / op-count / narrow-width per probe.
   Cycle result_slice_time(const RuuEntry& e, unsigned slice) const {
-    if (e.is_load() && !e.inst.is_store()) return e.data_cycle;
-    switch (e.inst.cls()) {
-      case ExecClass::Compare:
-        return e.last_op_done();  // sign/borrow defined only at the end
+    const Cycle* d = op_done_row(eidx(e));
+    switch (e.res_kind) {
+      case kResLoad:
+        return e.data_cycle;
+      case kResLast:
+        return last_op_done(eidx(e));  // sign/borrow defined only at the end
+      case kResSingle:
+      case kResNarrow:
+        // Narrow-width: a result that is just the sign extension of its low
+        // slice releases every slice the moment the low slice exists (its
+        // significance tag says the rest is all-0s/all-1s).
+        return d[0];
       default:
-        break;
+        return d[slice];
     }
-    if (e.num_ops == 1) return e.ops[0].done_cycle;
-    // Narrow-width extension: a result that is just the sign extension of
-    // its low slice releases every slice the moment the low slice exists
-    // (its significance tag says the rest is all-0s/all-1s).
-    if (slice > 0 && e.narrow_result && core.has(Technique::NarrowWidth))
-      return e.ops[0].done_cycle;
-    return e.ops[slice].done_cycle;
   }
 
   // Availability of slice `k` of source operand `which` of entry `e`.
@@ -345,18 +710,19 @@ struct Simulator::Impl {
     return result_slice_time(p, k);
   }
 
-  // Source-slice requirement for op `op_idx` of entry `e` on source `which`.
-  u32 source_need_mask(const RuuEntry& e, unsigned which,
-                       unsigned op_idx) const {
-    const ExecClass cls = e.inst.cls();
-    if (e.order == SliceOrder::Collect) return low_mask(geom.count);
-    if (which == 0 && reads_amount_slice0(e.inst.op))
+  // Source-slice requirement of slice-op `op_idx` on source `which`, for an
+  // instruction dispatched with slice order `order`. Pure in dispatch-time
+  // constants; build_static() bakes it into the predecoded table.
+  u32 static_source_need(const DecodedInst& inst, SliceOrder order,
+                         unsigned which, unsigned op_idx) const {
+    if (order == SliceOrder::Collect) return low_mask(geom.count);
+    if (which == 0 && reads_amount_slice0(inst.op))
       return 0x1;  // variable-shift amount lives in the low slice of rs
     if (which == 2) {
       // HI/LO source: produced atomically by mul/div; positional need.
       return u32{1} << op_idx;
     }
-    return needed_source_slices(cls, op_idx, geom);
+    return needed_source_slices(inst.cls(), op_idx, geom);
   }
 
   // Latest cycle at which every operand slice op `op_idx` needs exists; or
@@ -369,32 +735,39 @@ struct Simulator::Impl {
   // time or re-registers on the next still-undefined blocker.
   Cycle op_ready_time(const RuuEntry& e, unsigned op_idx,
                       int* blocker = nullptr) const {
-    Cycle ready = 0;
-    const auto& masks = need_masks[static_cast<unsigned>(&e - ruu.data())];
+    // Sch1..RF2 depth: nothing selects before the dispatch-time floor.
+    Cycle ready = e.ready_floor;
+    const auto& need = e.si->need[op_idx];
     for (unsigned which = 0; which < 3; ++which) {
       const ProducerRef& ref = e.sources[which];
       if (ref.from_regfile()) continue;  // regfile: ready at 0
       const RuuEntry& p = ruu[ref.index];
       if (!p.valid || p.seq != ref.seq) continue;  // producer committed
-      const u32 mask = masks[op_idx][which];
+      const u32 mask = need[which];
       if (!mask) continue;
-      // Producer resolved once per source; slice-uniform result classes
-      // (loads, full-collect, compares) short-circuit the per-slice walk.
+      // Producer resolved once per source: a dense switch on its result
+      // class; slice-uniform classes (loads, collects, compares, narrow)
+      // short-circuit the per-slice walk.
       Cycle t;
-      if (p.is_load() && !p.inst.is_store()) {
-        t = p.data_cycle;
-      } else if (p.inst.cls() == ExecClass::Compare) {
-        t = p.last_op_done();
-      } else if (p.num_ops == 1) {
-        t = p.ops[0].done_cycle;
-      } else {
-        t = 0;
-        const bool narrow =
-            p.narrow_result && core.has(Technique::NarrowWidth);
-        for (u32 m = mask; m && t != kNever; m &= m - 1) {
-          const unsigned k = static_cast<unsigned>(std::countr_zero(m));
-          t = std::max(t, (k > 0 && narrow) ? p.ops[0].done_cycle
-                                            : p.ops[k].done_cycle);
+      const Cycle* pd = op_done_row(static_cast<unsigned>(ref.index));
+      switch (p.res_kind) {
+        case kResLoad:
+          t = p.data_cycle;
+          break;
+        case kResLast:
+          t = last_op_done(static_cast<unsigned>(ref.index));
+          break;
+        case kResSingle:
+        case kResNarrow:
+          t = pd[0];
+          break;
+        default: {
+          t = 0;
+          for (u32 m = mask; m && t != kNever; m &= m - 1) {
+            const unsigned k = static_cast<unsigned>(std::countr_zero(m));
+            t = std::max(t, pd[k]);
+          }
+          break;
         }
       }
       if (t == kNever) {
@@ -411,16 +784,15 @@ struct Simulator::Impl {
       else if (e.order == SliceOrder::HighToLow)
         prev = static_cast<int>(op_idx) + 1;
       if (prev >= 0 && prev < static_cast<int>(e.num_ops)) {
-        const Cycle t = e.ops[prev].done_cycle;
+        const Cycle t =
+            op_done_row(eidx(e))[static_cast<unsigned>(prev)];
         if (t == kNever) {
-          if (blocker) *blocker = static_cast<int>(&e - ruu.data());
+          if (blocker) *blocker = static_cast<int>(eidx(e));
           return kNever;
         }
         ready = std::max(ready, t);
       }
     }
-    // Sch1..RF2 depth: nothing selects before this.
-    ready = std::max(ready, e.dispatch_cycle + core.issue_to_exec_stages);
     return ready;
   }
 
@@ -434,8 +806,8 @@ struct Simulator::Impl {
     RuuEntry& e = ruu[r.idx];
     if (!e.valid || e.seq != r.seq) return nullptr;
     if (r.op_idx >= e.num_ops) return nullptr;
-    if (op_token[r.idx][r.op_idx] != r.token) return nullptr;
-    if (e.ops[r.op_idx].selected()) return nullptr;
+    if (op_token[r.idx * kMaxSlices + r.op_idx] != r.token) return nullptr;
+    if (op_selected(r.idx, r.op_idx)) return nullptr;
     return &e;
   }
 
@@ -443,22 +815,21 @@ struct Simulator::Impl {
   // by its current ready time. Bumps the op's token so any older refs die.
   void queue_op(unsigned idx, unsigned op_idx) {
     RuuEntry& e = ruu[idx];
-    const u32 tok = ++op_token[idx][op_idx];
+    const u32 tok = ++op_token[idx * kMaxSlices + op_idx];
     int blocker = -1;
     const Cycle ready = op_ready_time(e, op_idx, &blocker);
-    const OpRef ref{idx, e.seq, op_idx, tok};
+    const OpRef ref{idx, e.seq, op_idx, tok,
+                    (e.seq << 3) | slice_visit_pos(e.order, e.num_ops, op_idx),
+                    sched_epoch};
     if (ready == kNever) {
       assert(blocker >= 0);
-      waiters[static_cast<unsigned>(blocker)].push_back(ref);
+      wait_append(waiters[static_cast<unsigned>(blocker)], ref);
     } else if (ready <= now) {
       pending.push_back(ref);
     } else if (ready - now < kWheelSize) {
-      const unsigned slot = static_cast<unsigned>(ready & (kWheelSize - 1));
-      wheel[slot].push_back(ref);
-      wheel_bits[slot >> 6] |= u64{1} << (slot & 63);
-      ++wheel_count;
+      wheel_push(ready, ref);
     } else {
-      wake_far[ready].push_back(ref);
+      far_push(ready, ref);
     }
   }
 
@@ -485,30 +856,35 @@ struct Simulator::Impl {
   // Entry `idx` published a new time (an op was selected, or load data was
   // scheduled): re-evaluate every op blocked on it.
   void wake_waiters(unsigned idx) {
-    if (waiters[idx].empty()) return;
-    // Swap through the scratch buffer (re-registration may push onto the
-    // same list mid-walk); capacities recycle between the two vectors, so
-    // the steady state allocates nothing.
-    wake_scratch.clear();
-    wake_scratch.swap(waiters[idx]);
-    for (const OpRef& r : wake_scratch)
+    // Detach the list head first: re-registration may append to this same
+    // list mid-walk, and a detached walk sees only the pre-wake nodes.
+    // Nodes are recycled as the walk passes them (queue_op may immediately
+    // reuse one for the re-registration — that's the point of the pool).
+    int n = waiters[idx].head;
+    if (n < 0) return;
+    waiters[idx].head = waiters[idx].tail = -1;
+    while (n >= 0) {
+      const OpRef r = wait_pool[n].ref;
+      const int next = wait_pool[n].next;
+      wait_release(n);
       if (ref_entry(r)) queue_op(r.idx, r.op_idx);
+      n = next;
+    }
   }
 
   // Number of low effective-address bits produced by cycle `c`.
   unsigned addr_bits_known_at(const RuuEntry& e, Cycle c) const {
-    if (e.order == SliceOrder::Collect)
-      return (e.ops[0].done_cycle != kNever && e.ops[0].done_cycle <= c) ? 32
-                                                                         : 0;
+    const Cycle* d = op_done_row(eidx(e));
+    if (e.order == SliceOrder::Collect) return d[0] <= c ? 32 : 0;
     unsigned n = 0;
-    while (n < e.num_ops && e.ops[n].done_cycle != kNever &&
-           e.ops[n].done_cycle <= c)
-      ++n;
+    while (n < e.num_ops && d[n] <= c) ++n;
     return n * geom.width();
   }
 
   // Cycle the full effective address exists (kNever if not yet).
-  Cycle agen_complete_cycle(const RuuEntry& e) const { return e.last_op_done(); }
+  Cycle agen_complete_cycle(const RuuEntry& e) const {
+    return last_op_done(eidx(e));
+  }
 
   // Cycle the cache can consume the full effective address. With
   // sum-addressed memory the base+offset add happens inside the array
@@ -516,10 +892,12 @@ struct Simulator::Impl {
   // usable the cycle the last agen op is *selected*.
   Cycle full_addr_cycle(const RuuEntry& e) const {
     if (!core.has(Technique::SumAddressed)) return agen_complete_cycle(e);
+    const unsigned idx = eidx(e);
     Cycle m = 0;
     for (unsigned i = 0; i < e.num_ops; ++i) {
-      if (!e.ops[i].selected()) return kNever;
-      m = std::max(m, e.ops[i].select_cycle);
+      const Cycle s = op_sel_[idx * kMaxSlices + i];
+      if (s == kNever) return kNever;
+      m = std::max(m, s);
     }
     return m;
   }
@@ -540,46 +918,102 @@ struct Simulator::Impl {
   // dispatch-time setup
   // ---------------------------------------------------------------------------
 
-  void init_entry_ops(RuuEntry& e) {
-    const ExecClass cls = e.inst.cls();
-    e.order = slice_order(cls, core);
+  // --- dense predecoded instruction table ----------------------------------
+  // One StaticInst row per text word (plus a shared nop row for off-image
+  // wrong-path fetches): the complete dispatch-invariant schedule shape of
+  // each instruction, derived once at construction.
+  std::vector<StaticInst> stab;
+  std::vector<u8> stab_ok;  // row decodes to a valid instruction
+  StaticInst nop_si;
+
+  StaticInst build_static(const DecodedInst& inst) const {
+    StaticInst s;
+    s.inst = inst;
+    const ExecClass cls = inst.cls();
+    s.kind = static_cast<u8>(cls);
+    s.order = slice_order(cls, core);
     const bool multi = sliced_sched && is_sliceable(cls);
-    e.num_ops = multi ? geom.count : 1;
+    s.num_ops = static_cast<u8>(multi ? geom.count : 1);
     switch (cls) {
       case ExecClass::Mul:
-        e.op_latency = core.mul_latency;
+        s.op_latency = static_cast<u16>(core.mul_latency);
         break;
       case ExecClass::Div:
-        e.op_latency = core.div_latency;
+        s.op_latency = static_cast<u16>(core.div_latency);
         break;
       case ExecClass::Jump:
       case ExecClass::JumpReg:
       case ExecClass::Syscall:
         // Redirect/serialising ops: a single cycle once the (full) operand
         // exists — these do not flow through the sliced ALU pipeline.
-        e.op_latency = sliced_sched ? 1 : core.slices;
+        s.op_latency = static_cast<u16>(sliced_sched ? 1 : core.slices);
         break;
       case ExecClass::FpAlu:
       case ExecClass::FpCompare:
-        e.op_latency = core.fp_alu_latency;
+        s.op_latency = static_cast<u16>(core.fp_alu_latency);
         break;
       case ExecClass::FpBranch:
-        e.op_latency = 1;  // reads one condition bit
+        s.op_latency = 1;  // reads one condition bit
         break;
       case ExecClass::FpMul:
-        e.op_latency = core.fp_mul_latency;
+        s.op_latency = static_cast<u16>(core.fp_mul_latency);
         break;
       case ExecClass::FpDiv:
-        e.op_latency = core.fp_div_latency;
+        s.op_latency = static_cast<u16>(core.fp_div_latency);
         break;
       case ExecClass::FpSqrt:
-        e.op_latency = core.fp_sqrt_latency;
+        s.op_latency = static_cast<u16>(core.fp_sqrt_latency);
         break;
       default:
-        e.op_latency = multi ? 1 : core.slices;
+        s.op_latency = static_cast<u16>(multi ? 1 : core.slices);
         break;
     }
-    e.reset_ops();
+
+    u16 f = 0;
+    if (inst.is_load()) f |= StaticInst::kFlagLoad;
+    if (inst.is_store()) f |= StaticInst::kFlagStore;
+    if (inst.is_mem()) f |= StaticInst::kFlagMem;
+    if (inst.is_control()) f |= StaticInst::kFlagControl;
+    if (inst.is_cond_branch()) f |= StaticInst::kFlagCondBranch;
+    if (cls == ExecClass::JumpReg) f |= StaticInst::kFlagJumpReg;
+    if (inst.writes_hi_lo()) f |= StaticInst::kFlagWritesHiLo;
+    if (cls == ExecClass::Mul || cls == ExecClass::Div)
+      f |= StaticInst::kFlagIntMulDiv;
+    if (uses_fp_mul_div_unit(cls)) f |= StaticInst::kFlagFpMulDiv;
+    if (uses_fp_alu(cls)) f |= StaticInst::kFlagFpAlu;
+    if (inst.dest() != 0 && !inst.is_fp() &&
+        core.has(Technique::NarrowWidth))
+      f |= StaticInst::kFlagNarrowCand;
+    if (cls == ExecClass::BranchEq && s.num_ops > 1 &&
+        core.has(Technique::EarlyBranch))
+      f |= StaticInst::kFlagEarlyEq;
+    if (inst.is_cond_branch() || cls == ExecClass::JumpReg)
+      f |= StaticInst::kFlagWatched;
+    s.flags = f;
+
+    // Static part of the result-time class; dispatch upgrades kResSliced to
+    // kResNarrow when the dynamic narrow-width test passes. The priority
+    // mirrors the original result_slice_time chain: load, compare, single.
+    if (cls == ExecClass::Load)
+      s.res_kind = kResLoad;
+    else if (cls == ExecClass::Compare)
+      s.res_kind = kResLast;
+    else if (s.num_ops == 1)
+      s.res_kind = kResSingle;
+    else
+      s.res_kind = kResSliced;
+
+    s.src1_ext = static_cast<u8>(inst.src1_ext());
+    s.src2_ext = static_cast<u8>(inst.src2_ext());
+    s.dest_ext = static_cast<u8>(inst.dest_ext());
+    if (inst.reads_hi_lo())
+      s.hilo_src =
+          static_cast<u8>(inst.op == Op::MFHI ? kHiReg : kLoReg);
+
+    for (unsigned i = 0; i < s.num_ops; ++i)
+      for (unsigned which = 0; which < 3; ++which)
+        s.need[i][which] = static_source_need(inst, s.order, which, i);
+    return s;
   }
 
   ProducerRef rename_source(unsigned reg) const {
@@ -590,15 +1024,16 @@ struct Simulator::Impl {
   void dispatch_one(const FetchSlot& slot) {
     const unsigned idx = ruu_index(ruu_count);
     RuuEntry& e = ruu[idx];
-    e = RuuEntry{};
-    // This slot's previous occupant is gone: drop its dependence bookkeeping.
-    // (Refs *to* the old occupant elsewhere die via their seq checks.)
-    consumers[idx].clear();
-    waiters[idx].clear();
+    e.reset_for_dispatch();
+    // This slot's previous occupant is gone: recycle its dependence edges
+    // onto the node free lists in O(1). (Refs *to* the old occupant
+    // elsewhere die via their seq checks.)
+    cons_recycle(consumers[idx]);
+    wait_recycle(waiters[idx]);
+    const StaticInst* si = slot.si;
     e.valid = true;
     e.seq = next_seq++;
     e.pc = slot.pc;
-    e.inst = slot.inst;
     e.dispatch_cycle = now;
     e.predicted_taken = slot.predicted_taken;
     e.predicted_target = slot.predicted_target;
@@ -612,18 +1047,26 @@ struct Simulator::Impl {
         fail("oracle fault: " + sr.fault);
         return;
       }
-      // Re-decode from the oracle record (identical, but keeps `inst`
-      // authoritative even if fetch raced a (unsupported) code write).
-      e.inst = e.oracle.inst;
+      // The oracle decodes from live memory; the table row decodes the
+      // construction-time image. On the (unsupported) self-modifying-text
+      // path they can differ — refresh the row so the predecoded shape
+      // stays authoritative, exactly as the per-dispatch re-decode did.
+      if (si != &nop_si && e.oracle.inst.raw != si->inst.raw) {
+        const std::size_t row = (slot.pc - prog.text_base) / 4;
+        stab[row] = build_static(e.oracle.inst);
+        stab_ok[row] = 1;
+        si = &stab[row];
+      }
       if (oracle.exited()) halted = true;
 
       const u32 predicted_next =
           slot.predicted_taken ? slot.predicted_target : slot.pc + 4;
-      if (e.inst.is_control() && predicted_next != e.oracle.next_pc) {
+      if ((si->flags & StaticInst::kFlagControl) &&
+          predicted_next != e.oracle.next_pc) {
         e.mispredicted = true;
         wrong_path = true;
       }
-      if (e.inst.cls() == ExecClass::Jump) {
+      if (si->kind == static_cast<u8>(ExecClass::Jump)) {
         // Direct jumps carry their target; resolved at dispatch.
         e.resolved = true;
         e.resolve_cycle = now;
@@ -632,55 +1075,64 @@ struct Simulator::Impl {
       ++stats.bogus_dispatched;
     }
 
-    init_entry_ops(e);
+    // Copy the predecoded schedule shape: this replaces the per-dispatch
+    // class/order/latency/need-mask derivation entirely.
+    e.si = si;
+    e.inst = si->inst;
+    e.flags = si->flags;
+    e.num_ops = si->num_ops;
+    e.op_latency = si->op_latency;
+    e.order = si->order;
+    e.ready_floor = now + core.issue_to_exec_stages;
+    reset_ops(idx);
 
-    if (!e.bogus && e.inst.dest() != 0 && !e.inst.is_fp() &&
-        core.has(Technique::NarrowWidth)) {
+    e.res_kind = si->res_kind;
+    if (!e.bogus && (si->flags & StaticInst::kFlagNarrowCand)) {
       const u32 v = e.oracle.dest_value;
       e.narrow_result = sign_extend(v & low_mask(geom.width()),
                                     geom.width()) == v;
-      if (e.narrow_result) ++stats.narrow_operands;
+      if (e.narrow_result) {
+        ++stats.narrow_operands;
+        if (e.res_kind == kResSliced) e.res_kind = kResNarrow;
+      }
     }
 
     // Source renaming (extended ids: GPR/HI/LO/FP/FCC).
-    e.sources[0] = rename_source(e.inst.src1_ext());
-    e.sources[1] = rename_source(e.inst.src2_ext());
-    if (e.inst.reads_hi_lo())
-      e.sources[2] = rename[e.inst.op == Op::MFHI ? kHiReg : kLoReg];
+    e.sources[0] = rename_source(si->src1_ext);
+    e.sources[1] = rename_source(si->src2_ext);
+    if (si->hilo_src != 0) e.sources[2] = rename[si->hilo_src];
 
     // Register this entry on each in-flight producer's consumer list: the
     // selective-replay cascade walks these edges instead of the whole RUU.
     for (const ProducerRef& src : e.sources)
       if (src.index >= 0)
-        consumers[static_cast<unsigned>(src.index)].push_back(
-            ConsumerRef{idx, e.seq});
+        cons_append(consumers[static_cast<unsigned>(src.index)],
+                    ConsumerRef{idx, e.seq});
 
     // Destination renaming (wrong-path results feed wrong-path consumers),
     // saving the displaced mappings for O(squashed) recovery.
-    const unsigned dest = e.inst.dest_ext();
+    const unsigned dest = si->dest_ext;
     if (dest != 0) {
       e.prev_dest = rename[dest];
       rename[dest] = ProducerRef{static_cast<int>(idx), e.seq};
     }
-    if (e.inst.writes_hi_lo()) {
+    if (si->flags & StaticInst::kFlagWritesHiLo) {
       e.prev_hi = rename[kHiReg];
       e.prev_lo = rename[kLoReg];
       rename[kHiReg] = ProducerRef{static_cast<int>(idx), e.seq};
       rename[kLoReg] = ProducerRef{static_cast<int>(idx), e.seq};
     }
 
-    if (e.inst.is_mem()) lsq.push_back(static_cast<int>(idx));
-    if (!e.bogus &&
-        (e.inst.is_cond_branch() || e.inst.cls() == ExecClass::JumpReg))
+    if (si->flags & StaticInst::kFlagMem) {
+      lsq.push_back(static_cast<int>(idx));
+      ++mem_active_;  // fresh mem ops enter in MemPhase::Agen
+    }
+    if (!e.bogus && (si->flags & StaticInst::kFlagWatched))
       branch_watch.push_back(ConsumerRef{idx, e.seq});
 
-    // Hand every slice-op to the scheduler queues, with its source-need
-    // masks precomputed (fixed once the entry's shape is known).
-    for (unsigned i = 0; i < e.num_ops; ++i) {
-      for (unsigned which = 0; which < 3; ++which)
-        need_masks[idx][i][which] = source_need_mask(e, which, i);
-      queue_op(idx, i);
-    }
+    // Hand every slice-op to the scheduler queues (source-need masks come
+    // from the predecoded row).
+    for (unsigned i = 0; i < e.num_ops; ++i) queue_op(idx, i);
 
     ++ruu_count;
     ++stats.dispatched;
@@ -713,7 +1165,9 @@ struct Simulator::Impl {
         break;
       }
       if (ruu_count >= core.ruu_entries) break;
-      if (slot.inst.is_mem() && lsq.size() >= core.lsq_entries) break;
+      if ((slot.si->flags & StaticInst::kFlagMem) &&
+          lsq.size() >= core.lsq_entries)
+        break;
       if (halted) {
         // Exit syscall already dispatched: drop drained slots.
         fetch_q.pop_front();
@@ -731,22 +1185,32 @@ struct Simulator::Impl {
   // fetch
   // ---------------------------------------------------------------------------
 
-  // Text predecoded once at construction (the image is immutable here);
-  // decoding per fetch slot per cycle was ~25% of whole-run profiles.
-  std::vector<std::optional<DecodedInst>> predecoded;
-
-  const DecodedInst* fetch_decode(u32 pc) const {
+  // Fetch resolves straight into the predecoded static table (built once at
+  // construction; decoding per fetch slot per cycle was ~25% of whole-run
+  // profiles). Off-text or undecodable words fetch the shared nop row.
+  const StaticInst* fetch_static(u32 pc) const {
     if (pc < prog.text_base || pc >= prog.text_end() || pc % 4 != 0)
       return nullptr;
-    const auto& d = predecoded[(pc - prog.text_base) / 4];
-    return d ? &*d : nullptr;
+    const std::size_t row = (pc - prog.text_base) / 4;
+    return stab_ok[row] ? &stab[row] : nullptr;
   }
 
   void fetch() {
     if (halted || now < fetch_stall_until) return;
     if (fetch_q.size() >= ifq_capacity) return;
 
-    const unsigned icache_lat = mem.fetch_latency(fetch_pc);
+    // Same-line fast path: the I-cache is only ever touched here, so the
+    // line probed by the previous fetch group is still resident — a repeat
+    // probe is a hit by construction (LRU: the line is already MRU, so the
+    // skipped touch is a no-op for replacement order).
+    const u32 line = fetch_pc & ~(cfg.memory.l1i.line_bytes - 1);
+    unsigned icache_lat;
+    if (line == last_fetch_line_) {
+      icache_lat = cfg.memory.l1i_latency;
+    } else {
+      icache_lat = mem.fetch_latency(fetch_pc);
+      last_fetch_line_ = line;
+    }
     Cycle ready = now + core.front_end_stages;
     if (icache_lat > cfg.memory.l1i_latency) {
       // I$ miss: the group arrives late and fetch stalls for the duration.
@@ -758,11 +1222,11 @@ struct Simulator::Impl {
       FetchSlot slot;
       slot.pc = fetch_pc;
       slot.dispatch_ready = ready;
-      const DecodedInst* inst = fetch_decode(fetch_pc);
-      slot.inst = inst ? *inst : make_nop();  // off-the-end wrong path
+      const StaticInst* s = fetch_static(fetch_pc);
+      slot.si = s ? s : &nop_si;  // off-the-end wrong path
       cycle_activity = true;
-      if (slot.inst.is_control()) {
-        const BranchPrediction p = predictor.predict(slot.pc, slot.inst);
+      if (slot.si->flags & StaticInst::kFlagControl) {
+        const BranchPrediction p = predictor.predict(slot.pc, slot.si->inst);
         slot.predicted_taken = p.taken;
         slot.predicted_target = p.target;
         slot.history_checkpoint = p.history_checkpoint;
@@ -795,20 +1259,20 @@ struct Simulator::Impl {
     // of the idle skip, so draining just now's slot is complete.)
     if (wheel_count) {
       const unsigned slot = static_cast<unsigned>(now & (kWheelSize - 1));
-      std::vector<OpRef>& bucket = wheel[slot];
-      if (!bucket.empty()) {
-        pending.insert(pending.end(), bucket.begin(), bucket.end());
-        wheel_count -= bucket.size();
-        bucket.clear();
+      int n = wheel_head[slot];
+      if (n >= 0) {
+        wheel_head[slot] = -1;
         wheel_bits[slot >> 6] &= ~(u64{1} << (slot & 63));
+        while (n >= 0) {
+          const int next = wait_pool[static_cast<unsigned>(n)].next;
+          pending.push_back(wait_pool[static_cast<unsigned>(n)].ref);
+          wait_release(n);
+          --wheel_count;
+          n = next;
+        }
       }
     }
-    while (!wake_far.empty() && wake_far.begin()->first <= now) {
-      auto bucket = wake_far.begin();
-      pending.insert(pending.end(), bucket->second.begin(),
-                     bucket->second.end());
-      wake_far.erase(bucket);
-    }
+    if (far_count || !far_overflow.empty()) drain_far();
     if (pending.empty()) return;
 
     // Select in the order the scan-based scheduler examined ops: oldest
@@ -819,22 +1283,16 @@ struct Simulator::Impl {
     cands.clear();
     cands.swap(pending);
     std::sort(cands.begin(), cands.end(),
-              [this](const OpRef& a, const OpRef& b) {
-                if (a.seq != b.seq) return a.seq < b.seq;
-                const RuuEntry& ea = ruu[a.idx];
-                const RuuEntry& eb = ruu[b.idx];
-                return slice_visit_pos(ea.order, ea.num_ops, a.op_idx) <
-                       slice_visit_pos(eb.order, eb.num_ops, b.op_idx);
-              });
+              [](const OpRef& a, const OpRef& b) { return a.key < b.key; });
 
     for (const OpRef& r : cands) {
       RuuEntry* pe = ref_entry(r);
       if (!pe) continue;  // squashed / committed / requeued since
       RuuEntry& e = *pe;
       const unsigned op_idx = r.op_idx;
-      SliceOp& op = e.ops[op_idx];
-      const ExecClass cls = e.inst.cls();
-      const bool fp_unit = uses_fp_alu(cls) || uses_fp_mul_div_unit(cls);
+      const u16 fl = e.flags;
+      const bool fp_unit =
+          (fl & (StaticInst::kFlagFpAlu | StaticInst::kFlagFpMulDiv)) != 0;
 
       // Issue-slot limit is checked before readiness, as in the scan.
       const unsigned datapath = e.num_ops > 1 ? op_idx : 0;
@@ -843,32 +1301,36 @@ struct Simulator::Impl {
         continue;
       }
 
-      // Re-derive readiness: a replay may have regressed an operand since
-      // this ref was queued. (Times only move later, never earlier, so an op
-      // can need requeueing but never selection *earlier* than its ref.)
-      const Cycle ready = op_ready_time(e, op_idx);
-      if (ready == kNever || ready > now) {
-        queue_op(r.idx, op_idx);
-        continue;
+      // Re-derive readiness only when a replay may have regressed an
+      // operand since this ref was queued (the epoch stamp went stale).
+      // Times only move later, never earlier, so an op can need requeueing
+      // but never selection *earlier* than its ref; with the epoch intact
+      // the queue-time ready cycle is still exact and is <= now here.
+      if (r.epoch != sched_epoch) {
+        const Cycle ready = op_ready_time(e, op_idx);
+        if (ready == kNever || ready > now) {
+          queue_op(r.idx, op_idx);
+          continue;
+        }
       }
 
       // Structural hazards: single unpipelined integer and FP
       // mul/div(/sqrt) units; a pool of `fp_alus` FP ALUs.
-      if (cls == ExecClass::Mul || cls == ExecClass::Div) {
+      if (fl & StaticInst::kFlagIntMulDiv) {
         if (now < mul_div_busy_until) {
           pending.push_back(r);
           continue;
         }
         mul_div_busy_until = now + e.op_latency;
       }
-      if (uses_fp_mul_div_unit(cls)) {
+      if (fl & StaticInst::kFlagFpMulDiv) {
         if (now < fp_mul_div_busy_until) {
           pending.push_back(r);
           continue;
         }
         fp_mul_div_busy_until = now + e.op_latency;
       }
-      if (uses_fp_alu(cls)) {
+      if (fl & StaticInst::kFlagFpAlu) {
         if (fp_alu_used >= core.fp_alus) {
           pending.push_back(r);
           continue;
@@ -876,11 +1338,12 @@ struct Simulator::Impl {
         ++fp_alu_used;
       }
 
-      op.select_cycle = now;
-      op.done_cycle = now + e.op_latency;
-      ++op_token[r.idx][op_idx];  // selected: retire the pending-queue ref
+      const Cycle done = now + e.op_latency;
+      op_sel(r.idx, op_idx) = now;
+      op_done(r.idx, op_idx) = done;
+      ++op_token[r.idx * kMaxSlices + op_idx];  // selected: retire the ref
       if (!fp_unit) ++slots[datapath];
-      arm_timer(op.done_cycle);
+      arm_timer(done);
       cycle_activity = true;
       // A newly defined done time may unblock ops waiting on this entry.
       wake_waiters(r.idx);
@@ -891,7 +1354,7 @@ struct Simulator::Impl {
         ev.seq = e.seq;
         ev.pc = e.pc;
         ev.op_idx = op_idx;
-        ev.a = op.done_cycle;
+        ev.a = done;
         ev.flags = e.num_ops > 1 ? obs::kFlagMultiOp : 0u;
         emit(ev);
       }
@@ -955,7 +1418,7 @@ struct Simulator::Impl {
         e.used_partial_tag = true;
         e.data_cycle = now + lat;
         e.data_final = true;
-        e.mem_phase = MemPhase::Done;
+        set_mem_phase(e, MemPhase::Done);
         return;
       }
       ++stats.partial_tag_accesses;
@@ -964,7 +1427,7 @@ struct Simulator::Impl {
       const auto way =
           l1d.predict_way(addr, ways, core.way_policy, &rng);
       e.forward_store = -1;
-      e.mem_phase = MemPhase::Access;
+      set_mem_phase(e, MemPhase::Access);
       e.data_cycle = now + l1d.hit_latency();  // speculative return
       e.data_final = false;
       // Remember the prediction in `predicted_target` is taken; use a
@@ -982,13 +1445,13 @@ struct Simulator::Impl {
       ++stats.l1d_hits;
       e.data_cycle = now + lat;
       e.data_final = true;
-      e.mem_phase = MemPhase::Done;
+      set_mem_phase(e, MemPhase::Done);
     } else {
       ++stats.l1d_misses;
       e.data_cycle = now + l1d.hit_latency();  // optimistic wakeup
       e.true_data_cycle = now + lat;
       e.data_final = false;
-      e.mem_phase = MemPhase::Access;
+      set_mem_phase(e, MemPhase::Access);
       e.predicted_way = -2;  // marker: plain hit-speculation, not way pred.
     }
   }
@@ -1014,7 +1477,7 @@ struct Simulator::Impl {
 
     if (hit && actual && e.predicted_way == static_cast<int>(*actual)) {
       e.data_final = true;  // speculation confirmed, data time stands
-      e.mem_phase = MemPhase::Done;
+      set_mem_phase(e, MemPhase::Done);
       cycle_activity = true;
       if (obs_on) emit_verify(e, 0, e.data_cycle, false);
       return;
@@ -1036,7 +1499,7 @@ struct Simulator::Impl {
     const unsigned idx = static_cast<unsigned>(&e - ruu.data());
     e.data_cycle = new_data_cycle;
     e.data_final = true;
-    e.mem_phase = MemPhase::Done;
+    set_mem_phase(e, MemPhase::Done);
     publish_load_data(idx);
     // The data moved later: everything scheduled against the speculative
     // time (and, transitively, its dependents) must be re-examined.
@@ -1046,6 +1509,11 @@ struct Simulator::Impl {
   }
 
   void memory_progress() {
+    // Every resident memory op has reached MemPhase::Done: the walk below
+    // would only skip over finished entries, so don't walk at all. (Commit
+    // drains Done entries from the head; replay re-raises the counter
+    // through set_mem_phase before anything can regress.)
+    if (mem_active_ == 0) return;
     unsigned ports_used = 0;
     // Store views for the walked LSQ prefix, extended incrementally as the
     // walk advances (the scan rebuilt them per load, an O(LSQ^2) cost) and
@@ -1063,21 +1531,27 @@ struct Simulator::Impl {
       }
       for (; views_built < upto; ++views_built) {
         const RuuEntry& s = ruu[static_cast<unsigned>(lsq[views_built])];
-        if (!s.valid || !s.inst.is_store()) continue;
+        if (!s.valid || !(s.flags & StaticInst::kFlagStore)) continue;
         views.push_back(store_view_of(views_built));
       }
     };
 
-    for (std::size_t i = 0; i < lsq.size(); ++i) {
+    bool first_active_found = false;
+    for (std::size_t i = std::min(mem_scan_from, lsq.size());
+         i < lsq.size(); ++i) {
       const unsigned idx = static_cast<unsigned>(lsq[i]);
       RuuEntry& e = ruu[idx];
       if (!e.valid) continue;
+      if (!first_active_found && e.mem_phase != MemPhase::Done) {
+        first_active_found = true;
+        mem_scan_from = i;
+      }
 
-      if (e.inst.is_store()) {
+      if (e.flags & StaticInst::kFlagStore) {
         if (e.mem_phase == MemPhase::Done) continue;
         if (e.bogus) {
-          if (e.ops_done(now)) {
-            e.mem_phase = MemPhase::Done;
+          if (ops_done(idx, now)) {
+            set_mem_phase(e, MemPhase::Done);
             cycle_activity = true;
           }
           continue;
@@ -1086,19 +1560,19 @@ struct Simulator::Impl {
         const Cycle data_t = store_data_time(e);
         if (addr_t != kNever && addr_t <= now && data_t != kNever &&
             data_t <= now) {
-          e.mem_phase = MemPhase::Done;
+          set_mem_phase(e, MemPhase::Done);
           cycle_activity = true;
         }
         continue;
       }
 
-      if (!e.inst.is_load()) continue;
+      if (!(e.flags & StaticInst::kFlagLoad)) continue;
       if (e.bogus) {
         // Wrong-path load: occupies the queue; completes after agen.
-        if (e.mem_phase == MemPhase::Agen && e.ops_done(now)) {
+        if (e.mem_phase == MemPhase::Agen && ops_done(idx, now)) {
           e.data_cycle = now + mem.l1d().hit_latency();
           e.data_final = true;
-          e.mem_phase = MemPhase::Done;
+          set_mem_phase(e, MemPhase::Done);
           publish_load_data(idx);  // wrong-path consumers still schedule
         }
         continue;
@@ -1145,11 +1619,11 @@ struct Simulator::Impl {
             e.forward_store_seq = ruu[d.store_id].seq;
             e.data_cycle = now + 1;
             e.data_final = true;
-            e.mem_phase = MemPhase::Done;
+            set_mem_phase(e, MemPhase::Done);
             // Replay edge: if the store's address/data times regress, this
             // load's forward must be revalidated.
-            consumers[static_cast<unsigned>(d.store_id)].push_back(
-                ConsumerRef{idx, e.seq});
+            cons_append(consumers[static_cast<unsigned>(d.store_id)],
+                        ConsumerRef{idx, e.seq});
             publish_load_data(idx);
             break;
           }
@@ -1162,9 +1636,9 @@ struct Simulator::Impl {
             e.data_cycle = now + 1;
             e.data_final = false;
             e.predicted_way = -3;
-            e.mem_phase = MemPhase::Access;
-            consumers[static_cast<unsigned>(d.store_id)].push_back(
-                ConsumerRef{idx, e.seq});
+            set_mem_phase(e, MemPhase::Access);
+            cons_append(consumers[static_cast<unsigned>(d.store_id)],
+                        ConsumerRef{idx, e.seq});
             publish_load_data(idx);
             break;
           }
@@ -1215,7 +1689,7 @@ struct Simulator::Impl {
             if (!full_addr) break;
             if (e.spec_forward_value == e.oracle.load_value) {
               e.data_final = true;
-              e.mem_phase = MemPhase::Done;
+              set_mem_phase(e, MemPhase::Done);
               cycle_activity = true;
               if (obs_on) emit_verify(e, 4, e.data_cycle, false);
             } else {
@@ -1250,17 +1724,32 @@ struct Simulator::Impl {
   }
 
   // Queue every live dependent of `idx` for replay revalidation, pruning
-  // edges to recycled entries along the way.
+  // edges to recycled entries along the way. Order is preserved (the relax
+  // work list order feeds the replay fixpoint exactly as the vector did);
+  // dead edges are unlinked in place and returned to the node pool.
   void schedule_consumers(unsigned idx) {
-    std::vector<ConsumerRef>& list = consumers[idx];
-    std::size_t w = 0;
-    for (const ConsumerRef& c : list) {
-      const RuuEntry& d = ruu[c.idx];
-      if (!d.valid || d.seq != c.seq) continue;  // dead edge: drop
-      list[w++] = c;
-      schedule_relax(c.idx);
+    NodeList& list = consumers[idx];
+    int prev = -1;
+    int n = list.head;
+    while (n >= 0) {
+      ConsNode& node = cons_pool[static_cast<unsigned>(n)];
+      const int next = node.next;
+      const RuuEntry& d = ruu[node.ref.idx];
+      if (!d.valid || d.seq != node.ref.seq) {
+        // Dead edge: unlink and free.
+        if (prev < 0)
+          list.head = next;
+        else
+          cons_pool[static_cast<unsigned>(prev)].next = next;
+        if (next < 0) list.tail = prev;
+        node.next = cons_free;
+        cons_free = n;
+      } else {
+        schedule_relax(node.ref.idx);
+        prev = n;
+      }
+      n = next;
     }
-    list.resize(w);
   }
 
   // Selective replay: relaxation to a legal schedule. The scan-based
@@ -1293,11 +1782,12 @@ struct Simulator::Impl {
       while (again) {
         again = false;
         for (unsigned i = 0; i < e.num_ops; ++i) {
-          SliceOp& op = e.ops[i];
-          if (!op.selected()) continue;
+          Cycle& sel = op_sel(idx, i);
+          if (sel == kNever) continue;  // not selected
           const Cycle ready = op_ready_time(e, i);
-          if (ready == kNever || ready > op.select_cycle) {
-            op.reset();
+          if (ready == kNever || ready > sel) {
+            sel = kNever;
+            op_done(idx, i) = kNever;
             ++stats.op_replays;
             queue_op(idx, i);  // back into the scheduler queues
             changed = true;
@@ -1315,19 +1805,21 @@ struct Simulator::Impl {
           }
         }
       }
-      if (e.inst.is_load() && !e.bogus) {
+      if ((e.flags & StaticInst::kFlagLoad) && !e.bogus) {
         changed |= revalidate_load(e);
       }
-      if (e.inst.is_store() && e.mem_phase == MemPhase::Done && !e.bogus) {
+      if ((e.flags & StaticInst::kFlagStore) &&
+          e.mem_phase == MemPhase::Done && !e.bogus) {
         const Cycle addr_t = agen_complete_cycle(e);
         const Cycle data_t = store_data_time(e);
         if (addr_t == kNever || addr_t > now || data_t == kNever ||
             data_t > now) {
-          e.mem_phase = MemPhase::Agen;
+          set_mem_phase(e, MemPhase::Agen);
           changed = true;
         }
       }
-      if (e.inst.is_cond_branch() && e.resolved && !e.recovery_done) {
+      if ((e.flags & StaticInst::kFlagCondBranch) && e.resolved &&
+          !e.recovery_done) {
         // Resolution may have been based on a reverted compare op; let the
         // resolve scan recompute it. (A branch whose recovery already
         // redirected fetch keeps it: the direction was architecturally
@@ -1346,7 +1838,7 @@ struct Simulator::Impl {
       // A store relays regressions onward even when nothing about the store
       // itself changed: a forwarded load compares against the store's
       // *source* times, which this entry-local check does not observe.
-      if (changed || (e.inst.is_store() && !e.bogus))
+      if (changed || ((e.flags & StaticInst::kFlagStore) && !e.bogus))
         schedule_consumers(idx);
     }
     if (host_profile_on) hp_take(t0, hprof.replay);
@@ -1396,7 +1888,7 @@ struct Simulator::Impl {
   }
 
   void reset_load(RuuEntry& e) {
-    e.mem_phase = MemPhase::Agen;
+    set_mem_phase(e, MemPhase::Agen);
     e.lsq_decision_cycle = kNever;
     e.access_start_cycle = kNever;
     e.data_cycle = kNever;
@@ -1415,21 +1907,19 @@ struct Simulator::Impl {
   // Earliest cycle at which the branch outcome is provable from the compare
   // slice-ops that have executed; kNever if not yet provable.
   Cycle resolve_time(const RuuEntry& e) const {
-    const ExecClass cls = e.inst.cls();
-    if (cls == ExecClass::JumpReg) return e.last_op_done();
-    if (cls == ExecClass::BranchSign || e.num_ops == 1 ||
-        !core.has(Technique::EarlyBranch))
-      return e.last_op_done();
+    const unsigned idx = eidx(e);
+    // kFlagEarlyEq is predecoded as: BranchEq, multi-op, EarlyBranch on.
+    if (!(e.flags & StaticInst::kFlagEarlyEq)) return last_op_done(idx);
 
     // BranchEq with early resolution: a differing slice proves "not equal"
     // the moment its comparison completes; equality needs all slices.
     const u32 a = e.oracle.src1_value, b = e.oracle.src2_value;
-    if (a == b) return e.last_op_done();
+    if (a == b) return last_op_done(idx);
+    const Cycle* d = op_done_row(idx);
     Cycle best = kNever;
     for (unsigned s = 0; s < e.num_ops; ++s) {
       if (slice_get(geom, a, s) == slice_get(geom, b, s)) continue;
-      if (e.ops[s].done_cycle != kNever)
-        best = std::min(best, e.ops[s].done_cycle);
+      if (d[s] != kNever) best = std::min(best, d[s]);
     }
     return best;
   }
@@ -1446,10 +1936,12 @@ struct Simulator::Impl {
         ev.flags = victim.bogus ? obs::kFlagBogus : 0u;
         emit(ev);
       }
-      if (victim.inst.is_mem()) {
+      if (victim.flags & StaticInst::kFlagMem) {
         assert(!lsq.empty() &&
                lsq.back() == static_cast<int>(ruu_index(ruu_count - 1)));
         lsq.pop_back();
+        if (victim.mem_phase != MemPhase::Done) --mem_active_;
+        if (mem_scan_from > lsq.size()) mem_scan_from = lsq.size();
       }
       // Unwind the rename map from the undo log, youngest-first and in
       // reverse of dispatch's write order. This replaces the scan-based
@@ -1457,11 +1949,11 @@ struct Simulator::Impl {
       // fails its seq check everywhere and thus reads as from-regfile,
       // exactly as the rebuild (which never sees committed producers)
       // produced.
-      if (victim.inst.writes_hi_lo()) {
+      if (victim.flags & StaticInst::kFlagWritesHiLo) {
         rename[kLoReg] = victim.prev_lo;
         rename[kHiReg] = victim.prev_hi;
       }
-      const unsigned dest = victim.inst.dest_ext();
+      const unsigned dest = victim.si->dest_ext;
       if (dest != 0) rename[dest] = victim.prev_dest;
       victim.valid = false;  // queued scheduler refs die via this
       --ruu_count;
@@ -1487,7 +1979,7 @@ struct Simulator::Impl {
       e.resolved = true;
       e.resolve_cycle = rt;
       cycle_activity = true;
-      if (!e.ops_done(rt)) ++stats.early_resolved_branches;
+      if (!ops_done(c.idx, rt)) ++stats.early_resolved_branches;
       if (obs_on) {
         obs::TraceEvent ev;
         ev.kind = obs::EventKind::BranchResolve;
@@ -1495,7 +1987,7 @@ struct Simulator::Impl {
         ev.seq = e.seq;
         ev.pc = e.pc;
         ev.a = rt;
-        ev.flags = (e.ops_done(rt) ? 0u : obs::kFlagEarly) |
+        ev.flags = (ops_done(c.idx, rt) ? 0u : obs::kFlagEarly) |
                    (e.mispredicted ? obs::kFlagMispredicted : 0u);
         emit(ev);
       }
@@ -1505,7 +1997,7 @@ struct Simulator::Impl {
 
       if (e.mispredicted && !e.recovery_done) {
         e.recovery_done = true;
-        if (e.inst.is_cond_branch())
+        if (e.flags & StaticInst::kFlagCondBranch)
           predictor.repair_history(e.history_checkpoint,
                                    e.oracle.branch_taken);
         else
@@ -1527,25 +2019,47 @@ struct Simulator::Impl {
 
   bool committable(const RuuEntry& e) const {
     if (e.bogus) return false;
-    if (!e.ops_done(now)) return false;
-    if (e.inst.is_load())
+    if (!ops_done(eidx(e), now)) return false;
+    const u16 fl = e.flags;
+    if (fl & StaticInst::kFlagLoad)
       return e.data_final && e.data_cycle <= now;
-    if (e.inst.is_store()) return e.mem_phase == MemPhase::Done;
-    if (e.inst.is_cond_branch() || e.inst.cls() == ExecClass::JumpReg)
+    if (fl & StaticInst::kFlagStore) return e.mem_phase == MemPhase::Done;
+    if (fl & StaticInst::kFlagWatched)
       return e.resolved && e.resolve_cycle <= now;
     return true;
   }
 
+  // Batched commit: committability is a pure function of entry state and
+  // `now` — it never depends on same-cycle commits — so the retirement run
+  // length is fixed by one pre-scan of the head before any bookkeeping
+  // starts. The run is then processed with stats deltas accumulated in
+  // registers and flushed once (the checker must still step sequentially:
+  // it is the architectural reference). Invariant: the deltas are flushed
+  // before *every* exit path, including co-simulation failures mid-run.
   void commit() {
-    unsigned n = 0;
-    while (n < core.commit_width && ruu_count > 0 &&
-           stats.committed < max_commits_) {
+    if (ruu_count == 0 || stats.committed >= max_commits_) return;
+    const u64 budget = std::min<u64>(core.commit_width,
+                                     max_commits_ - stats.committed);
+    unsigned run = 0;
+    while (run < budget && run < ruu_count) {
+      const RuuEntry& e = entry_at(run);
+      if (e.bogus || !committable(e)) break;
+      ++run;
+    }
+    u64 d_committed = 0, d_loads = 0, d_stores = 0, d_branches = 0;
+    u64 d_mispredicts = 0, d_l1d_hits = 0, d_l1d_misses = 0;
+    const auto flush = [&] {
+      stats.committed += d_committed;
+      stats.loads += d_loads;
+      stats.stores += d_stores;
+      stats.branches += d_branches;
+      stats.branch_mispredicts += d_mispredicts;
+      stats.l1d_hits += d_l1d_hits;
+      stats.l1d_misses += d_l1d_misses;
+    };
+
+    for (unsigned k = 0; k < run; ++k) {
       RuuEntry& e = entry_at(0);
-      if (e.bogus) {
-        fail("bogus entry reached commit");
-        return;
-      }
-      if (!committable(e)) break;
 
       // Co-simulation: the independent checker must agree on every effect.
       // Sub-phase timing: this is part of hprof.commit as well.
@@ -1554,6 +2068,7 @@ struct Simulator::Impl {
       if (host_profile_on) t0 = HpClock::now();
       const StepResult sr = checker.step(&ref);
       if (sr.kind == StepResult::Kind::Fault) {
+        flush();
         fail("checker fault: " + sr.fault);
         return;
       }
@@ -1563,33 +2078,34 @@ struct Simulator::Impl {
           ref.store_value != e.oracle.store_value) {
         std::ostringstream os;
         os << "co-simulation divergence at pc 0x" << std::hex << e.oracle.pc;
+        flush();
         fail(os.str());
         return;
       }
       if (host_profile_on) hp_take(t0, hprof.cosim);
 
       // Stores drain to the cache at commit (write buffer hides latency).
-      if (e.inst.is_store()) {
+      if (e.flags & StaticInst::kFlagStore) {
         bool hit = false;
         mem.data_latency(e.oracle.mem_addr, true, &hit);
-        if (hit) ++stats.l1d_hits; else ++stats.l1d_misses;
-        ++stats.stores;
+        if (hit) ++d_l1d_hits; else ++d_l1d_misses;
+        ++d_stores;
       }
-      if (e.inst.is_load()) {
-        ++stats.loads;
+      if (e.flags & StaticInst::kFlagLoad) {
+        ++d_loads;
         if (detail && e.data_cycle >= e.dispatch_cycle)
           detail->load_to_use.add(e.data_cycle - e.dispatch_cycle);
       }
-      if (e.inst.is_cond_branch()) {
-        ++stats.branches;
-        if (e.mispredicted) ++stats.branch_mispredicts;
+      if (e.flags & StaticInst::kFlagCondBranch) {
+        ++d_branches;
+        if (e.mispredicted) ++d_mispredicts;
         if (detail && e.resolve_cycle >= e.dispatch_cycle)
           detail->branch_resolve_delay.add(e.resolve_cycle - e.dispatch_cycle);
       }
 
       // Free the rename mapping if still pointing here.
       const unsigned idx = ruu_index(0);
-      const unsigned dest = e.inst.dest_ext();
+      const unsigned dest = e.si->dest_ext;
       if (dest != 0 && rename[dest].index == static_cast<int>(idx) &&
           rename[dest].seq == e.seq)
         rename[dest] = ProducerRef{};
@@ -1598,9 +2114,10 @@ struct Simulator::Impl {
             rename[hr].seq == e.seq)
           rename[hr] = ProducerRef{};
 
-      if (e.inst.is_mem()) {
+      if (e.flags & StaticInst::kFlagMem) {
         assert(!lsq.empty() && lsq.front() == static_cast<int>(idx));
-        lsq.pop_front();
+        lsq.pop_front();  // committable mem ops are always Done
+        if (mem_scan_from > 0) --mem_scan_from;
       }
 
       if (obs_on) {
@@ -1619,17 +2136,27 @@ struct Simulator::Impl {
       wake_waiters(idx);
       ruu_head = (ruu_head + 1) % core.ruu_entries;
       --ruu_count;
-      ++stats.committed;
-      ++n;
-      last_commit_cycle = now;
-      cycle_activity = true;
+      ++d_committed;
 
       if (checker.exited()) {
+        flush();
+        last_commit_cycle = now;
+        cycle_activity = true;
         exited = true;
         exit_code = checker.exit_code();
         return;
       }
     }
+    flush();
+    if (run > 0) {
+      last_commit_cycle = now;
+      cycle_activity = true;
+    }
+    // A bogus entry *reaching the head* with retirement budget left is a
+    // simulator bug (wrong-path state must be squashed before commit);
+    // entries merely queued behind a non-committable head just wait.
+    if (run < budget && ruu_count > 0 && entry_at(0).bogus)
+      fail("bogus entry reached commit");
   }
 
   // ---------------------------------------------------------------------------
@@ -1646,7 +2173,7 @@ struct Simulator::Impl {
   Cycle next_event_cycle() {
     Cycle next = last_commit_cycle + kWatchdogCycles + 1;
     if (wheel_count) next = std::min(next, wheel_next());
-    if (!wake_far.empty()) next = std::min(next, wake_far.begin()->first);
+    if (far_count || !far_overflow.empty()) next = std::min(next, far_next());
     if (timer_count) next = std::min(next, timer_next());
     while (!timer_far.empty() && *timer_far.begin() <= now)
       timer_far.erase(timer_far.begin());
@@ -1818,6 +2345,10 @@ void Simulator::set_interval_sampler(obs::IntervalSampler* sampler) {
 }
 
 void Simulator::enable_host_profile() { impl_->host_profile_on = true; }
+
+unsigned Simulator::scratch_reallocations() const {
+  return impl_->scratch_reallocations();
+}
 
 void Simulator::enable_detail() {
   if (!impl_->detail) impl_->detail = std::make_unique<DetailedStats>();

@@ -104,6 +104,12 @@ class Simulator {
   // per simulated cycle; off by default. Must be called before run().
   void enable_host_profile();
 
+  // Number of hot-path scratch vectors / node pools whose capacity has
+  // grown past its construction-time reservation (0 in steady state: the
+  // dispatch/wakeup/replay paths do no heap allocation once warm). Exposed
+  // for the no-reallocation regression test.
+  unsigned scratch_reallocations() const;
+
   // Enables occupancy/latency histogram collection (small per-cycle cost).
   // Must be called before run(); read the result with detail() afterwards.
   void enable_detail();

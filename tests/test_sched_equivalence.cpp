@@ -139,6 +139,34 @@ TEST(SchedEquivalence, ExtendedTechniquesWithSumAddressed) {
   }
 }
 
+// Larger instruction windows: the SoA slab layout is indexed by RUU slot,
+// so 128- and 256-entry windows pin the scheduler at sizes where slab
+// strides, wheel occupancy and the LSQ walk all differ from the 64-entry
+// default. LSQ scales with the window as in the paper's machine (RUU/2).
+TEST(SchedEquivalence, LargerRuuWindows) {
+  for (const unsigned ruu : {128u, 256u}) {
+    for (const char* wname : {"gzip", "li"}) {
+      const Workload w = build_workload(wname);
+      const std::string prefix =
+          std::string(wname) + "/ruu" + std::to_string(ruu) + "/";
+
+      MachineConfig base = base_machine();
+      base.core.ruu_entries = ruu;
+      base.core.lsq_entries = ruu / 2;
+      const SimResult rb = simulate(base, w.program, kCommits, kWarmup);
+      ASSERT_TRUE(rb.ok()) << rb.error;
+      expect_matches_golden(prefix + "base", rb.stats);
+
+      MachineConfig all = bitsliced_machine(4, kAllTechniques);
+      all.core.ruu_entries = ruu;
+      all.core.lsq_entries = ruu / 2;
+      const SimResult ra = simulate(all, w.program, kCommits, kWarmup);
+      ASSERT_TRUE(ra.ok()) << ra.error;
+      expect_matches_golden(prefix + "s4/alltech", ra.stats);
+    }
+  }
+}
+
 // A checkpoint-restored run exercises the scheduler against warm
 // microarchitectural state (non-empty caches/predictor come from the
 // fast-forwarded functional machine, pipeline starts empty at an arbitrary
