@@ -204,6 +204,26 @@ void BM_SimulatorThroughputTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorThroughputTraced)->Unit(benchmark::kMillisecond);
 
+// The cost of CPI-stack cycle accounting: the base-machine run of
+// BM_SimulatorThroughput/0 with every commit slot charged to a stall
+// leaf. The classify walk only runs on stalled cycles, so the delta
+// against the plain benchmark is the whole accounting price
+// (acceptance: < 10% on BM_SimulatorThroughput/0; with accounting off
+// the charging path must be free — the golden tests pin bit-identity).
+void BM_SimulatorThroughputCpiStack(benchmark::State& state) {
+  const Workload w = build_workload("gzip");
+  const MachineConfig cfg = base_machine();
+  for (auto _ : state) {
+    Simulator sim(cfg, w.program);
+    sim.enable_cpi_stack();
+    const SimResult r = sim.run(20'000);
+    if (!r.ok()) state.SkipWithError(r.error.c_str());
+    benchmark::DoNotOptimize(r.stats.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * 20'000);
+}
+BENCHMARK(BM_SimulatorThroughputCpiStack)->Unit(benchmark::kMillisecond);
+
 // Ditto for host-phase profiling: a handful of steady_clock reads per
 // simulated cycle.
 void BM_SimulatorThroughputProfiled(benchmark::State& state) {

@@ -150,6 +150,20 @@ data["ckpt_cache_sweep"] = {
     "cold_sec": cold,
     "warm_sec": warm,
 }
+# CPI-stack accounting overhead: enabled vs plain base-machine throughput
+# from this same benchmark process (acceptance < 10%; the disabled path is
+# pinned bit-identical by the golden tests, so only the enabled delta
+# costs anything).
+rate = {b["name"]: b["items_per_second"]
+        for b in data["benchmarks"] if "items_per_second" in b}
+base = rate.get("BM_SimulatorThroughput/0")
+cpi = rate.get("BM_SimulatorThroughputCpiStack")
+if base and cpi:
+    data["cpi_stack_overhead"] = {
+        "base_items_per_second": base,
+        "cpi_stack_items_per_second": cpi,
+        "overhead_frac": 1.0 - cpi / base,
+    }
 json.dump(data, open(path, "w"), indent=1)
 EOF
 

@@ -7,7 +7,11 @@ C++ unit tests pin, but runnable against any file a user (or the CI trace
 smoke step) produced:
 
   validate_traces.py [--perfetto out.json] [--konata out.kanata]
-                     [--interval out.jsonl]
+                     [--interval out.jsonl] [--commit-width W]
+
+With --commit-width, an interval file from a CPI-accounting run (nonzero
+cpi_* deltas) additionally gets the offline identity check: every sample's
+cpi_* deltas must sum to exactly W * its cycles delta.
 
 Exit status 0 when every given file validates; 1 with a message otherwise.
 """
@@ -58,6 +62,13 @@ def validate_perfetto(path):
             n_instant += 1
             if ev.get("s") != "t":
                 fail(f"{where}: instant without thread scope")
+        # Stall-cause annotations (squash / idle-skip events) are optional
+        # but, when present, must name a CPI-stack leaf.
+        cause = ev.get("args", {}).get("cause")
+        if cause is not None and not (
+            isinstance(cause, str) and cause.startswith("cpi_")
+        ):
+            fail(f"{where}: bad stall cause {cause!r}")
     print(f"{path}: OK ({n_complete} complete, {n_instant} instant events)")
 
 
@@ -98,7 +109,7 @@ def validate_konata(path):
     print(f"{path}: OK ({len(live)} instructions)")
 
 
-def validate_interval(path):
+def validate_interval(path, commit_width=None):
     with open(path, encoding="utf-8") as f:
         lines = f.read().splitlines()
     if not lines:
@@ -111,7 +122,10 @@ def validate_interval(path):
         fail(f"{path}: missing or duplicate columns")
     derived = [d["name"] for d in header.get("derived", [])]
     registered = set(columns)
+    cpi_leaves = [c for c in columns if c.startswith("cpi_")]
+    cpi_total = 0
     samples = 0
+    rows = []
     for n, line in enumerate(lines[1:], start=2):
         row = json.loads(line)
         where = f"{path}:{n}"
@@ -129,8 +143,27 @@ def validate_interval(path):
         for d in derived:
             if not isinstance(row.get(d), (int, float)):
                 fail(f"{where}: missing derived metric {d!r}")
+        cpi_total += sum(delta[k] for k in cpi_leaves)
+        rows.append((where, delta))
         samples += 1
-    print(f"{path}: OK ({samples} samples, {len(columns)} counters)")
+    # Offline CPI identity: in an accounting-enabled run (any nonzero cpi_*
+    # delta), every sample's leaves must sum to exactly W * cycles — the
+    # sampler snapshots between commit and charge, so this holds per row,
+    # not just in aggregate.
+    checked = ""
+    if commit_width is not None and cpi_leaves and cpi_total > 0:
+        for where, delta in rows:
+            slots = sum(delta[k] for k in cpi_leaves)
+            expect = commit_width * delta["cycles"]
+            if slots != expect:
+                fail(
+                    f"{where}: cpi identity violated "
+                    f"({slots} slots != {commit_width} * {delta['cycles']})"
+                )
+        checked = f", cpi identity ok x{samples}"
+    print(
+        f"{path}: OK ({samples} samples, {len(columns)} counters{checked})"
+    )
 
 
 def main():
@@ -138,6 +171,12 @@ def main():
     ap.add_argument("--perfetto", help="Chrome trace-event JSON file")
     ap.add_argument("--konata", help="Konata pipeline log")
     ap.add_argument("--interval", help="interval-stats JSONL file")
+    ap.add_argument(
+        "--commit-width",
+        type=int,
+        help="machine commit width; enables the per-sample CPI identity "
+        "check on --interval files from --cpi-stack runs",
+    )
     args = ap.parse_args()
     if not (args.perfetto or args.konata or args.interval):
         ap.error("nothing to validate (pass --perfetto/--konata/--interval)")
@@ -146,7 +185,7 @@ def main():
     if args.konata:
         validate_konata(args.konata)
     if args.interval:
-        validate_interval(args.interval)
+        validate_interval(args.interval, args.commit_width)
 
 
 if __name__ == "__main__":

@@ -188,6 +188,7 @@ TaskRunner make_sim_runner(const RunnerOptions& options) {
     obs::IntervalSampler sampler(options.interval ? options.interval : 1);
     if (options.interval) sim.set_interval_sampler(&sampler);
     if (options.host_profile) sim.enable_host_profile();
+    if (options.cpi_stack) sim.enable_cpi_stack();
     const SimResult res = sim.run(task.instructions, task.warmup);
     AttemptResult r;
     r.stats = res.stats;

@@ -61,6 +61,10 @@ struct RunnerOptions {
   // through the runner's memo). Point workers at the same directory the
   // scheduler prewarmed.
   std::string ckpt_cache_dir;
+  // CPI-stack cycle accounting per task (Simulator::enable_cpi_stack):
+  // the SimStats cpi_* leaves land in every record, ready for
+  // `bsp-report --cpi-stack` aggregation.
+  bool cpi_stack = false;
 };
 
 // The production runner: builds each (workload, seed) program once —

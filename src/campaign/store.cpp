@@ -319,7 +319,12 @@ std::optional<TaskRecord> parse_jsonl(const std::string& line) {
   if (rec.status == "ok") {
     for (const obs::CounterDesc& c : obs::simstats_counters()) {
       const auto v = num(c.name);
-      if (!v) return std::nullopt;
+      if (!v) {
+        // Counters appended after a store shipped (registry `optional`)
+        // default to 0, so pre-upgrade stores keep parsing and resuming.
+        if (c.optional) continue;
+        return std::nullopt;
+      }
       rec.stats.*c.field = *v;
     }
     if (const auto iv = num("interval")) rec.interval = *iv;

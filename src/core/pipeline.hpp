@@ -257,6 +257,35 @@ struct SimStats {
   // the campaign store records it next to duration_ms rather than with the
   // architectural counters.
   u64 idle_cycles_skipped = 0;
+
+  // --- CPI-stack cycle accounting (obs/cpi_stack.hpp) ----------------------
+  // Per-commit-slot attribution, filled only when Simulator::
+  // enable_cpi_stack() was called (all-zero otherwise, keeping the disabled
+  // path bit-identical to the equivalence goldens). Unit: commit slots —
+  // one cycle of one commit port. When enabled the leaves obey the exact
+  // identity  sum(cpi_*) == cycles * commit_width;  cpi_base counts slots
+  // that retired an instruction inside the measured window (it can trail
+  // `committed` by up to one commit batch when the run crosses the warm-up
+  // boundary or ends mid-cycle — see ARCHITECTURE.md §13). Every leaf is a
+  // plain registered u64, so merge(), the campaign store and the interval
+  // sampler handle them like any other counter.
+  u64 cpi_base = 0;          // useful slots: an instruction retired
+  u64 cpi_fe_icache = 0;     // front end stalled on an I-cache miss
+  u64 cpi_fe_fill = 0;       // front-end refill: RUU empty, pipe filling
+  u64 cpi_br_squash = 0;     // post-misprediction refill (squash shadow)
+  u64 cpi_ruu_full = 0;      // head executing while the RUU is full
+  u64 cpi_slice_low = 0;     // head waiting for its low-slice operands
+  u64 cpi_slice_chain = 0;   // head waiting on a cross-slice carry chain
+  u64 cpi_exec_unit = 0;     // head op selected, execution in flight
+  u64 cpi_br_resolve = 0;    // head branch done, resolution outstanding
+  u64 cpi_lsq_disambig = 0;  // head load blocked on LSQ disambiguation
+  u64 cpi_dcache = 0;        // head load waiting on D-cache data
+  u64 cpi_partial_tag = 0;   // partial-tag speculation being verified
+  u64 cpi_spec_forward = 0;  // speculative partial-match forward pending
+  u64 cpi_store_data = 0;    // head store waiting for address/data
+  u64 cpi_drain = 0;         // program exit drain / end-of-measurement
+  u64 cpi_other = 0;         // unattributed (kept for the hard identity)
+
   double host_seconds = 0.0;
   // Per-phase breakdown of host_seconds (zero / disabled unless
   // Simulator::enable_host_profile() was called). Host-side only, like

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "lsq/disambig.hpp"
+#include "obs/cpi_stack.hpp"
 #include "obs/interval.hpp"
 #include "obs/sinks.hpp"
 #include "obs/trace.hpp"
@@ -647,6 +648,15 @@ struct Simulator::Impl {
   // Interval time-series sampling (obs/interval.hpp); not owned.
   obs::IntervalSampler* sampler = nullptr;
 
+  // CPI-stack cycle accounting (obs/cpi_stack.hpp): opt-in like obs_on —
+  // one predictable branch per loop iteration when off, so the disabled
+  // path stays bit-identical to the equivalence goldens. `cpi_refill_pending`
+  // distinguishes an empty RUU refilling after a misprediction squash from
+  // an ordinary front-end fill; it is maintained unconditionally (plain
+  // bool writes with no stats effect) to keep the hot path branch-free.
+  bool cpi_on = false;
+  bool cpi_refill_pending = false;
+
   // Host-phase profiling accumulator (opt-in: the per-phase clock reads
   // cost real time per simulated cycle). Copied into stats.host_profile
   // when run() finishes.
@@ -1042,6 +1052,7 @@ struct Simulator::Impl {
     const bool correct_path = !wrong_path && slot.pc == oracle.pc();
     e.bogus = !correct_path;
     if (correct_path) {
+      cpi_refill_pending = false;  // redirected path has reached the RUU
       const StepResult sr = oracle.step(&e.oracle);
       if (sr.kind == StepResult::Kind::Fault) {
         fail("oracle fault: " + sr.fault);
@@ -1934,6 +1945,9 @@ struct Simulator::Impl {
         ev.seq = victim.seq;
         ev.pc = victim.pc;
         ev.flags = victim.bogus ? obs::kFlagBogus : 0u;
+        // Cause taxonomy (obs/trace.hpp): squashes are always charged to
+        // the branch-squash leaf, so traces agree with the CPI stack.
+        ev.b = 1 + static_cast<u64>(obs::CpiCause::BrSquash);
         emit(ev);
       }
       if (victim.flags & StaticInst::kFlagMem) {
@@ -2007,6 +2021,8 @@ struct Simulator::Impl {
         fetch_pc = e.oracle.next_pc;
         fetch_stall_until = now + 1;
         wrong_path = false;
+        cpi_refill_pending = true;  // empty-RUU cycles until the redirected
+                                    // path dispatches are squash shadow
         recovered = true;  // younger refs are now dead; stop processing
       }
     }
@@ -2166,6 +2182,68 @@ struct Simulator::Impl {
   u64 max_commits_ = 0;
   Cycle measure_base_cycle = 0;
 
+  // Why is the oldest RUU entry (or the empty RUU) not retiring this cycle?
+  // Evaluated once per loop iteration, after the pipeline phases, and
+  // applied to every wasted commit slot the iteration covers (the current
+  // cycle plus any idle-skipped span — during a skip the head's state is
+  // frozen, so one answer holds for the whole span). A requirement that
+  // completed *exactly at* `now` still blocked this cycle's commit (commit
+  // runs first), so the "outstanding" tests below are >= now, not > now.
+  // Charging rules are documented in docs/ARCHITECTURE.md §13.
+  obs::CpiCause classify_stall() {
+    using obs::CpiCause;
+    // The measurement budget was exhausted mid-cycle: the leftover slots
+    // are an end-of-run artifact, not a pipeline stall.
+    if (stats.committed >= max_commits_) return CpiCause::Drain;
+    if (ruu_count == 0) {
+      if (halted) return CpiCause::Drain;
+      if (cpi_refill_pending) return CpiCause::BrSquash;
+      if (now < fetch_stall_until) return CpiCause::FeIcache;
+      return CpiCause::FeFill;
+    }
+    RuuEntry& e = entry_at(0);
+    const unsigned idx = eidx(e);
+    // Oldest outstanding slice-op: selected means execution latency (or a
+    // full window behind it), unselected means operands — the low slice
+    // for op 0, the cross-slice chain otherwise.
+    const Cycle* d = op_done_row(idx);
+    for (unsigned i = 0; i < e.num_ops; ++i) {
+      if (d[i] < now) continue;
+      if (op_selected(idx, i))
+        return ruu_count >= core.ruu_entries ? CpiCause::RuuFull
+                                             : CpiCause::ExecUnit;
+      return i == 0 ? CpiCause::SliceLow : CpiCause::SliceChain;
+    }
+    const u16 fl = e.flags;
+    if (fl & StaticInst::kFlagLoad) {
+      if (!e.data_final || e.data_cycle >= now) {
+        switch (e.mem_phase) {
+          case MemPhase::Agen:
+            // Address generated but the access has not started: the LSQ
+            // has not (or only just) let the load proceed.
+            return e.lsq_decision_cycle >= now ? CpiCause::LsqDisambig
+                                               : CpiCause::Dcache;
+          case MemPhase::Access:
+            if (e.predicted_way == -3) return CpiCause::SpecForward;
+            if (e.used_partial_tag) return CpiCause::PartialTag;
+            return CpiCause::Dcache;
+          case MemPhase::Done:
+            // Data present but not final (or it only landed this cycle):
+            // a verification / retiming window.
+            if (e.used_partial_tag) return CpiCause::PartialTag;
+            if (e.forwarded) return CpiCause::LsqDisambig;
+            return CpiCause::Dcache;
+        }
+      }
+    } else if (fl & StaticInst::kFlagStore) {
+      if (e.mem_phase != MemPhase::Done) return CpiCause::StoreData;
+    }
+    if ((fl & StaticInst::kFlagWatched) &&
+        (!e.resolved || e.resolve_cycle >= now))
+      return CpiCause::BrResolve;
+    return CpiCause::Other;
+  }
+
   // Earliest future cycle at which anything can happen: a scheduled wakeup,
   // an armed timer (op completions, load data returns, verify points), the
   // front slot becoming dispatchable, a fetch stall expiring — or, failing
@@ -2266,6 +2344,27 @@ struct Simulator::Impl {
       Cycle next = now + 1;
       if (!cycle_activity && !retry_this_cycle && pending.empty())
         next = next_event_cycle();
+      // CPI-stack charging: this iteration consumes cycles [now, next-1] —
+      // width slots each. `base_slots` of them retired instructions; every
+      // other slot is charged to the one cause blocking the commit head.
+      // The loop's exit paths (error/exit break above, run end) leave the
+      // aborted cycle both uncounted in stats.cycles and uncharged, which
+      // is what makes sum(cpi_*) == cycles * width exact for every run.
+      const u64 base_slots = stats.committed - committed_before;
+      const u64 width = core.commit_width;
+      obs::CpiCause stall_cause = obs::CpiCause::Base;
+      if ((cpi_on && (base_slots < width || next > now + 1)) ||
+          (obs_on && next > now + 1))
+        stall_cause = classify_stall();
+      if (cpi_on) {
+        stats.cpi_base += base_slots;
+        const u64 stall = (width - base_slots) + width * (next - now - 1);
+        if (stall) {
+          const obs::CpiLeafDesc& leaf =
+              obs::cpi_leaves()[static_cast<unsigned>(stall_cause)];
+          stats.*leaf.field += stall;
+        }
+      }
       if (next > now + 1) {
         const u64 skipped = next - now - 1;
         stats.idle_cycles_skipped += skipped;
@@ -2274,6 +2373,9 @@ struct Simulator::Impl {
           ev.kind = obs::EventKind::IdleSkip;
           ev.cycle = now + 1;  // the skipped span starts next cycle
           ev.a = skipped;
+          // Cause taxonomy (obs/trace.hpp): what the skipped span was
+          // waiting for, so traces agree with the CPI stack.
+          ev.b = 1 + static_cast<u64>(stall_cause);
           emit(ev);
         }
         if (detail) {
@@ -2343,6 +2445,8 @@ void Simulator::add_trace_sink(obs::TraceSink* sink) {
 void Simulator::set_interval_sampler(obs::IntervalSampler* sampler) {
   impl_->sampler = sampler;
 }
+
+void Simulator::enable_cpi_stack() { impl_->cpi_on = true; }
 
 void Simulator::enable_host_profile() { impl_->host_profile_on = true; }
 

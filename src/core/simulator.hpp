@@ -98,6 +98,14 @@ class Simulator {
   // sampler->rows() afterwards.
   void set_interval_sampler(obs::IntervalSampler* sampler);
 
+  // Enables CPI-stack cycle accounting (obs/cpi_stack.hpp): every
+  // cycle x commit-width slot of the measured window is charged to exactly
+  // one SimStats::cpi_* leaf, with sum(leaves) == cycles * commit_width as
+  // a hard identity. Off by default — the disabled path's SimStats are
+  // bit-identical to a build without the feature (one predictable branch
+  // per loop iteration). Must be called before run().
+  void enable_cpi_stack();
+
   // Enables host-phase profiling: SimStats::host_profile reports where
   // host_seconds went (commit/resolve/select/memory/dispatch/fetch, plus
   // nested co-sim and replay sub-phases). Costs a few steady_clock reads

@@ -86,6 +86,52 @@ const std::vector<CounterDesc>& simstats_counters() {
       {"idle_cycles_skipped", "cycles",
        "simulated cycles fast-forwarded by the idle-skip optimisation",
        &SimStats::idle_cycles_skipped},
+      // CPI-stack leaves (obs/cpi_stack.hpp), appended in PR 8 and
+      // therefore optional for the store parser. Keep this block in
+      // CpiCause enum order — cpi_leaves() indexes it by cause.
+      {"cpi_base", "slots", "commit slots that retired an instruction",
+       &SimStats::cpi_base, true},
+      {"cpi_fe_icache", "slots", "slots lost to I-cache fetch stalls",
+       &SimStats::cpi_fe_icache, true},
+      {"cpi_fe_fill", "slots", "slots lost to front-end pipeline fill",
+       &SimStats::cpi_fe_fill, true},
+      {"cpi_br_squash", "slots",
+       "slots lost refilling after a branch misprediction squash",
+       &SimStats::cpi_br_squash, true},
+      {"cpi_ruu_full", "slots",
+       "slots lost with the head executing and the RUU full",
+       &SimStats::cpi_ruu_full, true},
+      {"cpi_slice_low", "slots",
+       "slots lost waiting for the head's low-slice operands",
+       &SimStats::cpi_slice_low, true},
+      {"cpi_slice_chain", "slots",
+       "slots lost in the head's cross-slice carry chain",
+       &SimStats::cpi_slice_chain, true},
+      {"cpi_exec_unit", "slots",
+       "slots lost to execution latency of a selected head op",
+       &SimStats::cpi_exec_unit, true},
+      {"cpi_br_resolve", "slots",
+       "slots lost waiting for the head branch to resolve",
+       &SimStats::cpi_br_resolve, true},
+      {"cpi_lsq_disambig", "slots",
+       "slots lost to LSQ address disambiguation",
+       &SimStats::cpi_lsq_disambig, true},
+      {"cpi_dcache", "slots", "slots lost waiting on D-cache load data",
+       &SimStats::cpi_dcache, true},
+      {"cpi_partial_tag", "slots",
+       "slots lost verifying partial-tag way speculation",
+       &SimStats::cpi_partial_tag, true},
+      {"cpi_spec_forward", "slots",
+       "slots lost verifying speculative partial-match forwards",
+       &SimStats::cpi_spec_forward, true},
+      {"cpi_store_data", "slots",
+       "slots lost waiting for the head store's address/data",
+       &SimStats::cpi_store_data, true},
+      {"cpi_drain", "slots",
+       "slots lost to exit drain or end-of-measurement clamp",
+       &SimStats::cpi_drain, true},
+      {"cpi_other", "slots", "slots the taxonomy could not attribute",
+       &SimStats::cpi_other, true},
   };
   return kCounters;
 }

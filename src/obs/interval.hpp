@@ -42,9 +42,14 @@ namespace bsp::obs {
 
 struct CounterDesc {
   const char* name;
-  const char* unit;   // "cycles", "insts", "events", "accesses"
+  const char* unit;   // "cycles", "insts", "events", "accesses", "slots"
   const char* desc;
   u64 SimStats::* field;
+  // Counters appended after a store format has shipped are marked optional:
+  // the campaign-store parser defaults them to 0 when a record predates
+  // them, so old stores keep resuming. The writer always writes every
+  // counter.
+  bool optional = false;
 };
 
 // Every u64 SimStats counter, in campaign-store record order. The store's

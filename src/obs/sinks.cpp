@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "obs/cpi_stack.hpp"
+
 namespace bsp::obs {
 namespace {
 
@@ -53,6 +55,13 @@ const char* verify_outcome_name(u64 outcome) {
     case 5: return "spec-forward refuted";
     default: return "confirmed";
   }
+}
+
+// Squash/IdleSkip `b` payload: 1 + CpiCause (trace.hpp). nullptr when the
+// producer predates the taxonomy (b == 0) or the value is out of range.
+const char* stall_cause_name(u64 b) {
+  if (b == 0 || b > kNumCpiCauses) return nullptr;
+  return cpi_cause_name(static_cast<CpiCause>(b - 1));
 }
 
 }  // namespace
@@ -201,18 +210,26 @@ void ChromeTraceSink::event(const TraceEvent& ev) {
       emit(kTidBranch, "i", name, ev.cycle, 0, "");
       break;
     }
-    case EventKind::Squash:
-      emit(kTidReplay, "i", tag + " squash", ev.cycle, 0, "");
+    case EventKind::Squash: {
+      std::string args;
+      if (const char* cause = stall_cause_name(ev.b))
+        args = "\"cause\":\"" + std::string(cause) + "\"";
+      emit(kTidReplay, "i", tag + " squash", ev.cycle, 0, args);
       break;
+    }
     case EventKind::Commit:
       // In-flight window: dispatch cycle (a) → commit cycle.
       emit(kTidCommit, "X", tag, ev.a,
            ev.cycle > ev.a ? ev.cycle - ev.a : 1,
            "\"pc\":\"" + hex_pc(ev.pc) + "\"");
       break;
-    case EventKind::IdleSkip:
-      emit(kTidIdle, "X", "idle", ev.cycle, ev.a ? ev.a : 1, "");
+    case EventKind::IdleSkip: {
+      std::string args;
+      if (const char* cause = stall_cause_name(ev.b))
+        args = "\"cause\":\"" + std::string(cause) + "\"";
+      emit(kTidIdle, "X", "idle", ev.cycle, ev.a ? ev.a : 1, args);
       break;
+    }
   }
 }
 
@@ -366,7 +383,13 @@ void KonataSink::event(const TraceEvent& ev) {
       break;  // cycle advance is all Konata needs for these
     case EventKind::Squash: {
       InstState* st = find(ev.seq);
-      if (st) retire(ev.seq, *st, ev.cycle, 1);
+      if (st) {
+        // Stage-end reason (type-1 label: Konata hover text) so the viewer
+        // shows the same cause the CPI stack charges.
+        if (const char* cause = stall_cause_name(ev.b))
+          os << "L\t" << st->fid << "\t1\tsquash: " << cause << "\n";
+        retire(ev.seq, *st, ev.cycle, 1);
+      }
       break;
     }
     case EventKind::Commit: {

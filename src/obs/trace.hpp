@@ -38,9 +38,14 @@ namespace bsp::obs {
 //                                                 mispredict, 3 miss,
 //                                                 4 spec-fwd ok, 5 refuted)
 //   BranchResolve -           resolve cycle      -
-//   Squash        -           -                  -          (recovery victim)
+//   Squash        -           -                  stall cause (recovery victim)
 //   Commit        -           dispatch cycle     -
-//   IdleSkip      -           cycles skipped     -          (seq/pc unused)
+//   IdleSkip      -           cycles skipped     stall cause (seq/pc unused)
+//
+// "stall cause" is 1 + CpiCause (obs/cpi_stack.hpp) — the CPI-stack leaf
+// the span's wasted commit slots are charged to (0: unannotated, e.g. a
+// pre-taxonomy producer). Sinks render it as the leaf name so traces and
+// CPI stacks agree on attribution.
 enum class EventKind : u8 {
   Dispatch,
   OpSelect,

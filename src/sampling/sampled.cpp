@@ -125,13 +125,15 @@ PrewarmResult materialise_interval_checkpoints(const Program& program,
 IntervalResult run_one_interval(const MachineConfig& config,
                                 const Program& program,
                                 const IntervalSpec& spec,
-                                const Checkpoint* start, bool host_profile) {
+                                const Checkpoint* start, bool host_profile,
+                                bool cpi_stack) {
   IntervalResult out;
   out.spec = spec;
   const WallTimer timer;
   Simulator sim = start ? Simulator(config, program, *start)
                         : Simulator(config, program);
   if (host_profile) sim.enable_host_profile();
+  if (cpi_stack) sim.enable_cpi_stack();
   const SimResult r = sim.run(spec.commits, spec.warmup);
   out.stats = r.stats;
   out.error = r.error;
@@ -211,7 +213,12 @@ bool interval_from_jsonl(const std::string& line, IntervalResult* out,
   if (!r.skipped && r.ok()) {
     for (const obs::CounterDesc& c : obs::simstats_counters()) {
       const auto v = num(c.name);
-      if (!v) return fail(std::string("missing counter ") + c.name);
+      if (!v) {
+        // Registry-`optional` counters default to 0 (record written by a
+        // pre-upgrade worker binary).
+        if (c.optional) continue;
+        return fail(std::string("missing counter ") + c.name);
+      }
       r.stats.*c.field = *v;
     }
     if (const auto v = campaign::jsonl_field(line, "host_seconds"))
@@ -314,7 +321,8 @@ SampledResult run_sampled(const MachineConfig& config, const Program& program,
           const Checkpoint* start = nullptr;
           if (spec.offset > 0) start = prewarm.by_offset[spec.offset].get();
           out.intervals[i] = run_one_interval(config, program, spec, start,
-                                              opts.host_profile);
+                                              opts.host_profile,
+                                              opts.cpi_stack);
         }
       },
       opts.jobs);

@@ -57,6 +57,10 @@ struct SampleOptions {
   std::vector<std::string> worker_cmd;
   double timeout_sec = 0;    // per-interval wall clock (process mode only)
   bool host_profile = false; // per-interval host-phase profiles
+  // CPI-stack accounting per interval (Simulator::enable_cpi_stack): the
+  // leaves are registered counters, so stitching merges them additively
+  // and the aggregate keeps the identity sum(cpi_*) == cycles * width.
+  bool cpi_stack = false;
 };
 
 // Prewarm outcome: checkpoints by functional offset. An offset missing
@@ -88,7 +92,8 @@ PrewarmResult materialise_interval_checkpoints(const Program& program,
 IntervalResult run_one_interval(const MachineConfig& config,
                                 const Program& program,
                                 const IntervalSpec& spec,
-                                const Checkpoint* start, bool host_profile);
+                                const Checkpoint* start, bool host_profile,
+                                bool cpi_stack = false);
 
 // One IntervalResult as a single JSON line (no trailing newline): the
 // process-worker protocol and the per-interval record format the tools

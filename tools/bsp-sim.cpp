@@ -14,6 +14,8 @@
 //     --trace-konata F      Konata pipeline log (github.com/shioyadan/Konata)
 //     --interval-stats F    JSONL time-series of counter deltas
 //     --interval N          sampling period in committed insns [default 10000]
+//     --cpi-stack           charge every commit slot to a stall cause and
+//                           print the CPI stack (obs/cpi_stack.hpp)
 //     --host-profile        report where host time went per scheduler phase
 //     --print-config        dump the machine configuration first
 //   Sampled simulation (src/sampling/): shard the measured region into K
@@ -37,6 +39,7 @@
 #include "campaign/ckpt_cache.hpp"
 #include "core/simulator.hpp"
 #include "emu/checkpoint.hpp"
+#include "obs/cpi_stack.hpp"
 #include "obs/interval.hpp"
 #include "obs/sinks.hpp"
 #include "sampling/sampled.hpp"
@@ -169,6 +172,7 @@ int main(int argc, char** argv) {
   std::string perfetto_path, konata_path, interval_path;
   u64 interval = 10'000;
   bool host_profile = false;
+  bool cpi_stack = false;
   unsigned sample_intervals = 0;
   u64 sample_warmup = 2'000;
   unsigned sample_jobs = 0;
@@ -247,6 +251,8 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--host-profile") {
       host_profile = true;
+    } else if (a == "--cpi-stack") {
+      cpi_stack = true;
     } else if (a == "--print-config") {
       print_config = true;
     } else if (a == "--detail") {
@@ -258,7 +264,7 @@ int main(int argc, char** argv) {
                    "[--trace [START END]] "
                    "[--trace-perfetto out.json] [--trace-konata out.kanata] "
                    "[--interval-stats out.jsonl] [--interval N] "
-                   "[--host-profile] [--print-config] "
+                   "[--cpi-stack] [--host-profile] [--print-config] "
                    "[--sample-intervals K] [--sample-warmup N] "
                    "[--sample-jobs J] [--sample-isolate thread|process] "
                    "[--sample-out out.jsonl] [--ckpt-cache DIR]\n";
@@ -315,7 +321,8 @@ int main(int argc, char** argv) {
       }
     }
     const sampling::IntervalResult r = sampling::run_one_interval(
-        cfg, *program, spec, start ? &*start : nullptr, host_profile);
+        cfg, *program, spec, start ? &*start : nullptr, host_profile,
+        cpi_stack);
     std::cout << sampling::interval_to_jsonl(r) << "\n";
     return r.ok() ? 0 : 1;
   }
@@ -337,6 +344,7 @@ int main(int argc, char** argv) {
     opts.warmup = sample_warmup;
     opts.jobs = sample_jobs;
     opts.host_profile = host_profile;
+    opts.cpi_stack = cpi_stack;
     opts.ckpt_cache_dir = ckpt_cache;
     if (sample_process) {
       if (ckpt_cache.empty()) {
@@ -379,6 +387,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     print_stats(res.aggregate);
+    // The leaves are registered counters, so the stitched aggregate keeps
+    // the accounting identity across shards.
+    if (cpi_stack)
+      std::cout << obs::format_cpi_stack(res.aggregate,
+                                         cfg.core.commit_width);
     char buf[320];
     std::snprintf(buf, sizeof buf,
                   "sampled:      %zu intervals, warmup %llu, %zu ckpts "
@@ -425,6 +438,7 @@ int main(int argc, char** argv) {
   if (trace) sim.set_pipe_trace(std::cout, trace_start, trace_end);
   if (detail) sim.enable_detail();
   if (host_profile) sim.enable_host_profile();
+  if (cpi_stack) sim.enable_cpi_stack();
 
   // Structured sinks and the interval sampler stream straight to their
   // files; the ofstreams must outlive run().
@@ -464,6 +478,7 @@ int main(int argc, char** argv) {
   }
   const SimStats& s = r.stats;
   print_stats(s);
+  if (cpi_stack) std::cout << obs::format_cpi_stack(s, cfg.core.commit_width);
   print_host_profile(s);
   if (detail) {
     const DetailedStats& d = sim.detail();

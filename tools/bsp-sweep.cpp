@@ -33,6 +33,7 @@
 
 #include "campaign/builtin.hpp"
 #include "campaign/campaign.hpp"
+#include "obs/cpi_stack.hpp"
 #include "sampling/runner.hpp"
 #include "util/cli.hpp"
 #include "util/subprocess.hpp"
@@ -206,6 +207,11 @@ int main(int argc, char** argv) {
                   "collect per-phase host timings (records' \"host_phases\" "
                   "+ summary breakdown after the progress line)",
                   &runner_options.host_profile);
+  parser.add_flag("--cpi-stack",
+                  "CPI-stack cycle accounting: every record carries the "
+                  "cpi_* leaf counters (sum == cycles * commit width) and a "
+                  "per-machine aggregate stack prints after the summary",
+                  &runner_options.cpi_stack);
   parser.add_value("--ckpt-cache", "DIR",
                    "shared checkpoint cache for --fast-forward: each "
                    "distinct (workload, seed) checkpoint is materialised "
@@ -285,6 +291,7 @@ int main(int argc, char** argv) {
     sopts.warmup = sample_warmup;
     sopts.ckpt_cache_dir = runner_options.ckpt_cache_dir;
     sopts.host_profile = runner_options.host_profile;
+    sopts.cpi_stack = runner_options.cpi_stack;
     return sampling::make_sampled_runner(sopts);
   };
 
@@ -329,6 +336,7 @@ int main(int argc, char** argv) {
       cmd.push_back(std::to_string(runner_options.interval));
     }
     if (runner_options.host_profile) cmd.push_back("--host-profile");
+    if (runner_options.cpi_stack) cmd.push_back("--cpi-stack");
     if (sample_intervals > 0) {
       cmd.push_back("--sample-intervals");
       cmd.push_back(std::to_string(sample_intervals));
@@ -367,6 +375,25 @@ int main(int argc, char** argv) {
     summary.print_csv(std::cout);
   else
     summary.print(std::cout);
+
+  if (runner_options.cpi_stack) {
+    // Per-machine CPI aggregate: cpi_* leaves are registered counters, so
+    // merging ok records keeps the identity sum == cycles * commit width.
+    for (const auto& machine : spec.machines) {
+      SimStats agg;
+      std::size_t n = 0;
+      for (const auto& rec : report.records)
+        if (rec.status == "ok" && rec.task.machine.label == machine.label) {
+          agg.merge(rec.stats);
+          ++n;
+        }
+      if (n == 0) continue;
+      std::cout << "\n== cpi stack: " << machine.label << " (" << n
+                << (n == 1 ? " run" : " runs") << ") ==\n"
+                << obs::format_cpi_stack(agg,
+                                         machine.build().core.commit_width);
+    }
+  }
 
   std::size_t bad = 0;
   for (const auto& rec : report.records)
