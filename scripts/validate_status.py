@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Schema check for the bsp-sweep coordinator's --status-endpoint JSON.
+
+Fetches one snapshot from the given endpoint (an http://host:port URL or a
+bare host:port) and validates the documented schema (ARCHITECTURE.md §14):
+every field present, correctly typed, and internally consistent
+(done = ok + failed + crashed, remaining bounded by total, per-worker
+inflight summing to the top-level gauge). Exits non-zero — with the
+offending snapshot on stderr — on any violation, so CI can poll it while a
+distributed smoke runs.
+
+    python3 scripts/validate_status.py http://127.0.0.1:9001 \
+        [--expect-campaign fig11] [--expect-total 13] [--retries 50]
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+
+# field -> (type, required); bool is deliberately absent: the endpoint is
+# all counters, strings and arrays.
+SCHEMA = {
+    "campaign": str,
+    "proto": int,
+    "total": int,
+    "skipped": int,
+    "done": int,
+    "ok": int,
+    "failed": int,
+    "crashed": int,
+    "retried": int,
+    "queued": int,
+    "inflight": int,
+    "elapsed_sec": float,
+    "rate_tasks_per_sec": float,
+    "eta_sec": float,
+    "commits_per_host_second": float,
+    "max_rss_kb": int,
+    "workers": list,
+}
+
+WORKER_SCHEMA = {
+    "host": str,
+    "slots": int,
+    "inflight": int,
+    "idle_sec": float,
+}
+
+
+def fail(msg, snapshot=None):
+    print(f"validate_status: {msg}", file=sys.stderr)
+    if snapshot is not None:
+        print(json.dumps(snapshot, indent=2), file=sys.stderr)
+    sys.exit(1)
+
+
+def check_fields(obj, schema, where):
+    for key, want in schema.items():
+        if key not in obj:
+            fail(f"{where}: missing field {key!r}", obj)
+        got = obj[key]
+        # ints serialise without a decimal point but are valid doubles
+        if want is float and isinstance(got, int):
+            continue
+        if not isinstance(got, want):
+            fail(f"{where}: field {key!r} is {type(got).__name__}, "
+                 f"want {want.__name__}", obj)
+    extra = set(obj) - set(schema)
+    if extra:
+        fail(f"{where}: undocumented fields {sorted(extra)}", obj)
+
+
+def fetch(url, retries, delay):
+    last = None
+    for _ in range(retries):
+        try:
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                if resp.status != 200:
+                    last = f"HTTP {resp.status}"
+                    continue
+                ctype = resp.headers.get("Content-Type", "")
+                if ctype != "application/json":
+                    fail(f"Content-Type is {ctype!r}, want application/json")
+                return json.load(resp)
+        except Exception as e:  # endpoint may not be up yet
+            last = str(e)
+        time.sleep(delay)
+    fail(f"no snapshot from {url} after {retries} tries: {last}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("endpoint", help="http://host:port or host:port")
+    ap.add_argument("--expect-campaign")
+    ap.add_argument("--expect-total", type=int)
+    ap.add_argument("--retries", type=int, default=50)
+    ap.add_argument("--delay", type=float, default=0.1)
+    args = ap.parse_args()
+
+    url = args.endpoint
+    if not url.startswith("http"):
+        url = "http://" + url
+    snap = fetch(url, args.retries, args.delay)
+
+    check_fields(snap, SCHEMA, "snapshot")
+    for i, w in enumerate(snap["workers"]):
+        check_fields(w, WORKER_SCHEMA, f"workers[{i}]")
+
+    # Internal consistency.
+    if snap["done"] != snap["ok"] + snap["failed"] + snap["crashed"]:
+        fail("done != ok + failed + crashed", snap)
+    if snap["skipped"] + snap["done"] > snap["total"]:
+        fail("skipped + done exceeds total", snap)
+    if snap["queued"] + snap["inflight"] > snap["total"]:
+        fail("queued + inflight exceeds total", snap)
+    if snap["inflight"] != sum(w["inflight"] for w in snap["workers"]):
+        fail("inflight gauge disagrees with the per-worker sum", snap)
+    for key in ("elapsed_sec", "rate_tasks_per_sec",
+                "commits_per_host_second"):
+        if snap[key] < 0:
+            fail(f"{key} is negative", snap)
+
+    if args.expect_campaign and snap["campaign"] != args.expect_campaign:
+        fail(f"campaign is {snap['campaign']!r}, "
+             f"want {args.expect_campaign!r}", snap)
+    if args.expect_total is not None and snap["total"] != args.expect_total:
+        fail(f"total is {snap['total']}, want {args.expect_total}", snap)
+
+    print(f"status ok: {snap['done']}/{snap['total']} done, "
+          f"{len(snap['workers'])} worker(s), queued={snap['queued']}, "
+          f"inflight={snap['inflight']}")
+
+
+if __name__ == "__main__":
+    main()

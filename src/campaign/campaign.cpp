@@ -14,6 +14,51 @@
 
 namespace bsp::campaign {
 
+TaskRecord record_from_outcome(const TaskSpec& task, const TaskOutcome& out) {
+  TaskRecord rec;
+  rec.task = task;
+  rec.status = out.status;
+  rec.error = out.error;
+  rec.attempts = out.attempts;
+  rec.duration_ms = out.duration_ms;
+  rec.stats = out.stats;
+  rec.interval = out.interval;
+  rec.series = out.series;
+  rec.max_rss_kb = out.max_rss_kb;
+  rec.user_sec = out.user_sec;
+  rec.sys_sec = out.sys_sec;
+  rec.ckpt_cache = out.ckpt_cache;
+  rec.ffwd_sec = out.ffwd_sec;
+  rec.sample_intervals = out.sample_intervals;
+  rec.sample_warmup = out.sample_warmup;
+  rec.ipc_mean = out.ipc_mean;
+  rec.ipc_ci95 = out.ipc_ci95;
+  rec.samples = out.samples;
+  return rec;
+}
+
+TaskOutcome outcome_from_record(const TaskRecord& rec) {
+  TaskOutcome out;
+  out.status = rec.status;
+  out.error = rec.error;
+  out.attempts = rec.attempts;
+  out.duration_ms = rec.duration_ms;
+  out.stats = rec.stats;
+  out.interval = rec.interval;
+  out.series = rec.series;
+  out.max_rss_kb = rec.max_rss_kb;
+  out.user_sec = rec.user_sec;
+  out.sys_sec = rec.sys_sec;
+  out.ckpt_cache = rec.ckpt_cache;
+  out.ffwd_sec = rec.ffwd_sec;
+  out.sample_intervals = rec.sample_intervals;
+  out.sample_warmup = rec.sample_warmup;
+  out.ipc_mean = rec.ipc_mean;
+  out.ipc_ci95 = rec.ipc_ci95;
+  out.samples = rec.samples;
+  return out;
+}
+
 CampaignReport run_campaign(const SweepSpec& spec, const TaskRunner& runner,
                             const CampaignOptions& options) {
   const std::vector<TaskSpec> tasks = spec.expand();
@@ -48,26 +93,8 @@ CampaignReport run_campaign(const SweepSpec& spec, const TaskRunner& runner,
 
   run_tasks(pending, runner, options.scheduler,
             [&](std::size_t pi, const TaskOutcome& out) {
-              TaskRecord rec;
-              rec.task = pending[pi];
-              rec.status = out.status;
-              rec.error = out.error;
-              rec.attempts = out.attempts;
-              rec.duration_ms = out.duration_ms;
-              rec.stats = out.stats;
-              rec.interval = out.interval;
-              rec.series = out.series;
-              rec.max_rss_kb = out.max_rss_kb;
-              rec.user_sec = out.user_sec;
-              rec.sys_sec = out.sys_sec;
-              rec.ckpt_cache = out.ckpt_cache;
-              rec.ffwd_sec = out.ffwd_sec;
-              rec.sample_intervals = out.sample_intervals;
-              rec.sample_warmup = out.sample_warmup;
-              rec.ipc_mean = out.ipc_mean;
-              rec.ipc_ci95 = out.ipc_ci95;
-              rec.samples = out.samples;
-              store.append(rec);  // thread-safe, atomic line append
+              // Thread-safe, atomic line append.
+              store.append(record_from_outcome(pending[pi], out));
               meter.task_done(out);
               std::lock_guard<std::mutex> lock(report_mutex);
               ++report.ran;

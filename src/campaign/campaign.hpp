@@ -47,6 +47,12 @@ struct CampaignReport {
 CampaignReport run_campaign(const SweepSpec& spec, const TaskRunner& runner,
                             const CampaignOptions& options);
 
+// Scheduler outcome <-> store record, one field mapping in one place. Used
+// by run_campaign, the remote worker (outcome -> RECORD frame) and the
+// remote coordinator (RECORD frame -> progress meter feed).
+TaskRecord record_from_outcome(const TaskSpec& task, const TaskOutcome& out);
+TaskOutcome outcome_from_record(const TaskRecord& rec);
+
 // Per-task observability knobs for the production runner.
 struct RunnerOptions {
   // Sample deltas of every SimStats counter each `interval` committed

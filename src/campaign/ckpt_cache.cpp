@@ -1,7 +1,9 @@
 #include "campaign/ckpt_cache.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -36,6 +38,17 @@ std::string sanitise(const std::string& s) {
     if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '.'))
       c = '_';
   return out;
+}
+
+// fsync one path (a file or, with O_DIRECTORY, its parent). Returns false
+// only on a real sync failure, not on open failure of an exotic filesystem
+// that forbids O_DIRECTORY reads — those surface at rename time anyway.
+bool sync_path(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) return true;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
 }
 
 }  // namespace
@@ -76,12 +89,26 @@ std::string publish_checkpoint(const std::string& dir,
   std::filesystem::create_directories(dir, ec);
   // Write-then-rename: readers never observe a partial file, and two
   // concurrent materialisers of the same key race benignly (identical
-  // bytes, last rename wins). The pid suffix keeps their temp files apart.
+  // bytes, last rename wins). The pid + per-call counter keep their temp
+  // files apart even when the racers are threads of one process — a
+  // shared temp name would let one racer rename the file out from under
+  // the other mid-publish.
+  static std::atomic<unsigned> publish_seq{0};
   std::ostringstream tmp;
-  tmp << path << ".tmp." << ::getpid();
+  tmp << path << ".tmp." << ::getpid() << "." << publish_seq++;
   if (!save_checkpoint_file(ckpt, tmp.str())) {
     std::remove(tmp.str().c_str());
     if (error) *error = "cannot write checkpoint cache file " + tmp.str();
+    return "";
+  }
+  // Durability: flush the temp file's bytes before the rename makes them
+  // visible, and the directory entry after. Without the first, a crash
+  // shortly after publish can leave the *renamed* file empty or truncated —
+  // exactly the present-but-corrupt state the cache's heal path exists for,
+  // but self-inflicted; without the second, the rename itself can vanish.
+  if (!sync_path(tmp.str(), O_RDONLY)) {
+    std::remove(tmp.str().c_str());
+    if (error) *error = "cannot fsync checkpoint cache file " + tmp.str();
     return "";
   }
   std::filesystem::rename(tmp.str(), path, ec);
@@ -92,6 +119,7 @@ std::string publish_checkpoint(const std::string& dir,
                ec.message();
     return "";
   }
+  sync_path(dir, O_RDONLY | O_DIRECTORY);
   return path;
 }
 

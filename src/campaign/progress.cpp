@@ -39,9 +39,70 @@ void ProgressMeter::task_done(const TaskOutcome& outcome) {
   if (enabled_) print_line_locked();
 }
 
+std::size_t ProgressMeter::done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+std::size_t ProgressMeter::failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+std::size_t ProgressMeter::retried() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retried_;
+}
+
 double ProgressMeter::commits_per_host_second() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return host_seconds_ > 0 ? static_cast<double>(committed_) / host_seconds_
                            : 0.0;
+}
+
+long ProgressMeter::max_rss_kb() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_rss_kb_;
+}
+
+double ProgressMeter::elapsed_locked() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+ProgressSnapshot ProgressMeter::snapshot_locked(double elapsed_sec) const {
+  ProgressSnapshot s;
+  s.total = total_;
+  s.skipped = skipped_;
+  s.done = done_;
+  s.failed = failed_;
+  s.retried = retried_;
+  // Floor at zero: duplicate or foreign records (a store shared between
+  // runs, a re-dispatch race) can push skipped + done past total.
+  s.remaining = total_ > skipped_ + done_ ? total_ - skipped_ - done_ : 0;
+  s.elapsed_sec = elapsed_sec;
+  // Rate and ETA come from this run's completions only. The resume
+  // baseline (skipped_) is excluded on both sides of the division —
+  // counting restored tasks as if they finished at this run's launch made
+  // post-resume ETAs wildly optimistic.
+  s.rate = elapsed_sec > 0 ? static_cast<double>(done_) / elapsed_sec : 0;
+  s.eta_sec = s.rate > 0 ? static_cast<double>(s.remaining) / s.rate : -1;
+  s.commits_per_host_second =
+      host_seconds_ > 0 ? static_cast<double>(committed_) / host_seconds_
+                        : 0.0;
+  s.max_rss_kb = max_rss_kb_;
+  return s;
+}
+
+ProgressSnapshot ProgressMeter::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_locked(elapsed_locked());
+}
+
+ProgressSnapshot ProgressMeter::snapshot_at(double elapsed_sec) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_locked(elapsed_sec);
 }
 
 void ProgressMeter::finish() {
@@ -55,34 +116,29 @@ void ProgressMeter::finish() {
 }
 
 void ProgressMeter::print_line_locked() {
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-          .count();
-  const double rate = elapsed > 0 ? static_cast<double>(done_) / elapsed : 0;
-  const std::size_t remaining = total_ - skipped_ - done_;
+  const ProgressSnapshot s = snapshot_locked(elapsed_locked());
   char eta[32];
-  if (rate > 0) {
-    const double sec = static_cast<double>(remaining) / rate;
-    if (sec >= 90)
-      std::snprintf(eta, sizeof eta, "%.1fmin", sec / 60);
+  if (s.eta_sec >= 0) {
+    if (s.eta_sec >= 90)
+      std::snprintf(eta, sizeof eta, "%.1fmin", s.eta_sec / 60);
     else
-      std::snprintf(eta, sizeof eta, "%.0fs", sec);
+      std::snprintf(eta, sizeof eta, "%.0fs", s.eta_sec);
   } else {
     std::snprintf(eta, sizeof eta, "?");
   }
   char sim_rate[32] = "";
-  if (host_seconds_ > 0)
+  if (s.commits_per_host_second > 0)
     std::snprintf(sim_rate, sizeof sim_rate, " | %.2fM commits/hs",
-                  commits_per_host_second() / 1e6);
+                  s.commits_per_host_second / 1e6);
   char rss[32] = "";
-  if (max_rss_kb_ > 0)
+  if (s.max_rss_kb > 0)
     std::snprintf(rss, sizeof rss, " | peak %.0fMB",
-                  static_cast<double>(max_rss_kb_) / 1024.0);
+                  static_cast<double>(s.max_rss_kb) / 1024.0);
   std::fprintf(stderr,
                "\r[%s] %zu/%zu done (%zu resumed) | %zu failed | %zu retried "
                "| %.2f tasks/s%s%s | ETA %s   ",
-               name_.c_str(), done_ + skipped_, total_, skipped_, failed_,
-               retried_, rate, sim_rate, rss, eta);
+               name_.c_str(), s.done + s.skipped, s.total, s.skipped,
+               s.failed, s.retried, s.rate, sim_rate, rss, eta);
   std::fflush(stderr);
 }
 

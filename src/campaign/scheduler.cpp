@@ -110,7 +110,7 @@ TaskOutcome run_one_task_process(const TaskSpec& task,
   const auto t0 = Clock::now();
   const unsigned max_attempts = std::max(1u, options.max_attempts);
   std::vector<std::string> argv = options.worker_cmd;
-  argv.push_back(task.id());
+  argv.push_back(options.worker_task_json ? task_jsonl(task) : task.id());
   for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
     out.attempts = attempt;
     SubprocessLimits limits;

@@ -79,10 +79,15 @@ struct SchedulerOptions {
   double timeout_sec = 0;     // per-attempt wall clock; 0 = no timeout
   IsolationMode isolate = IsolationMode::kThread;
   // kProcess only: argv prefix of the worker command; the scheduler appends
-  // the task id as the final argument. The worker must run that one task
-  // and print its TaskRecord as a single JSONL line on stdout (bsp-sweep's
-  // hidden --worker flag implements this protocol).
+  // the task as the final argument — its id by default, or the full
+  // status:"queued" record line (task_jsonl) with worker_task_json set. The
+  // worker must run that one task and print its TaskRecord as a single
+  // JSONL line on stdout (bsp-sweep's hidden --worker and --worker-json
+  // flags implement the two forms). The JSONL form makes the command
+  // self-contained: remote workers use it because they have no SweepSpec
+  // to resolve an id against.
   std::vector<std::string> worker_cmd;
+  bool worker_task_json = false;
   // Shared on-disk checkpoint cache directory (campaign/ckpt_cache.hpp).
   // "" = no cache: every worker fast-forwards for itself. When set,
   // prewarm_checkpoint_cache() materialises each distinct checkpoint once

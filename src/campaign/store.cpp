@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "obs/interval.hpp"
+#include "obs/json.hpp"
 
 namespace bsp::campaign {
 namespace {
@@ -40,6 +41,26 @@ std::string escape(const std::string& s) {
   return out;
 }
 
+// Reads the four hex digits of a \uXXXX escape at s[i..i+3]; nullopt when
+// the line is torn mid-escape or the digits are garbage.
+std::optional<char32_t> hex4_at(const std::string& s, std::size_t i) {
+  if (i + 4 > s.size()) return std::nullopt;
+  char32_t cp = 0;
+  for (int k = 0; k < 4; ++k) {
+    const char c = s[i + static_cast<std::size_t>(k)];
+    cp <<= 4;
+    if (c >= '0' && c <= '9')
+      cp |= static_cast<char32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      cp |= static_cast<char32_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F')
+      cp |= static_cast<char32_t>(c - 'A' + 10);
+    else
+      return std::nullopt;
+  }
+  return cp;
+}
+
 std::string unescape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -52,13 +73,27 @@ std::string unescape(const std::string& s) {
       case 'n': out += '\n'; break;
       case 't': out += '\t'; break;
       case 'r': out += '\r'; break;
-      case 'u':
-        if (i + 4 < s.size()) {
-          out += static_cast<char>(
-              std::strtoul(s.substr(i + 1, 4).c_str(), nullptr, 16));
-          i += 4;
+      case 'u': {
+        // Full \uXXXX decode, surrogate pairs included (obs::append_utf8
+        // is the shared encoder). Malformed escapes pass through verbatim —
+        // a field extractor must not throw on a torn line.
+        auto cp = hex4_at(s, i + 1);
+        if (!cp) {
+          out += 'u';
+          break;
         }
+        i += 4;
+        if (*cp >= 0xD800 && *cp <= 0xDBFF && i + 2 < s.size() &&
+            s[i + 1] == '\\' && s[i + 2] == 'u') {
+          if (const auto lo = hex4_at(s, i + 3);
+              lo && *lo >= 0xDC00 && *lo <= 0xDFFF) {
+            *cp = 0x10000 + ((*cp - 0xD800) << 10) + (*lo - 0xDC00);
+            i += 6;
+          }
+        }
+        obs::append_utf8(*cp, out);
         break;
+      }
       default: out += s[i];
     }
   }
@@ -185,6 +220,33 @@ std::string to_jsonl(const TaskRecord& rec) {
   }
   os << "}";
   return os.str();
+}
+
+std::string task_jsonl(const TaskSpec& task) {
+  TaskRecord rec;
+  rec.task = task;
+  rec.status = "queued";
+  return to_jsonl(rec);
+}
+
+std::vector<TaskRecord> load_records(const std::string& path) {
+  std::vector<TaskRecord> records;
+  std::unordered_map<std::string, std::size_t> by_id;
+  std::ifstream in(path, std::ios::binary);
+  std::string line;
+  while (std::getline(in, line)) {
+    auto rec = parse_jsonl(line);
+    if (!rec) continue;  // torn/foreign line: ignore
+    const std::string id = rec->task.id();
+    const auto it = by_id.find(id);
+    if (it != by_id.end()) {
+      records[it->second] = std::move(*rec);  // latest record wins
+    } else {
+      by_id.emplace(id, records.size());
+      records.push_back(std::move(*rec));
+    }
+  }
+  return records;
 }
 
 std::optional<std::string> jsonl_field(const std::string& line,
@@ -355,20 +417,9 @@ ResultStore::ResultStore(const std::string& path, bool truncate)
   }
   bool unterminated_tail = false;
   if (!truncate) {
-    std::ifstream in(path, std::ios::binary);
-    std::string line;
-    while (std::getline(in, line)) {
-      auto rec = parse_jsonl(line);
-      if (!rec) continue;  // torn/foreign line: ignore
-      const std::string id = rec->task.id();
-      const auto it = by_id_.find(id);
-      if (it != by_id_.end()) {
-        records_[it->second] = std::move(*rec);  // latest record wins
-      } else {
-        by_id_.emplace(id, records_.size());
-        records_.push_back(std::move(*rec));
-      }
-    }
+    records_ = load_records(path);
+    for (std::size_t i = 0; i < records_.size(); ++i)
+      by_id_.emplace(records_[i].task.id(), i);
     // A writer killed mid-append leaves the file without a final newline.
     // Appending straight onto that would splice the next record into the
     // partial line, corrupting both; note it so the first append starts on

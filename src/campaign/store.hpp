@@ -70,6 +70,21 @@ std::string to_jsonl(const TaskRecord& rec);
 // lines (including the empty string).
 std::optional<TaskRecord> parse_jsonl(const std::string& line);
 
+// Serialises a bare TaskSpec as a status:"queued" record line — the wire
+// form of "run this task" used by both the process-isolation worker re-exec
+// (--worker-json) and the remote TASK/PREWARM frames. Round-trips through
+// parse_jsonl, so a worker recovers the full parameter tuple without ever
+// re-expanding the campaign grid.
+std::string task_jsonl(const TaskSpec& task);
+
+// Reads a store file the way ResultStore's resume path does — skip
+// torn/garbage lines, keep only the LAST record per task id — but without
+// opening it for appending. First-seen file order is preserved. This is the
+// one true read path for aggregation (bsp-report, sweep-end summaries):
+// iterating raw lines instead double-counts any task that was re-run or
+// re-dispatched.
+std::vector<TaskRecord> load_records(const std::string& path);
+
 // Extracts the value of `key` from a to_jsonl line: the unquoted/unescaped
 // string for string fields, the raw token for numbers. nullopt if absent.
 std::optional<std::string> jsonl_field(const std::string& line,

@@ -4,6 +4,25 @@
 #include <cstdlib>
 
 namespace bsp::obs {
+
+void append_utf8(char32_t cp, std::string& out) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
 namespace {
 
 class Parser {
@@ -41,6 +60,26 @@ class Parser {
     return true;
   }
 
+  // Reads exactly four hex digits at pos_ into `cp`.
+  bool hex4(char32_t& cp) {
+    if (pos_ + 4 > s_.size()) return false;
+    cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = s_[pos_ + static_cast<std::size_t>(i)];
+      cp <<= 4;
+      if (c >= '0' && c <= '9')
+        cp |= static_cast<char32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        cp |= static_cast<char32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        cp |= static_cast<char32_t>(c - 'A' + 10);
+      else
+        return false;
+    }
+    pos_ += 4;
+    return true;
+  }
+
   bool string(std::string& out) {
     if (!eat('"')) return false;
     while (pos_ < s_.size()) {
@@ -59,10 +98,22 @@ class Parser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            if (pos_ + 4 > s_.size()) return false;
-            out += static_cast<char>(
-                std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16));
-            pos_ += 4;
+            char32_t cp;
+            if (!hex4(cp)) return false;
+            if (cp >= 0xDC00 && cp <= 0xDFFF) return false;  // lone low
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: must be chased by \uDC00..\uDFFF; the pair
+              // combines into one supplementary-plane code point.
+              if (pos_ + 2 > s_.size() || s_[pos_] != '\\' ||
+                  s_[pos_ + 1] != 'u')
+                return false;
+              pos_ += 2;
+              char32_t lo;
+              if (!hex4(lo)) return false;
+              if (lo < 0xDC00 || lo > 0xDFFF) return false;
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            }
+            append_utf8(cp, out);
             break;
           }
           default: return false;

@@ -1,9 +1,9 @@
 // Minimal recursive-descent JSON parser — just enough to let the tests
 // validate the observability layer's own output (Chrome trace JSON,
 // interval-stats JSONL) without an external dependency. Not a general
-// JSON library: numbers are doubles, \uXXXX escapes outside Latin-1 are
-// replaced bytewise, and inputs larger than a trace file was ever meant
-// to be are the caller's problem.
+// JSON library: numbers are doubles and inputs larger than a trace file
+// was ever meant to be are the caller's problem. \uXXXX escapes decode to
+// UTF-8, surrogate pairs included; a lone surrogate is a syntax error.
 #pragma once
 
 #include <map>
@@ -40,5 +40,10 @@ struct JsonValue {
 // Parses one complete JSON document (trailing whitespace allowed, trailing
 // garbage rejected). Returns nullopt on any syntax error.
 std::optional<JsonValue> parse_json(const std::string& text);
+
+// Appends `cp` (a Unicode scalar value, <= U+10FFFF) to `out` as UTF-8.
+// Shared by every \uXXXX unescaper in the tree (this parser, the campaign
+// store's field extractor) so they cannot drift on encoding rules.
+void append_utf8(char32_t cp, std::string& out);
 
 }  // namespace bsp::obs

@@ -1,0 +1,246 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace bsp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0)
+    ::fcntl(fd, F_SETFL, on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+}
+
+bool fill_sockaddr(const SocketAddr& addr, struct sockaddr_in* sin,
+                   std::string* error) {
+  std::memset(sin, 0, sizeof *sin);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(addr.port);
+  if (addr.host.empty()) {
+    sin->sin_addr.s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  const std::string host =
+      addr.host == "localhost" ? std::string("127.0.0.1") : addr.host;
+  if (::inet_pton(AF_INET, host.c_str(), &sin->sin_addr) != 1) {
+    if (error) *error = "invalid IPv4 address '" + addr.host + "'";
+    return false;
+  }
+  return true;
+}
+
+// Milliseconds left until `deadline`, clamped to [0, 100] so callers keep
+// re-checking for shutdown/poison between slices.
+int slice_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  return static_cast<int>(std::min<long long>(100, left.count()));
+}
+
+}  // namespace
+
+std::optional<SocketAddr> parse_socket_addr(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos) return std::nullopt;
+  const std::string port_str = text.substr(colon + 1);
+  if (port_str.empty()) return std::nullopt;
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+  if (*end != '\0' || port > 65535) return std::nullopt;
+  SocketAddr addr;
+  addr.host = text.substr(0, colon);
+  addr.port = static_cast<std::uint16_t>(port);
+  return addr;
+}
+
+bool TcpListener::open(const SocketAddr& addr, std::string* error) {
+  close();
+  struct sockaddr_in sin;
+  if (!fill_sockaddr(addr, &sin, error)) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&sin), sizeof sin) != 0 ||
+      ::listen(fd, 64) != 0) {
+    if (error)
+      *error = "bind/listen " + addr.host + ":" + std::to_string(addr.port) +
+               ": " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  struct sockaddr_in bound;
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) ==
+      0)
+    port_ = ntohs(bound.sin_port);
+  else
+    port_ = addr.port;
+  set_nonblocking(fd, true);
+  fd_ = fd;
+  return true;
+}
+
+int TcpListener::accept_fd() {
+  if (fd_ < 0) return -1;
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return -1;
+  set_nonblocking(fd, false);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  port_ = 0;
+}
+
+int tcp_connect(const SocketAddr& addr, double timeout_sec,
+                std::string* error) {
+  struct sockaddr_in sin;
+  if (!fill_sockaddr(addr, &sin, error)) return -1;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_sec));
+  // Retry refused connections until the deadline: the usual caller is a
+  // worker started in the same breath as its coordinator, so losing the
+  // race to bind must not be fatal.
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      if (error) *error = std::string("socket: ") + std::strerror(errno);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&sin), sizeof sin) ==
+        0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return fd;
+    }
+    const int saved = errno;
+    ::close(fd);
+    if (Clock::now() >= deadline) {
+      if (error)
+        *error = "connect " + addr.host + ":" + std::to_string(addr.port) +
+                 ": " + std::strerror(saved);
+      return -1;
+    }
+    ::poll(nullptr, 0, 50);  // brief back-off, then retry
+  }
+}
+
+void FrameChannel::close() {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool FrameChannel::send(const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  if (fd_ < 0) return false;
+  unsigned char header[4];
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<unsigned char>(n >> 24);
+  header[1] = static_cast<unsigned char>(n >> 16);
+  header[2] = static_cast<unsigned char>(n >> 8);
+  header[3] = static_cast<unsigned char>(n);
+  std::string wire(reinterpret_cast<char*>(header), 4);
+  wire += payload;
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t k =
+        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (k > 0) {
+      sent += static_cast<std::size_t>(k);
+      continue;
+    }
+    if (k < 0 && errno == EINTR) continue;
+    return false;  // peer gone (EPIPE/ECONNRESET) or hard error
+  }
+  return true;
+}
+
+bool FrameChannel::pump() {
+  if (fd_ < 0 || poisoned_) return false;
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, MSG_DONTWAIT);
+    if (n > 0) {
+      buf_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;  // hard socket error
+  }
+}
+
+std::optional<std::string> FrameChannel::next_frame() {
+  if (poisoned_ || buf_.size() < 4) return std::nullopt;
+  const auto* b = reinterpret_cast<const unsigned char*>(buf_.data());
+  const std::size_t n = (std::size_t{b[0]} << 24) | (std::size_t{b[1]} << 16) |
+                        (std::size_t{b[2]} << 8) | std::size_t{b[3]};
+  if (n > kMaxFrameBytes) {
+    // A garbage length prefix means the stream can never resync; poison
+    // the channel instead of allocating whatever the prefix claims.
+    poisoned_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() < 4 + n) return std::nullopt;
+  std::string payload = buf_.substr(4, n);
+  buf_.erase(0, 4 + n);
+  return payload;
+}
+
+FrameResult FrameChannel::recv(std::string* out, double timeout_sec) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             timeout_sec > 0 ? timeout_sec : 0));
+  for (;;) {
+    if (auto frame = next_frame()) {
+      *out = std::move(*frame);
+      return FrameResult::kFrame;
+    }
+    if (poisoned_) return FrameResult::kError;
+    if (fd_ < 0) return FrameResult::kClosed;
+    const int wait_ms = timeout_sec > 0 ? slice_ms(deadline) : 0;
+    struct pollfd pfd = {fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc < 0 && errno != EINTR) return FrameResult::kError;
+    if (rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
+      if (!pump()) {
+        // Drain any frame that arrived with the FIN before reporting EOF.
+        if (auto frame = next_frame()) {
+          *out = std::move(*frame);
+          return FrameResult::kFrame;
+        }
+        return poisoned_ ? FrameResult::kError : FrameResult::kClosed;
+      }
+      continue;
+    }
+    if (Clock::now() >= deadline) return FrameResult::kTimeout;
+  }
+}
+
+}  // namespace bsp

@@ -1,0 +1,106 @@
+// Minimal TCP socket wrapper + length-prefixed frame layer for the
+// campaign engine's distributed mode (campaign/remote.hpp), living next to
+// subprocess.hpp as the other half of the worker plumbing: subprocess runs
+// a worker on this host, socket talks to one on another.
+//
+// Framing: every message is a 4-byte big-endian payload length followed by
+// the payload bytes. A FrameChannel owns one connected fd and hides the
+// TCP stream's arbitrary segmentation — frames are reassembled from split
+// reads, several frames arriving in one read are handed out one at a time,
+// and a length prefix larger than kMaxFrameBytes poisons the channel (a
+// garbage or hostile peer cannot make the reader allocate unbounded
+// memory). Sends are mutex-serialised so worker pool threads can share one
+// channel; writes use MSG_NOSIGNAL so a dead peer surfaces as a false
+// return, never SIGPIPE.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace bsp {
+
+// Reject frames larger than this (length prefix included in neither).
+constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+// "host:port" -> parts. Host may be empty (":0" = any interface);
+// "localhost" is accepted as an alias for 127.0.0.1. Port 0 asks the
+// kernel for an ephemeral port (TcpListener::port() reports the result).
+struct SocketAddr {
+  std::string host;  // dotted-quad IPv4, "" = INADDR_ANY
+  std::uint16_t port = 0;
+};
+std::optional<SocketAddr> parse_socket_addr(const std::string& text);
+
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { close(); }
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Binds and listens (SO_REUSEADDR, non-blocking). False + `error` on
+  // failure. port() is the actually-bound port (resolves port 0).
+  bool open(const SocketAddr& addr, std::string* error);
+  // Accepts one pending connection, -1 if none (call after poll/select
+  // says the listener fd is readable). The returned fd is blocking.
+  int accept_fd();
+  int fd() const { return fd_; }
+  std::uint16_t port() const { return port_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+// Blocking connect with a deadline. Returns the connected fd, or -1 with
+// `error` set.
+int tcp_connect(const SocketAddr& addr, double timeout_sec,
+                std::string* error);
+
+enum class FrameResult {
+  kFrame,    // *out holds one complete payload
+  kTimeout,  // nothing complete within the deadline (partial bytes kept)
+  kClosed,   // orderly EOF from the peer
+  kError,    // protocol violation (oversized frame) or socket error
+};
+
+class FrameChannel {
+ public:
+  explicit FrameChannel(int fd = -1) : fd_(fd) {}
+  ~FrameChannel() { close(); }
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0 && !poisoned_; }
+  void close();
+
+  // Sends one frame (length prefix + payload). Thread-safe; false when the
+  // peer is gone or the payload exceeds kMaxFrameBytes.
+  bool send(const std::string& payload);
+
+  // Blocking receive with a deadline. kTimeout keeps any partial frame
+  // buffered, so callers can loop: a frame split across deadlines is
+  // reassembled, not lost. timeout_sec <= 0 polls without waiting.
+  FrameResult recv(std::string* out, double timeout_sec);
+
+  // Non-blocking half for multiplexed servers: pump() drains whatever the
+  // socket currently holds into the reassembly buffer (false on EOF or
+  // socket error — drain next_frame() before closing); next_frame() hands
+  // out the next complete buffered frame, nullopt when more bytes are
+  // needed. An oversized length prefix poisons the channel: next_frame()
+  // stays empty and valid() turns false.
+  bool pump();
+  std::optional<std::string> next_frame();
+
+ private:
+  int fd_ = -1;
+  bool poisoned_ = false;
+  std::string buf_;
+  std::mutex send_mutex_;
+};
+
+}  // namespace bsp

@@ -22,6 +22,7 @@
 #include "campaign/builtin.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/ckpt_cache.hpp"
+#include "campaign/progress.hpp"
 #include "core/simulator.hpp"
 #include "emu/checkpoint.hpp"
 #include "workloads/workloads.hpp"
@@ -168,6 +169,83 @@ TEST(ResultStore, IgnoresTornTrailingLine) {
   EXPECT_EQ(store.size(), 1u);
   EXPECT_TRUE(store.has(rec.task.id()));
   std::remove(path.c_str());
+}
+
+TEST(ResultStore, LoadRecordsKeepsOnlyTheLastRecordPerTask) {
+  // A store can legitimately hold several records for one task id: a retry
+  // appended over a failure, or a remote re-dispatch that raced. Every
+  // aggregation path must see one record per task — the LAST one — or
+  // means and counts double-count.
+  const std::string path = temp_path("dedup");
+  const auto tasks = small_spec().expand();
+  TaskRecord stale;
+  stale.task = tasks[0];
+  stale.status = "fail: injected";
+  stale.error = "injected";
+  TaskRecord fresh;
+  fresh.task = tasks[0];
+  fresh.status = "ok";
+  fresh.stats = fake_stats(tasks[0]);
+  fresh.attempts = 2;
+  TaskRecord other;
+  other.task = tasks[1];
+  other.status = "ok";
+  other.stats = fake_stats(tasks[1]);
+  {
+    std::ofstream out(path);
+    out << to_jsonl(stale) << "\n"
+        << to_jsonl(other) << "\n"
+        << to_jsonl(fresh) << "\n";
+  }
+  const std::vector<TaskRecord> records = load_records(path);
+  ASSERT_EQ(records.size(), 2u);
+  // First-seen order is preserved; the duplicate is resolved in place.
+  EXPECT_EQ(records[0].task.id(), tasks[0].id());
+  EXPECT_EQ(records[0].status, "ok");
+  EXPECT_EQ(records[0].attempts, 2u);
+  EXPECT_EQ(records[1].task.id(), tasks[1].id());
+  // ResultStore agrees (it is built on the same read path).
+  ResultStore store(path);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.status(tasks[0].id()), "ok");
+  std::remove(path.c_str());
+}
+
+TEST(Progress, ResumeRateAndEtaComeFromThisRunOnly) {
+  // 90 of 100 tasks were satisfied by the resumed store. Five more finish
+  // in the first 10 seconds of this run: the rate must be 0.5/s (not the
+  // 9.5/s a naive done/elapsed over the full baseline would claim), and
+  // the ETA must extrapolate only over the 5 genuinely remaining tasks.
+  ProgressMeter meter("unit", 100, 90, /*enabled=*/false);
+  ProgressSnapshot fresh = meter.snapshot_at(10.0);
+  EXPECT_EQ(fresh.total, 100u);
+  EXPECT_EQ(fresh.skipped, 90u);
+  EXPECT_EQ(fresh.remaining, 10u);
+  EXPECT_DOUBLE_EQ(fresh.rate, 0.0);
+  EXPECT_LT(fresh.eta_sec, 0) << "no completions yet: ETA is unknown";
+  for (int i = 0; i < 5; ++i) {
+    TaskOutcome out;
+    out.status = "ok";
+    out.attempts = 1;
+    meter.task_done(out);
+  }
+  const ProgressSnapshot s = meter.snapshot_at(10.0);
+  EXPECT_EQ(s.done, 5u);
+  EXPECT_EQ(s.remaining, 5u);
+  EXPECT_DOUBLE_EQ(s.rate, 0.5);
+  EXPECT_DOUBLE_EQ(s.eta_sec, 10.0);
+}
+
+TEST(Progress, OverfullResumeBaselineFloorsRemainingAtZero) {
+  // A store can hold more satisfied tasks than the (narrowed) spec asks
+  // for; remaining must floor at zero rather than wrap.
+  ProgressMeter meter("unit", 4, 4, /*enabled=*/false);
+  TaskOutcome out;
+  out.status = "ok";
+  meter.task_done(out);
+  const ProgressSnapshot s = meter.snapshot_at(1.0);
+  EXPECT_EQ(s.remaining, 0u);
+  EXPECT_DOUBLE_EQ(s.eta_sec, 0.0);
 }
 
 TEST(Campaign, ResumeSkipsCompletedTasks) {
@@ -474,6 +552,13 @@ TEST(CkptCache, MissMaterialisesThenHitsAndSurvivesCorruption) {
                                            30'000);
   ASSERT_TRUE(again.ok()) << again.error;
   EXPECT_TRUE(again.hit);
+
+  // The durable publish path (write tmp, fsync, rename, fsync dir) must
+  // never leave `.tmp.<pid>` staging files behind, heal or no heal.
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos)
+        << "stale staging file: " << entry.path();
   std::filesystem::remove_all(dir);
 }
 

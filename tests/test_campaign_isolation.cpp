@@ -199,6 +199,26 @@ TEST(ProcessIsolation, RecordForTheWrongTaskIsRejected) {
   EXPECT_NE(out.error.find("wrong task"), std::string::npos) << out.error;
 }
 
+TEST(ProcessIsolation, WorkerTaskJsonHandsTheFullTupleToTheWorker) {
+  // With worker_task_json set, the scheduler's trailing argument is the
+  // whole queued-record JSONL line (the same form TASK frames carry), not
+  // the bare id — so a worker can reconstruct the task without re-expanding
+  // the spec. The sh worker only answers if $1 really is that line.
+  const TaskSpec task = tiny_spec({0x5eed}).expand().front();
+  const std::string queued = task_jsonl(task);
+  ASSERT_NE(queued.find(task.id()), std::string::npos);
+  ASSERT_NE(queued.find("\"status\":\"queued\""), std::string::npos);
+  SchedulerOptions options = process_options(sh_worker(
+      "[ \"$1\" = \"$2\" ] || exit 9; printf '%s\\n' \"$0\"",
+      to_jsonl(ok_record(task))));
+  options.worker_cmd.push_back(queued);  // reference copy: $1 ($2 is the
+                                         // scheduler-appended task argument)
+  options.worker_task_json = true;
+  const TaskOutcome out = run_one_task(task, unused_runner(), options);
+  EXPECT_EQ(out.status, "ok") << out.error;
+  EXPECT_EQ(out.stats.cycles, fake_stats(task).cycles);
+}
+
 TEST(ProcessIsolation, SilentWorkerIsAFailureWithStderrContext) {
   const TaskSpec task = tiny_spec({0x5eed}).expand().front();
   const SchedulerOptions options =

@@ -368,5 +368,50 @@ TEST(ObsJson, ParsesAndRejects) {
   EXPECT_FALSE(obs::parse_json("\"unterminated").has_value());
 }
 
+TEST(ObsJson, UnicodeEscapesDecodeToUtf8) {
+  // BMP escapes, one and two UTF-8 bytes.
+  const auto latin = obs::parse_json(R"("caf\u00e9")");
+  ASSERT_TRUE(latin.has_value());
+  EXPECT_EQ(latin->str, "caf\xC3\xA9");  // é
+  const auto euro = obs::parse_json(R"("\u20ac")");
+  ASSERT_TRUE(euro.has_value());
+  EXPECT_EQ(euro->str, "\xE2\x82\xAC");  // €
+
+  // Astral plane: a surrogate pair must combine into one 4-byte code
+  // point, not two replacement blobs.
+  const auto emoji = obs::parse_json(R"("\ud83d\ude00")");
+  ASSERT_TRUE(emoji.has_value());
+  EXPECT_EQ(emoji->str, "\xF0\x9F\x98\x80");  // 😀 U+1F600
+
+  // Pairs embedded mid-string survive with their neighbours.
+  const auto mixed = obs::parse_json(R"({"k":"a\ud83d\ude00z"})");
+  ASSERT_TRUE(mixed.has_value());
+  EXPECT_EQ(mixed->get("k")->str, "a\xF0\x9F\x98\x80z");
+
+  // Raw UTF-8 bytes in the input pass through untouched.
+  const auto raw = obs::parse_json("\"caf\xC3\xA9\"");
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_EQ(raw->str, "caf\xC3\xA9");
+
+  // Lone or malformed surrogates are syntax errors, not silent garbage.
+  EXPECT_FALSE(obs::parse_json(R"("\ud83d")").has_value());
+  EXPECT_FALSE(obs::parse_json(R"("\ud83dxy")").has_value());
+  EXPECT_FALSE(obs::parse_json(R"("\ud83dA")").has_value());
+  EXPECT_FALSE(obs::parse_json(R"("\ude00")").has_value());
+  EXPECT_FALSE(obs::parse_json(R"("\u12g4")").has_value());
+}
+
+TEST(ObsJson, AppendUtf8CoversAllWidths) {
+  const auto enc = [](char32_t cp) {
+    std::string out;
+    obs::append_utf8(cp, out);
+    return out;
+  };
+  EXPECT_EQ(enc(0x41), "A");
+  EXPECT_EQ(enc(0xE9), "\xC3\xA9");
+  EXPECT_EQ(enc(0x20AC), "\xE2\x82\xAC");
+  EXPECT_EQ(enc(0x1F600), "\xF0\x9F\x98\x80");
+}
+
 }  // namespace
 }  // namespace bsp

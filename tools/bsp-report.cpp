@@ -123,10 +123,11 @@ int main(int argc, char** argv) {
     std::cerr << "bsp-report: cannot open " << store_path << "\n";
     return 2;
   }
-  std::vector<TaskRecord> records;
-  std::string line;
-  while (std::getline(in, line))
-    if (auto rec = parse_jsonl(line)) records.push_back(std::move(*rec));
+  in.close();
+  // load_records dedups to the last record per task id — a store that saw
+  // --retry-failed reruns or remote re-dispatch carries superseded lines
+  // that must not be double-counted into the aggregates.
+  const std::vector<TaskRecord> records = load_records(store_path);
   if (records.empty()) {
     std::cerr << "bsp-report: no parseable records in " << store_path << "\n";
     return 2;

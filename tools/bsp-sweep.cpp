@@ -17,11 +17,21 @@
 // summary), not a process error; use --retry-failed on a rerun to retry
 // them. Exit 2 is reserved for usage errors.
 //
+// Distributed mode (campaign/remote.hpp): `--serve HOST:PORT` turns this
+// process into a coordinator that shards the expanded task list across
+// remote `--connect HOST:PORT` workers over length-prefixed TCP frames.
+// Records stream back into the same JSONL store with the same resume
+// guarantees; each task lands exactly once no matter how often a dead or
+// straggling worker forced a re-dispatch. `--status-endpoint HOST:PORT`
+// additionally serves the live progress snapshot as JSON over HTTP.
+//
 //   bsp-sweep --list
 //   bsp-sweep --campaign fig11                      # full paper sweep
 //   bsp-sweep --campaign fig11 -n 20000 -w li       # quick smoke slice
 //   bsp-sweep --campaign fig12 --out results/fig12.jsonl --retry-failed
 //   bsp-sweep --campaign fig11 --isolate process --timeout 600
+//   bsp-sweep --campaign fig11 --serve :9000 --status-endpoint :9001
+//   bsp-sweep --connect coordinator-host:9000 -j 8
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +43,7 @@
 
 #include "campaign/builtin.hpp"
 #include "campaign/campaign.hpp"
+#include "campaign/remote.hpp"
 #include "obs/cpi_stack.hpp"
 #include "sampling/runner.hpp"
 #include "util/cli.hpp"
@@ -76,34 +87,21 @@ std::string maybe_inject_fault(const std::string& task_id) {
 }
 
 // The worker half of the process-isolation protocol: run exactly one task
-// of `spec` (found by id) and print its TaskRecord JSONL on stdout. The
-// parent scheduler owns timeout, retry, and rusage; attempts here is
-// always 1. Exit 0 whenever a record was printed — a task-level failure is
-// payload, not a worker error.
-int run_worker(const SweepSpec& spec, const TaskRunner& runner,
-               const std::string& task_id) {
-  const TaskSpec* task = nullptr;
-  const auto tasks = spec.expand();
-  for (const auto& t : tasks)
-    if (t.id() == task_id) {
-      task = &t;
-      break;
-    }
-  if (!task) {
-    std::cerr << "bsp-sweep --worker: task '" << task_id
-              << "' not in the expanded campaign\n";
-    return 3;
-  }
-  const std::string injected = maybe_inject_fault(task_id);
+// and print its TaskRecord JSONL on stdout. The parent scheduler owns
+// timeout, retry, and rusage; attempts here is always 1. Exit 0 whenever a
+// record was printed — a task-level failure is payload, not a worker
+// error.
+int run_worker_task(const TaskSpec& task, const TaskRunner& runner) {
+  const std::string injected = maybe_inject_fault(task.id());
   const auto t0 = std::chrono::steady_clock::now();
   AttemptResult r;
   if (!injected.empty()) {
     r.error = injected;
   } else {
-    r = runner(*task);
+    r = runner(task);
   }
   TaskRecord rec;
-  rec.task = *task;
+  rec.task = task;
   rec.status = r.error.empty() ? "ok" : "failed";
   rec.error = r.error;
   rec.attempts = 1;
@@ -124,6 +122,32 @@ int run_worker(const SweepSpec& spec, const TaskRunner& runner,
   return 0;
 }
 
+// --worker form: the task arrives as an id and is resolved against the
+// worker's own expansion of the campaign (requires the parent's spec-shape
+// flags on the command line).
+int run_worker(const SweepSpec& spec, const TaskRunner& runner,
+               const std::string& task_id) {
+  const auto tasks = spec.expand();
+  for (const auto& t : tasks)
+    if (t.id() == task_id) return run_worker_task(t, runner);
+  std::cerr << "bsp-sweep --worker: task '" << task_id
+            << "' not in the expanded campaign\n";
+  return 3;
+}
+
+// --worker-json form: the task arrives as a full status:"queued" record
+// line (campaign::task_jsonl), making the worker command self-contained —
+// no campaign re-expansion, which is what lets remote workers run tasks
+// for a spec they never saw.
+int run_worker_json(const TaskRunner& runner, const std::string& record) {
+  const auto rec = parse_jsonl(record);
+  if (!rec) {
+    std::cerr << "bsp-sweep --worker-json: unparseable task record\n";
+    return 3;
+  }
+  return run_worker_task(rec->task, runner);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,7 +159,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> workloads;
   std::vector<u64> seeds;
   std::string isolate = "thread";
-  std::string worker_task;
+  std::string worker_task, worker_json;
+  std::string serve_addr, connect_addr, status_addr, port_file;
+  double heartbeat_sec = 1.0, worker_deadline_sec = 15, steal_after_sec = 20;
   CampaignOptions options;
 
   ArgParser parser(
@@ -245,9 +271,46 @@ int main(int argc, char** argv) {
   parser.add_flag("--dry-run", "print the expanded task list and exit",
                   &dry_run);
   parser.add_flag("--csv", "print the summary table as CSV", &csv);
+  parser.add_value("--serve", "HOST:PORT",
+                   "coordinate this campaign over TCP instead of running it "
+                   "locally: shard tasks across --connect workers, stream "
+                   "records into the store (port 0 = ephemeral, see "
+                   "--port-file)",
+                   &serve_addr);
+  parser.add_value("--connect", "HOST:PORT",
+                   "run as a remote worker for a --serve coordinator; -j "
+                   "sets the advertised slot count and --isolate/--ckpt-"
+                   "cache keep their local meaning",
+                   &connect_addr);
+  parser.add_value("--status-endpoint", "HOST:PORT",
+                   "with --serve: answer any HTTP request on this address "
+                   "with a JSON snapshot of campaign progress and worker "
+                   "state",
+                   &status_addr);
+  parser.add_value("--port-file", "PATH",
+                   "with --serve: atomically write the bound ports "
+                   "(port=N, status_port=M) once listening — the launcher "
+                   "handshake for port 0",
+                   &port_file);
+  parser.add_value("--heartbeat", "SEC",
+                   "worker PING period in distributed mode (default 1)",
+                   &heartbeat_sec);
+  parser.add_value("--worker-deadline", "SEC",
+                   "with --serve: a worker silent this long is declared "
+                   "dead and its in-flight tasks re-dispatched (default 15)",
+                   &worker_deadline_sec);
+  parser.add_value("--steal-after", "SEC",
+                   "with --serve: once the queue is empty, idle workers "
+                   "duplicate-dispatch in-flight tasks older than this "
+                   "(default 20; first record wins)",
+                   &steal_after_sec);
   parser.add_hidden_value("--worker", "TASK-ID",
                           "(internal) run one task and print its record",
                           &worker_task);
+  parser.add_hidden_value("--worker-json", "RECORD",
+                          "(internal) run the task described by a queued "
+                          "record line and print its record",
+                          &worker_json);
   parser.parse(argc, argv);
 
   if (list) {
@@ -258,28 +321,11 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     return 0;
   }
-  if (campaign_name.empty()) {
-    std::cerr << "bsp-sweep: no --campaign given (try --list or --help)\n";
-    return 2;
-  }
-  const BuiltinCampaign* builtin = find_campaign(campaign_name);
-  if (!builtin) {
-    std::cerr << "bsp-sweep: unknown campaign '" << campaign_name
-              << "' (try --list)\n";
-    return 2;
-  }
   if (isolate != "thread" && isolate != "process") {
     std::cerr << "bsp-sweep: --isolate must be 'thread' or 'process', got '"
               << isolate << "'\n";
     return 2;
   }
-
-  SweepSpec spec = builtin->make();
-  if (!workloads.empty()) spec.workloads = workloads;
-  if (!seeds.empty()) spec.seeds = seeds;
-  if (has_n) spec.instructions = instructions;
-  if (has_warmup) spec.warmup = warmup;
-  if (has_ff) spec.fast_forward = fast_forward;
 
   // One task = one scheduler slot either way: the sampled runner simulates
   // its intervals serially inside the slot, so sweep-level parallelism
@@ -295,38 +341,12 @@ int main(int argc, char** argv) {
     return sampling::make_sampled_runner(sopts);
   };
 
-  if (!worker_task.empty()) return run_worker(spec, make_runner(), worker_task);
-
-  if (dry_run) {
-    for (const auto& task : spec.expand()) std::cout << task.id() << "\n";
-    return 0;
-  }
-
-  if (isolate == "process") {
-    options.scheduler.isolate = IsolationMode::kProcess;
-    // Worker re-exec: this binary plus everything that shaped the expanded
-    // spec (the task list must re-expand identically in the worker) and
-    // the per-task observability knobs. The scheduler appends the task id
-    // as --worker's value.
-    std::vector<std::string>& cmd = options.scheduler.worker_cmd;
-    cmd = {self_exe_path(argv[0]), "--campaign", spec.name,
-           "--n", std::to_string(spec.instructions),
-           "--warmup", std::to_string(spec.warmup)};
-    for (const auto& w : spec.workloads) {
-      cmd.push_back("-w");
-      cmd.push_back(w);
-    }
-    for (const u64 s : spec.seeds) {
-      char hex[32];
-      std::snprintf(hex, sizeof hex, "0x%llx",
-                    static_cast<unsigned long long>(s));
-      cmd.push_back("--seed");
-      cmd.push_back(hex);
-    }
-    if (spec.fast_forward != 0) {
-      cmd.push_back("--fast-forward");
-      cmd.push_back(std::to_string(spec.fast_forward));
-    }
+  // Self-contained process-isolation worker command: this binary, the
+  // per-task observability knobs, and --worker-json as the terminal flag
+  // (the scheduler appends the task's queued record line as its value).
+  // No spec-shape flags — the record carries the full parameter tuple.
+  const auto worker_json_cmd = [&]() -> std::vector<std::string> {
+    std::vector<std::string> cmd = {self_exe_path(argv[0])};
     if (!runner_options.ckpt_cache_dir.empty()) {
       cmd.push_back("--ckpt-cache");
       cmd.push_back(runner_options.ckpt_cache_dir);
@@ -343,7 +363,100 @@ int main(int argc, char** argv) {
       cmd.push_back("--sample-warmup");
       cmd.push_back(std::to_string(sample_warmup));
     }
-    cmd.push_back("--worker");
+    cmd.push_back("--worker-json");
+    return cmd;
+  };
+
+  // Worker entry points that need no campaign: the task (or the whole
+  // sweep) arrives from the parent process or the coordinator.
+  if (!worker_json.empty()) return run_worker_json(make_runner(), worker_json);
+
+  if (!connect_addr.empty()) {
+    const auto addr = parse_socket_addr(connect_addr);
+    if (!addr) {
+      std::cerr << "bsp-sweep: --connect wants HOST:PORT, got '"
+                << connect_addr << "'\n";
+      return 2;
+    }
+    WorkerOptions wopts;
+    wopts.connect = *addr;
+    wopts.slots = options.scheduler.jobs;
+    wopts.heartbeat_sec = heartbeat_sec;
+    const WorkerSetup setup = [&](const RemoteSpec& rs, TaskRunner* runner,
+                                  SchedulerOptions* sched) {
+      // The coordinator's SPEC overrides the observability knobs — every
+      // worker must produce records of the same shape — while isolation
+      // mode and the checkpoint-cache directory stay host-local choices.
+      runner_options.interval = rs.interval;
+      runner_options.host_profile = rs.host_profile;
+      runner_options.cpi_stack = rs.cpi_stack;
+      sample_intervals = static_cast<unsigned>(rs.sample_intervals);
+      sample_warmup = rs.sample_warmup;
+      sched->ckpt_cache_dir = options.scheduler.ckpt_cache_dir;
+      const TaskRunner base = make_runner();
+      *runner = [base](const TaskSpec& t) -> AttemptResult {
+        const std::string injected = maybe_inject_fault(t.id());
+        if (injected.empty()) return base(t);
+        AttemptResult r;
+        r.error = injected;
+        return r;
+      };
+      if (isolate == "process") {
+        sched->isolate = IsolationMode::kProcess;
+        sched->worker_cmd = worker_json_cmd();
+        sched->worker_task_json = true;
+      }
+    };
+    const WorkerReport wr = run_remote_worker(wopts, setup);
+    std::cout << "== worker done ==\n"
+              << wr.ran << " ran (" << wr.ok << " ok), "
+              << wr.prewarm_groups << " checkpoint groups prewarmed\n";
+    if (!wr.error.empty())
+      std::cerr << "bsp-sweep --connect: " << wr.error << "\n";
+    // Clean DONE is success; anything else (handshake rejection, lost
+    // coordinator) is a worker-level failure the launcher should see.
+    return wr.done ? 0 : 1;
+  }
+
+  if (!serve_addr.empty() && isolate == "process") {
+    std::cerr << "bsp-sweep: --serve coordinates only (workers own "
+                 "--isolate); drop --isolate process\n";
+    return 2;
+  }
+  if (serve_addr.empty() && (!status_addr.empty() || !port_file.empty())) {
+    std::cerr << "bsp-sweep: --status-endpoint/--port-file need --serve\n";
+    return 2;
+  }
+
+  if (campaign_name.empty()) {
+    std::cerr << "bsp-sweep: no --campaign given (try --list or --help)\n";
+    return 2;
+  }
+  const BuiltinCampaign* builtin = find_campaign(campaign_name);
+  if (!builtin) {
+    std::cerr << "bsp-sweep: unknown campaign '" << campaign_name
+              << "' (try --list)\n";
+    return 2;
+  }
+
+  SweepSpec spec = builtin->make();
+  if (!workloads.empty()) spec.workloads = workloads;
+  if (!seeds.empty()) spec.seeds = seeds;
+  if (has_n) spec.instructions = instructions;
+  if (has_warmup) spec.warmup = warmup;
+  if (has_ff) spec.fast_forward = fast_forward;
+
+  if (!worker_task.empty()) return run_worker(spec, make_runner(), worker_task);
+
+  if (dry_run) {
+    for (const auto& task : spec.expand()) std::cout << task.id() << "\n";
+    return 0;
+  }
+
+  if (isolate == "process") {
+    options.scheduler.isolate = IsolationMode::kProcess;
+    options.scheduler.worker_cmd = worker_json_cmd();
+    options.scheduler.worker_task_json = true;
   }
 
   options.fresh = fresh;
@@ -352,8 +465,42 @@ int main(int argc, char** argv) {
   if (options.out_path.empty())
     options.out_path = "results/" + spec.name + ".jsonl";
 
-  const CampaignReport report =
-      run_campaign(spec, make_runner(), options);
+  CampaignReport report;
+  if (!serve_addr.empty()) {
+    const auto bind = parse_socket_addr(serve_addr);
+    if (!bind) {
+      std::cerr << "bsp-sweep: --serve wants HOST:PORT, got '" << serve_addr
+                << "'\n";
+      return 2;
+    }
+    RemoteOptions ropts;
+    ropts.bind = *bind;
+    if (!status_addr.empty()) {
+      const auto sb = parse_socket_addr(status_addr);
+      if (!sb) {
+        std::cerr << "bsp-sweep: --status-endpoint wants HOST:PORT, got '"
+                  << status_addr << "'\n";
+        return 2;
+      }
+      ropts.status = true;
+      ropts.status_bind = *sb;
+    }
+    ropts.port_file = port_file;
+    ropts.heartbeat_sec = heartbeat_sec;
+    ropts.worker_deadline_sec = worker_deadline_sec;
+    ropts.steal_after_sec = steal_after_sec;
+    ropts.spec.campaign = spec.name;
+    ropts.spec.interval = runner_options.interval;
+    ropts.spec.host_profile = runner_options.host_profile;
+    ropts.spec.cpi_stack = runner_options.cpi_stack;
+    ropts.spec.sample_intervals = sample_intervals;
+    ropts.spec.sample_warmup = sample_warmup;
+    ropts.spec.timeout_sec = options.scheduler.timeout_sec;
+    ropts.spec.max_attempts = options.scheduler.max_attempts;
+    report = serve_campaign(spec, options, ropts);
+  } else {
+    report = run_campaign(spec, make_runner(), options);
+  }
 
   std::cout << "== campaign " << spec.name << " ==\n"
             << report.total << " tasks: " << report.skipped << " resumed, "
