@@ -1,5 +1,6 @@
 #include "campaign/remote.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -70,21 +71,6 @@ bool json_bool(const obs::JsonValue& obj, const char* key, bool fallback) {
   return v && v->kind == obs::JsonValue::Kind::Bool ? v->boolean : fallback;
 }
 
-bool send_all_fd(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t k =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (k > 0) {
-      sent += static_cast<std::size_t>(k);
-      continue;
-    }
-    if (k < 0 && errno == EINTR) continue;
-    return false;
-  }
-  return true;
-}
-
 // One distinct (workload, seed, fast_forward > 0) representative per group,
 // mirroring prewarm_checkpoint_cache()'s grouping — these ride to every
 // worker as PREWARM frames so each *host* pays each fast-forward once,
@@ -115,7 +101,8 @@ std::string encode_remote_spec(const RemoteSpec& spec) {
      << ",\"sample_intervals\":" << spec.sample_intervals
      << ",\"sample_warmup\":" << spec.sample_warmup
      << ",\"timeout_sec\":" << fmt_double(spec.timeout_sec)
-     << ",\"max_attempts\":" << spec.max_attempts << "}";
+     << ",\"max_attempts\":" << spec.max_attempts
+     << ",\"heartbeat_sec\":" << fmt_double(spec.heartbeat_sec) << "}";
   return os.str();
 }
 
@@ -136,6 +123,7 @@ std::optional<RemoteSpec> parse_remote_spec(const std::string& json) {
   spec.timeout_sec = json_num(*v, "timeout_sec", 0);
   spec.max_attempts =
       static_cast<unsigned>(json_num(*v, "max_attempts", 2));
+  spec.heartbeat_sec = json_num(*v, "heartbeat_sec", 1.0);
   return spec;
 }
 
@@ -157,6 +145,25 @@ struct TaskState {
   unsigned runners = 0;  // live connections currently holding the task
   Clock::time_point first_dispatch{};
 };
+
+// One dashboard poll in flight: the response is composed at accept time
+// and drip-fed by the event loop, so a stalled or mute client can never
+// stall dispatch or heartbeat accounting.
+struct StatusConn {
+  int fd = -1;
+  std::string out;  // response bytes not yet written
+  bool peer_eof = false;
+  bool dead = false;
+  Clock::time_point opened;
+  Clock::time_point wrote{};  // zero until the response is fully out
+};
+
+// A finished status reply lingers this long so request bytes still in
+// flight get drained (closing with unread data risks an RST that could
+// discard the response); any status connection is closed outright after
+// the deadline.
+constexpr double kStatusLingerSec = 0.25;
+constexpr double kStatusDeadlineSec = 2.0;
 
 }  // namespace
 
@@ -230,7 +237,22 @@ CampaignReport serve_campaign(const SweepSpec& spec,
                              : "");
 
   const std::vector<TaskSpec> reps = prewarm_representatives(tasks, queue);
-  const std::string spec_frame = "SPEC " + encode_remote_spec(remote.spec);
+  RemoteSpec wire_spec = remote.spec;
+  wire_spec.heartbeat_sec = remote.heartbeat_sec;  // fleet-wide PING period
+  const std::string spec_frame = "SPEC " + encode_remote_spec(wire_spec);
+
+  // A deadline below the PING period would declare every healthy worker
+  // dead between heartbeats; floor it at two missed beats.
+  double worker_deadline_sec = remote.worker_deadline_sec;
+  if (remote.heartbeat_sec > 0 &&
+      worker_deadline_sec < 2 * remote.heartbeat_sec) {
+    worker_deadline_sec = 2 * remote.heartbeat_sec;
+    std::fprintf(stderr,
+                 "bsp-sweep: --worker-deadline %.3gs is under twice the "
+                 "%.3gs heartbeat; using %.3gs\n",
+                 remote.worker_deadline_sec, remote.heartbeat_sec,
+                 worker_deadline_sec);
+  }
 
   std::vector<std::unique_ptr<Conn>> conns;
   std::size_t duplicates_dropped = 0;
@@ -251,6 +273,7 @@ CampaignReport serve_campaign(const SweepSpec& spec,
     }
     c.inflight.clear();
     c.stage = Conn::kDead;
+    c.ch->flush_sends();  // best-effort: a queued ERROR should reach the peer
     c.ch->close();
   };
 
@@ -283,7 +306,7 @@ CampaignReport serve_campaign(const SweepSpec& spec,
     while (c.inflight.size() < c.slots) {
       const auto idx = pick_task(c);
       if (!idx) break;
-      if (!c.ch->send("TASK " + task_jsonl(tasks[*idx]))) {
+      if (!c.ch->queue_send("TASK " + task_jsonl(tasks[*idx]))) {
         // The send failure re-queues this very task along with the rest.
         state[*idx].runners++;
         c.inflight[*idx] = Clock::now();
@@ -332,7 +355,7 @@ CampaignReport serve_campaign(const SweepSpec& spec,
     switch (c.stage) {
       case Conn::kAwaitHello: {
         if (verb != "HELLO") {
-          c.ch->send("ERROR expected HELLO");
+          c.ch->queue_send("ERROR expected HELLO");
           drop_conn(c, "bad handshake");
           return;
         }
@@ -342,9 +365,9 @@ CampaignReport serve_campaign(const SweepSpec& spec,
                 ? static_cast<int>(json_num(*hello, "proto", -1))
                 : -1;
         if (proto != kRemoteProtocolVersion) {
-          c.ch->send("ERROR incompatible protocol version " +
-                     std::to_string(proto) + " (coordinator speaks " +
-                     std::to_string(kRemoteProtocolVersion) + ")");
+          c.ch->queue_send("ERROR incompatible protocol version " +
+                           std::to_string(proto) + " (coordinator speaks " +
+                           std::to_string(kRemoteProtocolVersion) + ")");
           drop_conn(c, "protocol version mismatch");
           return;
         }
@@ -352,10 +375,10 @@ CampaignReport serve_campaign(const SweepSpec& spec,
           if (h->is_string() && !h->str.empty()) c.host = h->str;
         c.slots = std::max(
             1u, static_cast<unsigned>(json_num(*hello, "slots", 1)));
-        bool sent = c.ch->send(spec_frame);
+        bool sent = c.ch->queue_send(spec_frame);
         for (const TaskSpec& rep : reps)
-          sent = sent && c.ch->send("PREWARM " + task_jsonl(rep));
-        sent = sent && c.ch->send("GO");
+          sent = sent && c.ch->queue_send("PREWARM " + task_jsonl(rep));
+        sent = sent && c.ch->queue_send("GO");
         if (!sent) {
           drop_conn(c, "send failed");
           return;
@@ -418,35 +441,84 @@ CampaignReport serve_campaign(const SweepSpec& spec,
     return os.str();
   };
 
-  const auto serve_status = [&](int fd) {
-    // Best-effort micro-HTTP: read whatever request arrived (briefly),
-    // answer with one JSON body, close. Dashboards poll; they never keep
-    // the connection.
-    struct timeval tv = {0, 200000};
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-    char buf[2048];
-    (void)::recv(fd, buf, sizeof buf, 0);
+  // Best-effort micro-HTTP, fully non-blocking: the reply is composed at
+  // accept time (no waiting for request bytes — dashboards poll, they
+  // never keep the connection) and written as the socket allows.
+  std::vector<StatusConn> status_conns;
+
+  const auto open_status = [&](int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    StatusConn sc;
+    sc.fd = fd;
+    sc.opened = Clock::now();
     const std::string body = status_json();
     std::ostringstream resp;
     resp << "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\n"
          << "Content-Length: " << body.size()
          << "\r\nConnection: close\r\n\r\n"
          << body;
-    send_all_fd(fd, resp.str());
-    ::close(fd);
+    sc.out = resp.str();
+    status_conns.push_back(std::move(sc));
+  };
+
+  const auto flush_status = [](StatusConn& sc) {
+    while (!sc.out.empty()) {
+      const ssize_t k = ::send(sc.fd, sc.out.data(), sc.out.size(),
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (k > 0) {
+        sc.out.erase(0, static_cast<std::size_t>(k));
+        continue;
+      }
+      if (k < 0 && errno == EINTR) continue;
+      if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      sc.dead = true;
+      return;
+    }
+    ::shutdown(sc.fd, SHUT_WR);  // reply complete: tell the client it's over
+    sc.wrote = Clock::now();
+  };
+
+  const auto service_status = [&](StatusConn& sc, short revents) {
+    if (revents & (POLLIN | POLLHUP | POLLERR)) {
+      char buf[2048];
+      for (;;) {  // request bytes: read and ignore
+        const ssize_t n = ::recv(sc.fd, buf, sizeof buf, MSG_DONTWAIT);
+        if (n > 0) continue;
+        if (n == 0) {
+          sc.peer_eof = true;
+          break;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        sc.dead = true;
+        break;
+      }
+    }
+    if (!sc.dead && !sc.out.empty() && (revents & POLLOUT)) flush_status(sc);
   };
 
   while (done_count < tasks.size()) {
     std::vector<struct pollfd> fds;
     fds.push_back({listener.fd(), POLLIN, 0});
+    const std::size_t status_listener_at = fds.size();
     if (remote.status) fds.push_back({status_listener.fd(), POLLIN, 0});
     const std::size_t conn_base = fds.size();
     std::vector<Conn*> polled;
     for (const auto& c : conns)
       if (c->stage != Conn::kDead) {
-        fds.push_back({c->ch->fd(), POLLIN, 0});
+        const short events = static_cast<short>(
+            POLLIN | (c->ch->send_pending() ? POLLOUT : 0));
+        fds.push_back({c->ch->fd(), events, 0});
         polled.push_back(c.get());
       }
+    const std::size_t status_base = fds.size();
+    const std::size_t status_polled = status_conns.size();
+    for (const auto& sc : status_conns)
+      fds.push_back({sc.fd,
+                     static_cast<short>(POLLIN |
+                                        (sc.out.empty() ? 0 : POLLOUT)),
+                     0});
     const int rc = ::poll(fds.data(), fds.size(), 100);
     if (rc < 0 && errno != EINTR)
       throw std::runtime_error(std::string("bsp-sweep --serve: poll: ") +
@@ -462,18 +534,25 @@ CampaignReport serve_campaign(const SweepSpec& spec,
         conns.push_back(std::move(conn));
       }
     }
-    if (remote.status && (fds[1].revents & POLLIN)) {
+    if (remote.status && (fds[status_listener_at].revents & POLLIN)) {
       for (;;) {
         const int fd = status_listener.accept_fd();
         if (fd < 0) break;
-        serve_status(fd);
+        open_status(fd);
+        // Opportunistic first write: a fresh socket's send buffer swallows
+        // the whole reply, so most polls never re-enter the poll set.
+        flush_status(status_conns.back());
       }
     }
     for (std::size_t i = 0; i < polled.size(); ++i) {
       Conn& c = *polled[i];
       if (c.stage == Conn::kDead) continue;  // died earlier this sweep
-      if (!(fds[conn_base + i].revents & (POLLIN | POLLHUP | POLLERR)))
+      const short rev = fds[conn_base + i].revents;
+      if ((rev & POLLOUT) && !c.ch->flush_sends()) {
+        drop_conn(c, "send failed");
         continue;
+      }
+      if (!(rev & (POLLIN | POLLHUP | POLLERR))) continue;
       const bool alive = c.ch->pump();
       while (auto frame = c.ch->next_frame()) {
         handle_frame(c, *frame);
@@ -483,11 +562,30 @@ CampaignReport serve_campaign(const SweepSpec& spec,
       if (!c.ch->valid() && c.stage != Conn::kDead)
         drop_conn(c, "protocol error");
     }
+    for (std::size_t i = 0; i < status_polled; ++i)
+      service_status(status_conns[i], fds[status_base + i].revents);
+    status_conns.erase(
+        std::remove_if(status_conns.begin(), status_conns.end(),
+                       [&](const StatusConn& sc) {
+                         const bool replied =
+                             sc.out.empty() &&
+                             sc.wrote != Clock::time_point{} &&
+                             (sc.peer_eof ||
+                              seconds_between(sc.wrote, now) >
+                                  kStatusLingerSec);
+                         if (!sc.dead && !replied &&
+                             seconds_between(sc.opened, now) <=
+                                 kStatusDeadlineSec)
+                           return false;
+                         ::close(sc.fd);
+                         return true;
+                       }),
+        status_conns.end());
     // Heartbeat deadline: a worker that went silent — wedged, partitioned,
     // or SIGKILLed without the FIN reaching us — forfeits its tasks.
     for (const auto& c : conns) {
       if (c->stage == Conn::kDead) continue;
-      if (seconds_between(c->last_seen, now) > remote.worker_deadline_sec)
+      if (seconds_between(c->last_seen, now) > worker_deadline_sec)
         drop_conn(*c, "heartbeat deadline");
     }
     // Top up idle capacity: newly re-queued tasks and stealable stragglers
@@ -500,11 +598,29 @@ CampaignReport serve_campaign(const SweepSpec& spec,
                 conns.end());
   }
 
-  for (const auto& c : conns) {
-    if (c->stage == Conn::kDead) continue;
-    c->ch->send("DONE");
-    c->ch->close();
+  for (const auto& c : conns)
+    if (c->stage != Conn::kDead) c->ch->queue_send("DONE");
+  // Drain the DONEs (plus any straggling task bytes) without letting one
+  // wedged worker block the others' clean shutdown: bounded and
+  // non-blocking, then close everything.
+  const auto drain_deadline = Clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    std::vector<struct pollfd> fds;
+    std::vector<Conn*> pending;
+    for (const auto& c : conns)
+      if (c->stage != Conn::kDead && c->ch->send_pending()) {
+        fds.push_back({c->ch->fd(), POLLOUT, 0});
+        pending.push_back(c.get());
+      }
+    if (pending.empty() || Clock::now() >= drain_deadline) break;
+    if (::poll(fds.data(), fds.size(), 100) < 0 && errno != EINTR) break;
+    for (std::size_t i = 0; i < pending.size(); ++i)
+      if (fds[i].revents & (POLLOUT | POLLHUP | POLLERR))
+        if (!pending[i]->ch->flush_sends()) pending[i]->stage = Conn::kDead;
   }
+  for (const auto& c : conns)
+    if (c->stage != Conn::kDead) c->ch->close();
+  for (const auto& sc : status_conns) ::close(sc.fd);
   if (duplicates_dropped > 0)
     std::fprintf(stderr,
                  "bsp-sweep: dropped %zu duplicate record%s from "
@@ -514,6 +630,61 @@ CampaignReport serve_campaign(const SweepSpec& spec,
 }
 
 // ------------------------------------------------------------------ worker
+
+namespace {
+
+// Proof of life independent of task progress, running from the moment the
+// coordinator knows this worker: the prewarm pre-pass can outlast any sane
+// worker deadline, so PINGs must not wait for READY. The period can be
+// retuned mid-flight (the SPEC frame carries the fleet-wide value); the
+// destructor stops and joins, so every early-return path is covered.
+class Heartbeat {
+ public:
+  Heartbeat(FrameChannel& ch, double period_sec)
+      : period_(period_sec > 0 ? period_sec : 1.0),
+        th_([this, &ch] { loop(ch); }) {}
+  ~Heartbeat() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    th_.join();
+  }
+  void set_period(double sec) {
+    if (sec <= 0) return;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      period_ = sec;
+      ++gen_;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  void loop(FrameChannel& ch) {
+    std::unique_lock<std::mutex> lk(m_);
+    for (;;) {
+      const std::uint64_t gen = gen_;
+      const auto period = std::chrono::duration<double>(period_);
+      cv_.wait_for(lk, period, [&] { return stop_ || gen_ != gen; });
+      if (stop_) return;
+      if (gen_ != gen) continue;  // retuned: restart the wait at the new period
+      lk.unlock();
+      ch.send("PING");
+      lk.lock();
+    }
+  }
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  double period_;
+  std::uint64_t gen_ = 0;
+  bool stop_ = false;
+  std::thread th_;
+};
+
+}  // namespace
 
 WorkerReport run_remote_worker(const WorkerOptions& options,
                                const WorkerSetup& setup) {
@@ -546,6 +717,9 @@ WorkerReport run_remote_worker(const WorkerOptions& options,
       return rep;
     }
   }
+  // Heartbeat from HELLO onward — the coordinator's deadline clock is
+  // already running, and prewarm (below) can take minutes.
+  Heartbeat beat(ch, options.heartbeat_sec);
 
   std::string payload;
   if (ch.recv(&payload, 30.0) != FrameResult::kFrame) {
@@ -567,6 +741,7 @@ WorkerReport run_remote_worker(const WorkerOptions& options,
       rep.error = "unparseable or incompatible SPEC frame";
       return rep;
     }
+    beat.set_period(spec->heartbeat_sec);  // fleet-wide period wins
 
     std::vector<TaskSpec> prewarm_tasks;
     for (;;) {
@@ -612,19 +787,6 @@ WorkerReport run_remote_worker(const WorkerOptions& options,
         return rep;
       }
     }
-
-    // Heartbeat: proof of life independent of task progress, so a worker
-    // grinding through one long task is not mistaken for a wedged one.
-    std::mutex beat_m;
-    std::condition_variable beat_cv;
-    bool beat_stop = false;
-    std::thread beat([&] {
-      std::unique_lock<std::mutex> lk(beat_m);
-      while (!beat_cv.wait_for(
-          lk, std::chrono::duration<double>(options.heartbeat_sec),
-          [&] { return beat_stop; }))
-        ch.send("PING");
-    });
 
     // Slot pool: the coordinator keeps at most `slots` tasks open on this
     // connection, so the queue never grows past that.
@@ -686,12 +848,6 @@ WorkerReport run_remote_worker(const WorkerOptions& options,
     }
     pool.cv.notify_all();
     for (std::thread& t : threads) t.join();
-    {
-      std::lock_guard<std::mutex> lk(beat_m);
-      beat_stop = true;
-    }
-    beat_cv.notify_all();
-    beat.join();
     rep.ran = ran.load();
     rep.ok = ok.load();
   }

@@ -15,11 +15,15 @@
 //
 //   worker -> coordinator          coordinator -> worker
 //   HELLO {"proto":N,...}          SPEC {"proto":N,...}   (or ERROR msg)
-//                                  PREWARM <task jsonl>   (0+ representatives)
+//   PING ...                       PREWARM <task jsonl>   (0+ representatives)
 //                                  GO
 //   READY {"groups":G,...}
 //   PING                           TASK <task jsonl>      (up to `slots` open)
 //   RECORD <record jsonl>          TASK ... | DONE
+//
+// PINGs start right after HELLO — prewarm can outlast any sane worker
+// deadline, so proof of life must not wait for READY. The SPEC frame's
+// heartbeat_sec retunes the period fleet-wide.
 //
 // Delivery semantics: the coordinator tracks every task as pending,
 // in-flight, or done. A worker that misses its heartbeat deadline or drops
@@ -58,6 +62,7 @@ struct RemoteSpec {
   u64 sample_warmup = 2000;
   double timeout_sec = 0;     // per-task wall clock (0 = none)
   unsigned max_attempts = 2;  // worker-local bounded retry
+  double heartbeat_sec = 1;   // PING period every worker must keep
 };
 std::string encode_remote_spec(const RemoteSpec& spec);
 std::optional<RemoteSpec> parse_remote_spec(const std::string& json);
@@ -67,8 +72,9 @@ struct RemoteOptions {
   bool status = false;             // serve the status endpoint?
   SocketAddr status_bind;          // --status-endpoint address
   std::string port_file;           // "" = none; else "port=N\nstatus_port=M\n"
-  double heartbeat_sec = 1.0;      // expected worker PING period
+  double heartbeat_sec = 1.0;      // worker PING period, forwarded in SPEC
   double worker_deadline_sec = 15; // silence past this marks a worker dead
+                                   // (floored at 2x heartbeat_sec)
   double steal_after_sec = 20;     // idle workers duplicate-dispatch after
   RemoteSpec spec;                 // forwarded to every worker
 };
@@ -84,7 +90,7 @@ CampaignReport serve_campaign(const SweepSpec& spec,
 struct WorkerOptions {
   SocketAddr connect;
   unsigned slots = 0;  // concurrent tasks advertised (0 = hardware threads)
-  double heartbeat_sec = 1.0;
+  double heartbeat_sec = 1.0;  // initial PING period; SPEC overrides it
   double connect_timeout_sec = 10;
   std::string hostname;  // "" = gethostname()
 };

@@ -76,20 +76,26 @@ std::string unescape(const std::string& s) {
       case 'u': {
         // Full \uXXXX decode, surrogate pairs included (obs::append_utf8
         // is the shared encoder). Malformed escapes pass through verbatim —
-        // a field extractor must not throw on a torn line.
+        // a field extractor must not throw on a torn line — and an unpaired
+        // surrogate decodes to U+FFFD, never to invalid UTF-8.
         auto cp = hex4_at(s, i + 1);
         if (!cp) {
-          out += 'u';
+          out += "\\u";
           break;
         }
         i += 4;
-        if (*cp >= 0xD800 && *cp <= 0xDBFF && i + 2 < s.size() &&
-            s[i + 1] == '\\' && s[i + 2] == 'u') {
-          if (const auto lo = hex4_at(s, i + 3);
-              lo && *lo >= 0xDC00 && *lo <= 0xDFFF) {
+        if (*cp >= 0xD800 && *cp <= 0xDBFF) {
+          std::optional<char32_t> lo;
+          if (i + 2 < s.size() && s[i + 1] == '\\' && s[i + 2] == 'u')
+            lo = hex4_at(s, i + 3);
+          if (lo && *lo >= 0xDC00 && *lo <= 0xDFFF) {
             *cp = 0x10000 + ((*cp - 0xD800) << 10) + (*lo - 0xDC00);
             i += 6;
+          } else {
+            *cp = 0xFFFD;  // high surrogate without its low half
           }
+        } else if (*cp >= 0xDC00 && *cp <= 0xDFFF) {
+          *cp = 0xFFFD;  // stray low surrogate
         }
         obs::append_utf8(*cp, out);
         break;

@@ -179,6 +179,46 @@ bool FrameChannel::send(const std::string& payload) {
   return true;
 }
 
+bool FrameChannel::queue_send(const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  if (fd_ < 0) return false;
+  // A backlog past the frame cap means the peer stopped draining its
+  // socket; treat it like a dead peer rather than buffering without bound.
+  if (out_buf_.size() > kMaxFrameBytes) return false;
+  unsigned char header[4];
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<unsigned char>(n >> 24);
+  header[1] = static_cast<unsigned char>(n >> 16);
+  header[2] = static_cast<unsigned char>(n >> 8);
+  header[3] = static_cast<unsigned char>(n);
+  out_buf_.append(reinterpret_cast<char*>(header), 4);
+  out_buf_ += payload;
+  return flush_locked();
+}
+
+bool FrameChannel::flush_sends() {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  if (fd_ < 0) return false;
+  return flush_locked();
+}
+
+bool FrameChannel::flush_locked() {
+  while (!out_buf_.empty()) {
+    const ssize_t k = ::send(fd_, out_buf_.data(), out_buf_.size(),
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (k > 0) {
+      out_buf_.erase(0, static_cast<std::size_t>(k));
+      continue;
+    }
+    if (k < 0 && errno == EINTR) continue;
+    if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return true;  // socket buffer full: the rest waits for POLLOUT
+    return false;   // peer gone (EPIPE/ECONNRESET) or hard error
+  }
+  return true;
+}
+
 bool FrameChannel::pump() {
   if (fd_ < 0 || poisoned_) return false;
   char buf[16384];

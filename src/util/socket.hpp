@@ -96,10 +96,25 @@ class FrameChannel {
   bool pump();
   std::optional<std::string> next_frame();
 
+  // Non-blocking send half, for the same multiplexed servers: queue_send()
+  // frames the payload into an outgoing buffer and writes whatever the
+  // socket will take right now; flush_sends() retries the remainder (call
+  // it when poll reports POLLOUT). False from either means the peer is
+  // gone, the payload is oversized, or the buffered backlog has passed
+  // kMaxFrameBytes — a receiver that stopped draining. send_pending()
+  // says whether POLLOUT interest is still needed. Unlike send(), this
+  // half expects a single-threaded caller (the event loop).
+  bool queue_send(const std::string& payload);
+  bool flush_sends();
+  bool send_pending() const { return !out_buf_.empty(); }
+
  private:
+  bool flush_locked();  // caller holds send_mutex_
+
   int fd_ = -1;
   bool poisoned_ = false;
   std::string buf_;
+  std::string out_buf_;
   std::mutex send_mutex_;
 };
 

@@ -154,6 +154,27 @@ TEST(ResultStore, JsonlRoundTripsAllFields) {
   EXPECT_EQ(fback->error, failed.error);
 }
 
+TEST(ResultStore, UnescapeHandlesSurrogatesAndMalformedEscapes) {
+  // Worker stderr tails can carry arbitrary \uXXXX escapes from external
+  // writers. A valid pair must combine; an unpaired surrogate must decode
+  // to U+FFFD (never to encoded-surrogate invalid UTF-8); bad hex must
+  // pass the escape through verbatim, backslash included.
+  TaskRecord rec;
+  rec.task = small_spec().expand().front();
+  rec.status = "failed";
+  rec.error = "MARKER";
+  std::string line = to_jsonl(rec);
+  const std::string marker = "\"error\":\"MARKER\"";
+  const std::size_t at = line.find(marker);
+  ASSERT_NE(at, std::string::npos);
+  line.replace(at, marker.size(),
+               "\"error\":\"\\ud83d\\ude00 \\ud800x \\udc00 \\uZZZZ\"");
+  const auto back = parse_jsonl(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->error,
+            "\xF0\x9F\x98\x80 \xEF\xBF\xBDx \xEF\xBF\xBD \\uZZZZ");
+}
+
 TEST(ResultStore, IgnoresTornTrailingLine) {
   const std::string path = temp_path("torn");
   TaskRecord rec;

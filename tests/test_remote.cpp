@@ -290,6 +290,7 @@ TEST(RemoteSpecJson, RoundTripsEveryField) {
   spec.sample_warmup = 1234;
   spec.timeout_sec = 12.5;
   spec.max_attempts = 3;
+  spec.heartbeat_sec = 0.25;
   const auto back = parse_remote_spec(encode_remote_spec(spec));
   ASSERT_TRUE(back);
   EXPECT_EQ(back->proto, kRemoteProtocolVersion);
@@ -301,6 +302,7 @@ TEST(RemoteSpecJson, RoundTripsEveryField) {
   EXPECT_EQ(back->sample_warmup, 1234u);
   EXPECT_DOUBLE_EQ(back->timeout_sec, 12.5);
   EXPECT_EQ(back->max_attempts, 3u);
+  EXPECT_DOUBLE_EQ(back->heartbeat_sec, 0.25);
   EXPECT_FALSE(parse_remote_spec("not json"));
   EXPECT_FALSE(parse_remote_spec("{\"campaign\":\"x\"}"));  // no proto
 }
@@ -449,6 +451,7 @@ TEST(RemoteCampaign, SilentWorkerHitsTheHeartbeatDeadline) {
   RemoteOptions ropts;
   ropts.bind = {"127.0.0.1", 0};
   ropts.port_file = ports_path;
+  ropts.heartbeat_sec = 0.2;        // floor for the deadline below
   ropts.worker_deadline_sec = 0.5;  // a wedged worker is declared dead fast
   auto serve = std::async(std::launch::async, [&] {
     return serve_campaign(spec, serve_options(out, true), ropts);
@@ -647,6 +650,109 @@ TEST(RemoteCampaign, StatusEndpointServesProgressJsonOverHttp) {
   const CampaignReport report = serve.get();
   EXPECT_TRUE(w.get().done);
   EXPECT_EQ(report.ok, 2u);
+  std::remove(out.c_str());
+  std::remove(ports_path.c_str());
+}
+
+TEST(RemoteWorker, HeartbeatCoversTheHandshakeAndPrewarm) {
+  // A prewarm (here: a slow setup callback) routinely outlasts the
+  // coordinator's worker deadline; the worker must prove life the whole
+  // time, not only after READY — and at the SPEC frame's fleet-wide
+  // period, overriding its own much slower default.
+  TcpListener listener;
+  std::string err;
+  ASSERT_TRUE(listener.open({"127.0.0.1", 0}, &err)) << err;
+
+  WorkerOptions w = worker_options(listener.port(), 1);
+  w.heartbeat_sec = 30;  // the SPEC below must override this
+  auto worker = std::async(std::launch::async, [&] {
+    return run_remote_worker(
+        w, [](const RemoteSpec&, TaskRunner* r, SchedulerOptions*) {
+          sleep_sec(0.6);  // stands in for a long checkpoint prewarm
+          *r = fake_runner();
+        });
+  });
+
+  int fd = -1;
+  const auto t0 = Clock::now();
+  while (fd < 0 && seconds_since(t0) < 5) {
+    fd = listener.accept_fd();
+    if (fd < 0) sleep_sec(0.01);
+  }
+  ASSERT_GE(fd, 0);
+  FrameChannel ch(fd);
+  const auto hello = expect_frame(ch);
+  ASSERT_TRUE(hello);
+  EXPECT_EQ(hello->rfind("HELLO", 0), 0u) << *hello;
+
+  RemoteSpec spec;
+  spec.heartbeat_sec = 0.05;
+  ASSERT_TRUE(ch.send("SPEC " + encode_remote_spec(spec)));
+  ASSERT_TRUE(ch.send("GO"));
+
+  std::size_t pings_before_ready = 0;
+  for (;;) {
+    const auto frame = expect_frame(ch, 5);
+    ASSERT_TRUE(frame) << "worker went silent before READY";
+    if (frame->rfind("PING", 0) == 0) {
+      ++pings_before_ready;
+    } else {
+      EXPECT_EQ(frame->rfind("READY", 0), 0u) << *frame;
+      break;
+    }
+  }
+  EXPECT_GE(pings_before_ready, 3u)
+      << "no heartbeat during the pre-READY phase";
+  ASSERT_TRUE(ch.send("DONE"));
+  EXPECT_TRUE(worker.get().done);
+}
+
+TEST(RemoteCampaign, StatusEndpointAnswersAClientThatSendsNothing) {
+  // The status reply must not wait for request bytes: a mute client (or a
+  // slow-writing dashboard) gets its snapshot anyway, and — the real point
+  // — never stalls the scheduling loop while it dawdles.
+  const SweepSpec spec = tiny_spec({0x5eed});
+  const std::string out = temp_path("mute") + ".jsonl";
+  const std::string ports_path = temp_path("mute_ports");
+
+  RemoteOptions ropts;
+  ropts.bind = {"127.0.0.1", 0};
+  ropts.status = true;
+  ropts.status_bind = {"127.0.0.1", 0};
+  ropts.port_file = ports_path;
+  auto serve = std::async(std::launch::async, [&] {
+    return serve_campaign(spec, serve_options(out, true), ropts);
+  });
+  const Ports ports = wait_ports(ports_path);
+  ASSERT_NE(ports.port, 0);
+  ASSERT_NE(ports.status, 0);
+
+  auto w = std::async(std::launch::async, [&] {
+    return run_remote_worker(worker_options(ports.port, 1),
+                             test_setup(fake_runner(0.5)));
+  });
+
+  std::string err;
+  const int fd = tcp_connect({"127.0.0.1", ports.status}, 2, &err);
+  ASSERT_GE(fd, 0) << err;
+  // Send nothing at all; the full HTTP response must still arrive.
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+    resp.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  const std::size_t body_at = resp.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos) << resp;
+  EXPECT_EQ(resp.rfind("HTTP/1.0 200 OK", 0), 0u);
+  const auto status = obs::parse_json(resp.substr(body_at + 4));
+  ASSERT_TRUE(status && status->is_object());
+  ASSERT_NE(status->get("campaign"), nullptr);
+  EXPECT_EQ(status->get("campaign")->str, "remote");
+
+  const CampaignReport report = serve.get();
+  EXPECT_TRUE(w.get().done);
+  EXPECT_EQ(report.ok, 1u);
   std::remove(out.c_str());
   std::remove(ports_path.c_str());
 }

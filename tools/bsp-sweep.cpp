@@ -293,7 +293,9 @@ int main(int argc, char** argv) {
                    "handshake for port 0",
                    &port_file);
   parser.add_value("--heartbeat", "SEC",
-                   "worker PING period in distributed mode (default 1)",
+                   "worker PING period in distributed mode; --serve "
+                   "forwards it to every worker via the SPEC frame "
+                   "(default 1)",
                    &heartbeat_sec);
   parser.add_value("--worker-deadline", "SEC",
                    "with --serve: a worker silent this long is declared "
