@@ -3,11 +3,13 @@
 // the per-table/figure drivers live in the sibling binaries.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
 #include "asm/assembler.hpp"
 #include "branch/predictor.hpp"
+#include "core/select_order.hpp"
 #include "core/simulator.hpp"
 #include "emu/emulator.hpp"
 #include "lsq/disambig.hpp"
@@ -156,6 +158,82 @@ void BM_DispatchOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_DispatchOnly)->Unit(benchmark::kMillisecond);
 
+// The per-cycle candidate ordering in isolation: order_by_key's bucket
+// path against the std::sort call it replaced, on the key distribution
+// select actually sees (dense seq-derived keys, small shuffled batches).
+// Arg = candidate count; BM_WakeupSelect covers the in-loop effect.
+struct KeyRef {
+  u64 key;
+};
+
+std::vector<KeyRef> select_probe_keys(std::size_t n) {
+  // Keys mimic (seq << 3 | pos): clustered around a moving base, arriving
+  // in wheel-slot order rather than age order.
+  Rng rng(7);
+  std::vector<KeyRef> keys;
+  keys.reserve(n);
+  const u64 base = u64{1} << 20;
+  for (std::size_t i = 0; i < n; ++i)
+    keys.push_back({base + (rng.next() & 0x3ff)});
+  return keys;
+}
+
+void BM_SelectSort(benchmark::State& state) {
+  const std::vector<KeyRef> cands =
+      select_probe_keys(static_cast<std::size_t>(state.range(0)));
+  SelectOrderScratch<KeyRef> scratch;
+  scratch.init(2048, 4096);
+  std::vector<KeyRef> work;
+  work.reserve(cands.size());
+  for (auto _ : state) {
+    work = cands;
+    order_by_key(work, scratch);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cands.size()));
+}
+BENCHMARK(BM_SelectSort)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_SelectSortStd(benchmark::State& state) {
+  const std::vector<KeyRef> cands =
+      select_probe_keys(static_cast<std::size_t>(state.range(0)));
+  std::vector<KeyRef> work;
+  work.reserve(cands.size());
+  for (auto _ : state) {
+    work = cands;
+    std::sort(work.begin(), work.end(),
+              [](const KeyRef& a, const KeyRef& b) { return a.key < b.key; });
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cands.size()));
+}
+BENCHMARK(BM_SelectSortStd)->Arg(8)->Arg(64)->Arg(256);
+
+// Commit-path cost by co-simulation cadence on a commit-bound stream
+// (independent adds retire at full width): Arg 0 = full, 1 = spot:64,
+// 2 = off. The full-vs-spot delta is the per-commit checker price the
+// spot mode amortises; spot-vs-off is the residual bookkeeping.
+void BM_CommitOnly(benchmark::State& state) {
+  const Program prog = scheduler_probe_program(/*dependent=*/false);
+  const MachineConfig cfg = base_machine();
+  SimOptions so;
+  if (state.range(0) == 1) so.cosim = CosimMode::kSpot;
+  if (state.range(0) == 2) so.cosim = CosimMode::kOff;
+  state.SetLabel(cosim_name(so));
+  for (auto _ : state) {
+    Simulator sim(cfg, prog);
+    sim.set_options(so);
+    const SimResult r = sim.run(20'000);
+    if (!r.ok()) state.SkipWithError(r.error.c_str());
+    benchmark::DoNotOptimize(r.stats.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * 20'000);
+}
+BENCHMARK(BM_CommitOnly)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SimulatorThroughput(benchmark::State& state) {
   const Workload w = build_workload("gzip");
   const MachineConfig cfg = state.range(0) == 0
@@ -163,8 +241,18 @@ void BM_SimulatorThroughput(benchmark::State& state) {
                                 : bitsliced_machine(
                                       static_cast<unsigned>(state.range(0)),
                                       kAllTechniques);
+  // BSP_BENCH_COSIM (a parse_cosim spec) overrides the co-simulation
+  // cadence; unset means the default full check, which is what recorded
+  // baselines and --check use. scripts/bench_perf.sh --paired sets it on
+  // the new side only, so the A/B compares like-named benchmarks while
+  // the new binary runs the cadence the speedup is claimed under.
+  SimOptions so;
+  if (const char* spec = std::getenv("BSP_BENCH_COSIM"))
+    if (!parse_cosim(spec, &so)) std::abort();
   for (auto _ : state) {
-    const SimResult r = simulate(cfg, w.program, 20'000);
+    Simulator sim(cfg, w.program);
+    sim.set_options(so);
+    const SimResult r = sim.run(20'000);
     if (!r.ok()) state.SkipWithError(r.error.c_str());
     benchmark::DoNotOptimize(r.stats.cycles);
   }

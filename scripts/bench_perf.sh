@@ -6,15 +6,32 @@
 #
 #   scripts/bench_perf.sh [build-dir] [output-json] [--allow-debug-library]
 #   scripts/bench_perf.sh --check [build-dir] [baseline-json]
+#   scripts/bench_perf.sh --paired OLD_BIN NEW_BIN [output-json]
 #
 # --check is the regression gate: instead of recording a new baseline it
 # re-measures the BM_SimulatorThroughput configs and the scheduler
-# microbenches (BM_WakeupSelect / BM_DispatchOnly) and compares them
-# against the committed baseline JSON, exiting non-zero if any tracked
-# benchmark lost more than 15% of its items_per_second. The same
-# library_build_type gate applies (Release builds only unless
-# --allow-debug-library): a debug-library measurement would fail the
-# threshold for reasons that have nothing to do with the code under test.
+# microbenches (BM_WakeupSelect / BM_DispatchOnly / BM_SelectSort /
+# BM_CommitOnly) and compares them against the committed baseline JSON,
+# exiting non-zero if any tracked benchmark lost more than 15% of its
+# items_per_second. The same library_build_type gate applies (Release
+# builds only unless --allow-debug-library): a debug-library measurement
+# would fail the threshold for reasons that have nothing to do with the
+# code under test.
+#
+# --paired is the honest A/B protocol for before/after claims: it takes
+# two already-built bench_microarch binaries (old first) and interleaves
+# BM_SimulatorThroughput/0 runs in one window so host drift (thermal,
+# cron, page cache) lands on both sides equally. Within-pair run order
+# alternates (old/new, then new/old, ...) because the first run of a
+# pair systematically sees a different frequency/cache state than the
+# second; each measurement also runs >= 2s (--benchmark_min_time) so
+# per-run jitter amortizes. Per-pair ratios and their median are merged
+# under "paired" in the output JSON (default BENCH_simcore.json).
+# PAIRED_REPS overrides the pair count (default 7). The new side runs
+# under BSP_BENCH_COSIM (default spot:64; old binaries ignore the
+# variable) so the A/B states the speedup under the co-simulation
+# cadence it is claimed for; set PAIRED_COSIM=full for a
+# cadence-neutral comparison.
 #
 # Alongside the microbenchmark baseline the script records
 # BENCH_sampling.json: monolithic vs sampled-simulation (K=8) wall clock
@@ -46,6 +63,71 @@
 # honest "debug" tag so the provenance stays visible in the diff.
 set -eu
 
+if [ "${1:-}" = "--paired" ]; then
+  OLD_BIN="${2:?--paired needs OLD_BIN NEW_BIN}"
+  NEW_BIN="${3:?--paired needs OLD_BIN NEW_BIN}"
+  OUT="${4:-BENCH_simcore.json}"
+  REPS="${PAIRED_REPS:-7}"
+  COSIM="${PAIRED_COSIM:-spot:64}"
+  PFILTER='BM_SimulatorThroughput/0$'
+  TMPD=$(mktemp -d)
+  trap 'rm -rf "$TMPD"' EXIT
+  run_old() {
+    "$OLD_BIN" --benchmark_filter="$PFILTER" --benchmark_min_time=2 \
+      --benchmark_format=json \
+      --benchmark_out="$TMPD/old.$1.json" --benchmark_out_format=json \
+      > /dev/null
+  }
+  run_new() {
+    BSP_BENCH_COSIM="$COSIM" \
+      "$NEW_BIN" --benchmark_filter="$PFILTER" --benchmark_min_time=2 \
+      --benchmark_format=json \
+      --benchmark_out="$TMPD/new.$1.json" --benchmark_out_format=json \
+      > /dev/null
+  }
+  i=1
+  while [ "$i" -le "$REPS" ]; do
+    if [ $((i % 2)) -eq 1 ]; then
+      run_old "$i"; run_new "$i"
+    else
+      run_new "$i"; run_old "$i"
+    fi
+    echo "pair $i/$REPS done" >&2
+    i=$((i + 1))
+  done
+  python3 - "$TMPD" "$REPS" "$OUT" "$COSIM" <<'EOF'
+import json, os, statistics, sys
+tmpd, reps, out, cosim = sys.argv[1], int(sys.argv[2]), sys.argv[3], sys.argv[4]
+def rate(path):
+    doc = json.load(open(path))
+    (b,) = [b for b in doc["benchmarks"] if "items_per_second" in b]
+    return b["name"], b["items_per_second"]
+name = None
+old, new = [], []
+for i in range(1, reps + 1):
+    name, r = rate(f"{tmpd}/old.{i}.json"); old.append(r)
+    _, r = rate(f"{tmpd}/new.{i}.json"); new.append(r)
+ratios = [n / o for n, o in zip(new, old)]
+for i, (o, n, r) in enumerate(zip(old, new, ratios), 1):
+    print(f"pair {i}: old {o/1e6:.3f}M/s  new {n/1e6:.3f}M/s  ({r:.3f}x)")
+median = statistics.median(ratios)
+print(f"{name}: median speedup {median:.3f}x over {reps} interleaved pairs")
+data = json.load(open(out)) if os.path.exists(out) else {}
+data["paired"] = {
+    "benchmark": name,
+    "new_cosim": cosim,
+    "pairs": reps,
+    "old_items_per_second": old,
+    "new_items_per_second": new,
+    "ratios": ratios,
+    "median_speedup": median,
+}
+json.dump(data, open(out, "w"), indent=1)
+print(f"merged paired result into {out}")
+EOF
+  exit 0
+fi
+
 BUILD="build-perf"
 OUT="BENCH_simcore.json"
 ALLOW_DEBUG=0
@@ -68,10 +150,10 @@ cmake --build "$BUILD" --target bench_microarch -j "$(nproc)" > /dev/null
 TMP="$OUT.tmp"
 trap 'rm -f "$TMP"' EXIT
 
-FILTER='SimulatorThroughput|TechniqueStackThroughput|EmulatorStep|EmulatorFastRun|WakeupSelect|DispatchOnly'
+FILTER='SimulatorThroughput|TechniqueStackThroughput|EmulatorStep|EmulatorFastRun|WakeupSelect|DispatchOnly|SelectSort|CommitOnly'
 if [ "$CHECK" -eq 1 ]; then
   # The gate re-measures only the benchmarks it compares.
-  FILTER='SimulatorThroughput/|WakeupSelect|DispatchOnly'
+  FILTER='SimulatorThroughput/|WakeupSelect|DispatchOnly|SelectSort|CommitOnly'
 fi
 
 "$BUILD/bench/bench_microarch" \

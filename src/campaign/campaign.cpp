@@ -216,6 +216,17 @@ TaskRunner make_sim_runner(const RunnerOptions& options) {
     if (options.interval) sim.set_interval_sampler(&sampler);
     if (options.host_profile) sim.enable_host_profile();
     if (options.cpi_stack) sim.enable_cpi_stack();
+    const std::string& cosim_text =
+        !task.cosim.empty() ? task.cosim : options.cosim;
+    if (!cosim_text.empty()) {
+      SimOptions so;
+      if (!parse_cosim(cosim_text, &so)) {
+        AttemptResult r;
+        r.error = "bad cosim mode: " + cosim_text;
+        return r;
+      }
+      sim.set_options(so);
+    }
     const SimResult res = sim.run(task.instructions, task.warmup);
     AttemptResult r;
     r.stats = res.stats;
@@ -270,6 +281,7 @@ Table summary_table(const SweepSpec& spec, const CampaignReport& report) {
         probe.instructions = spec.instructions;
         probe.warmup = spec.warmup;
         probe.fast_forward = spec.fast_forward;
+        probe.cosim = spec.cosim;
         const auto it = by_id.find(probe.id());
         if (it == by_id.end()) {
           row.push_back("-");

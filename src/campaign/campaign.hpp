@@ -71,6 +71,9 @@ struct RunnerOptions {
   // the SimStats cpi_* leaves land in every record, ready for
   // `bsp-report --cpi-stack` aggregation.
   bool cpi_stack = false;
+  // Run-wide co-simulation cadence default ("full", "off", "spot[:N]");
+  // a task's own TaskSpec::cosim overrides it. "" = full.
+  std::string cosim;
 };
 
 // The production runner: builds each (workload, seed) program once —

@@ -146,19 +146,30 @@ void ProgressMeter::print_phases_locked() {
   const double total = phases_.total();
   if (total <= 0) return;
   const auto pct = [&](double v) { return 100.0 * v / total; };
-  // cosim and replay are nested inside commit and memory respectively.
-  // ffwd happens before the cycle loop, so it reports in absolute seconds
-  // beside the loop's 100%, not as a share of it.
+  // cosim and replay are nested inside commit and memory respectively, so
+  // their parentheticals say "of total" explicitly — a bare percentage
+  // inside "commit X% (...)" reads as a share of commit. cosim disappears
+  // when it never ran (--cosim off). ffwd happens before the cycle loop,
+  // so it reports in absolute seconds beside the loop's 100%, not as a
+  // share of it.
+  char cosim[48] = "";
+  if (phases_.cosim > 0)
+    std::snprintf(cosim, sizeof cosim, " (cosim %.1f%% of total)",
+                  pct(phases_.cosim));
+  char replay[48] = "";
+  if (phases_.replay > 0)
+    std::snprintf(replay, sizeof replay, " (replay %.1f%% of total)",
+                  pct(phases_.replay));
   char ffwd[40] = "";
   if (phases_.ffwd > 0)
     std::snprintf(ffwd, sizeof ffwd, " | ffwd %.2fs pre-loop", phases_.ffwd);
   std::fprintf(stderr,
-               "[%s] host phases: commit %.1f%% (cosim %.1f%%) | "
-               "resolve %.1f%% | select %.1f%% | memory %.1f%% "
-               "(replay %.1f%%) | dispatch %.1f%% | fetch %.1f%%%s\n",
-               name_.c_str(), pct(phases_.commit), pct(phases_.cosim),
+               "[%s] host phases: commit %.1f%%%s | "
+               "resolve %.1f%% | select %.1f%% | memory %.1f%%%s"
+               " | dispatch %.1f%% | fetch %.1f%%%s\n",
+               name_.c_str(), pct(phases_.commit), cosim,
                pct(phases_.resolve), pct(phases_.select), pct(phases_.memory),
-               pct(phases_.replay), pct(phases_.dispatch),
+               replay, pct(phases_.dispatch),
                pct(phases_.fetch), ffwd);
 }
 

@@ -102,7 +102,11 @@ std::string encode_remote_spec(const RemoteSpec& spec) {
      << ",\"sample_warmup\":" << spec.sample_warmup
      << ",\"timeout_sec\":" << fmt_double(spec.timeout_sec)
      << ",\"max_attempts\":" << spec.max_attempts
-     << ",\"heartbeat_sec\":" << fmt_double(spec.heartbeat_sec) << "}";
+     << ",\"heartbeat_sec\":" << fmt_double(spec.heartbeat_sec);
+  // Written only when set, mirroring the store's only-when-set rule.
+  if (!spec.cosim.empty())
+    os << ",\"cosim\":\"" << json_escape_min(spec.cosim) << "\"";
+  os << "}";
   return os.str();
 }
 
@@ -124,6 +128,8 @@ std::optional<RemoteSpec> parse_remote_spec(const std::string& json) {
   spec.max_attempts =
       static_cast<unsigned>(json_num(*v, "max_attempts", 2));
   spec.heartbeat_sec = json_num(*v, "heartbeat_sec", 1.0);
+  if (const obs::JsonValue* c = v->get("cosim"))
+    if (c->is_string()) spec.cosim = c->str;
   return spec;
 }
 

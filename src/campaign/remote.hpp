@@ -46,7 +46,8 @@ namespace bsp::campaign {
 
 // Bumped on any frame-format or semantics change; a HELLO carrying a
 // different version is rejected at handshake time (ERROR frame).
-constexpr int kRemoteProtocolVersion = 1;
+// v2: SPEC frame gained the optional fleet-wide "cosim" default.
+constexpr int kRemoteProtocolVersion = 2;
 
 // Everything a worker must know to execute tasks the way the coordinator
 // would have locally: per-task observability knobs plus the retry/timeout
@@ -63,6 +64,10 @@ struct RemoteSpec {
   double timeout_sec = 0;     // per-task wall clock (0 = none)
   unsigned max_attempts = 2;  // worker-local bounded retry
   double heartbeat_sec = 1;   // PING period every worker must keep
+  // Fleet-wide co-simulation cadence default (RunnerOptions::cosim);
+  // per-task TaskSpec::cosim (carried in the TASK frame's record JSONL)
+  // still wins. "" = full, and "" is omitted from the frame.
+  std::string cosim;
 };
 std::string encode_remote_spec(const RemoteSpec& spec);
 std::optional<RemoteSpec> parse_remote_spec(const std::string& json);

@@ -156,6 +156,10 @@ std::string to_jsonl(const TaskRecord& rec) {
      << ",\"warmup\":" << t.warmup;
   // Written only when nonzero so pre-fast-forward stores stay byte-stable.
   if (t.fast_forward != 0) os << ",\"fast_forward\":" << t.fast_forward;
+  // Written only when set so pre-cosim stores stay byte-stable. Key is
+  // "cosim_mode", not "cosim": host_phases below already owns a "cosim"
+  // key and the line-oriented parser matches needles anywhere in the line.
+  if (!t.cosim.empty()) os << ",\"cosim_mode\":\"" << escape(t.cosim) << "\"";
   os << ",\"status\":\"" << escape(rec.status) << "\""
      << ",\"attempts\":" << rec.attempts
      << ",\"duration_ms\":" << fmt_ms(rec.duration_ms)
@@ -343,6 +347,7 @@ std::optional<TaskRecord> parse_jsonl(const std::string& line) {
   rec.task.instructions = *instructions;
   rec.task.warmup = *warmup;
   if (const auto ff = num("fast_forward")) rec.task.fast_forward = *ff;
+  if (const auto cm = str("cosim_mode")) rec.task.cosim = *cm;
   rec.status = *status;
   rec.attempts = static_cast<unsigned>(*attempts);
   if (const auto e = str("error")) rec.error = *e;

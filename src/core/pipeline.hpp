@@ -163,6 +163,9 @@ struct RuuEntry {
   bool resolved = false;
   Cycle resolve_cycle = kNever;
   bool recovery_done = false;    // flush+redirect already performed
+  bool caused_exit = false;      // oracle executed SYS_EXIT at this entry's
+                                 // dispatch (drives commit-time exit when
+                                 // the co-sim checker is off)
 
   // --- rename undo log ---
   // The map entries this instruction displaced at dispatch. Recovery walks
@@ -206,6 +209,7 @@ struct RuuEntry {
     resolved = false;
     resolve_cycle = kNever;
     recovery_done = false;
+    caused_exit = false;
   }
 };
 

@@ -5,11 +5,13 @@
 #include <cassert>
 #include <array>
 #include <chrono>
+#include <cstdlib>
 #include <ostream>
 #include <set>
 #include <sstream>
 #include <vector>
 
+#include "core/select_order.hpp"
 #include "lsq/disambig.hpp"
 #include "obs/cpi_stack.hpp"
 #include "obs/interval.hpp"
@@ -110,6 +112,26 @@ struct Simulator::Impl {
     branch_watch.reserve(2 * core.ruu_entries);
     far_scratch.reserve(64);
     far_overflow.reserve(64);
+    // Sortless select scratch: `tmp` swaps with cand_scratch, so all three
+    // candidate vectors share one capacity; the bucket array bounds the
+    // dense-burst key span the bucket path will take on.
+    sel_scratch.init(32 * std::size_t{core.ruu_entries} + 64,
+                     2 * max_ops + 64);
+    wake_mark.assign(core.ruu_entries, 0);
+    wake_scratch.reserve(core.ruu_entries);
+    // Test-only divergence injection: BSP_COSIM_INJECT="N:R" flips bit 0 of
+    // checker register R just before the Nth total commit is (or would be)
+    // checked, so the divergence-detection test can pin each co-sim mode's
+    // detection latency without a hand-built broken program.
+    if (const char* inj = std::getenv("BSP_COSIM_INJECT")) {
+      char* end = nullptr;
+      inject_at_ = std::strtoull(inj, &end, 10);
+      if (end && *end == ':')
+        inject_reg_ =
+            static_cast<unsigned>(std::strtoul(end + 1, nullptr, 10));
+      else
+        inject_at_ = 0;
+    }
     rename.fill(ProducerRef{});
     fetch_pc = program.entry;
     // Dense predecoded table: one row per text word (plus a shared nop row
@@ -131,13 +153,15 @@ struct Simulator::Impl {
   // at the end of construction; scratch_reallocations() counts how many
   // have since grown — any nonzero count means a steady-state reallocation
   // slipped onto the dispatch/wakeup path (pinned by the no-growth test).
-  static constexpr std::size_t kScratchVecs = 9;
+  static constexpr std::size_t kScratchVecs = 13;
   std::array<std::size_t, kScratchVecs> scratch_capacities() const {
     return {wait_pool.capacity(),    cons_pool.capacity(),
             pending.capacity(),      cand_scratch.capacity(),
             views_scratch.capacity(), relax_work.capacity(),
             branch_watch.capacity(), far_scratch.capacity(),
-            far_overflow.capacity()};
+            far_overflow.capacity(), sel_scratch.head.capacity(),
+            sel_scratch.next.capacity(), sel_scratch.tmp.capacity(),
+            wake_scratch.capacity()};
   }
   std::array<std::size_t, kScratchVecs> scratch_baseline_{};
   unsigned scratch_reallocations() const {
@@ -156,6 +180,20 @@ struct Simulator::Impl {
 
   Emulator oracle;   // steps at dispatch: supplies values & outcomes
   Emulator checker;  // steps at commit: co-simulation reference
+
+  // Co-simulation cadence (SimOptions). In spot mode the checker lags the
+  // commit stream by `cosim_lag_` instructions and catches up through
+  // run_fast() right before each checked commit; full mode keeps the lag at
+  // zero, off mode never steps the checker at all. Pure check — none of
+  // this feeds timing, so SimStats are mode-invariant.
+  CosimMode cosim_mode_ = CosimMode::kFull;
+  u64 cosim_period_ = 64;
+  u64 cosim_countdown_ = 64;
+  u64 cosim_lag_ = 0;
+  // BSP_COSIM_INJECT state (see the constructor): 0 = no injection armed.
+  u64 inject_at_ = 0;
+  unsigned inject_reg_ = 0;
+
   FrontEndPredictor predictor;
   MemoryHierarchy mem;
 
@@ -463,6 +501,14 @@ struct Simulator::Impl {
   // steady-state test asserts they never grow).
   std::vector<OpRef> cand_scratch;
   std::vector<StoreView> views_scratch;
+  // Sortless-select scratch (core/select_order.hpp): bucket heads, chain
+  // links and the staging vector order_by_key swaps into the candidates.
+  SelectOrderScratch<OpRef> sel_scratch;
+  // Same-cycle wake dedup for the select loop: producers that published a
+  // new done time this cycle, woken once after the candidate walk instead
+  // of per selection (wake_mark is the membership bitmap).
+  std::vector<u8> wake_mark;
+  std::vector<unsigned> wake_scratch;
   // Future cycles at which *something* can happen (op completions, load data
   // returns, verification points). Consulted by the idle-cycle skip. Stored
   // as a cycle bitmap over the same wheel horizon (timers carry no payload,
@@ -863,21 +909,60 @@ struct Simulator::Impl {
     return kNever;
   }
 
+  // queue_op for a waiter-list walk that already holds a pool node: the
+  // node is relinked straight into the destination list (another waiter
+  // list, or a wheel slot — both share the pool) instead of a release +
+  // alloc round trip. Same token bump, same ref, same routing as queue_op.
+  void requeue_node(int n, unsigned idx, unsigned op_idx) {
+    RuuEntry& e = ruu[idx];
+    const u32 tok = ++op_token[idx * kMaxSlices + op_idx];
+    int blocker = -1;
+    const Cycle ready = op_ready_time(e, op_idx, &blocker);
+    const OpRef ref{idx, e.seq, op_idx, tok,
+                    (e.seq << 3) | slice_visit_pos(e.order, e.num_ops, op_idx),
+                    sched_epoch};
+    if (ready == kNever) {
+      assert(blocker >= 0);
+      NodeList& l = waiters[static_cast<unsigned>(blocker)];
+      wait_pool[n].ref = ref;
+      wait_pool[n].next = -1;
+      if (l.tail < 0)
+        l.head = n;
+      else
+        wait_pool[l.tail].next = n;
+      l.tail = n;
+    } else if (ready <= now) {
+      pending.push_back(ref);
+      wait_release(n);
+    } else if (ready - now < kWheelSize) {
+      const unsigned slot = static_cast<unsigned>(ready & (kWheelSize - 1));
+      wait_pool[n].ref = ref;
+      wait_pool[n].next = wheel_head[slot];
+      wheel_head[slot] = n;
+      wheel_bits[slot >> 6] |= u64{1} << (slot & 63);
+      ++wheel_count;
+    } else {
+      far_push(ready, ref);
+      wait_release(n);
+    }
+  }
+
   // Entry `idx` published a new time (an op was selected, or load data was
   // scheduled): re-evaluate every op blocked on it.
   void wake_waiters(unsigned idx) {
-    // Detach the list head first: re-registration may append to this same
-    // list mid-walk, and a detached walk sees only the pre-wake nodes.
-    // Nodes are recycled as the walk passes them (queue_op may immediately
-    // reuse one for the re-registration — that's the point of the pool).
+    // Detach the list head first: re-registration may relink onto this same
+    // list mid-walk (requeue_node appends to the detached-and-reset list),
+    // and a detached walk sees only the pre-wake nodes.
     int n = waiters[idx].head;
     if (n < 0) return;
     waiters[idx].head = waiters[idx].tail = -1;
     while (n >= 0) {
       const OpRef r = wait_pool[n].ref;
       const int next = wait_pool[n].next;
-      wait_release(n);
-      if (ref_entry(r)) queue_op(r.idx, r.op_idx);
+      if (ref_entry(r))
+        requeue_node(n, r.idx, r.op_idx);
+      else
+        wait_release(n);
       n = next;
     }
   }
@@ -1068,7 +1153,10 @@ struct Simulator::Impl {
         stab_ok[row] = 1;
         si = &stab[row];
       }
-      if (oracle.exited()) halted = true;
+      if (oracle.exited()) {
+        halted = true;
+        e.caused_exit = true;  // commit consults this when co-sim is off
+      }
 
       const u32 predicted_next =
           slot.predicted_taken ? slot.predicted_target : slot.pc + 4;
@@ -1289,12 +1377,13 @@ struct Simulator::Impl {
     // Select in the order the scan-based scheduler examined ops: oldest
     // entry first, then slice visit order within the entry. Same-cycle
     // selections never make *other* ops ready this same cycle (op latency is
-    // >= 1), so sorting the candidate set up front is exact.
+    // >= 1), so ordering the candidate set up front is exact. order_by_key
+    // replaces the former std::sort with an insertion/bucket scheme on the
+    // single-integer key (see core/select_order.hpp for the invariant).
     std::vector<OpRef>& cands = cand_scratch;
     cands.clear();
     cands.swap(pending);
-    std::sort(cands.begin(), cands.end(),
-              [](const OpRef& a, const OpRef& b) { return a.key < b.key; });
+    order_by_key(cands, sel_scratch);
 
     for (const OpRef& r : cands) {
       RuuEntry* pe = ref_entry(r);
@@ -1357,7 +1446,15 @@ struct Simulator::Impl {
       arm_timer(done);
       cycle_activity = true;
       // A newly defined done time may unblock ops waiting on this entry.
-      wake_waiters(r.idx);
+      // Wakes are deferred to one deduped pass after the candidate walk:
+      // every published done is >= now + 1, so a woken op can never become
+      // a candidate this same cycle, and a producer selecting several ops
+      // this cycle wakes its waiters once against the final state (which
+      // also spares the per-selection re-register/re-detach churn).
+      if (!wake_mark[r.idx]) {
+        wake_mark[r.idx] = 1;
+        wake_scratch.push_back(r.idx);
+      }
       if (obs_on) {
         obs::TraceEvent ev;
         ev.kind = obs::EventKind::OpSelect;
@@ -1370,6 +1467,11 @@ struct Simulator::Impl {
         emit(ev);
       }
     }
+    for (const unsigned idx : wake_scratch) {
+      wake_mark[idx] = 0;
+      wake_waiters(idx);
+    }
+    wake_scratch.clear();
   }
 
   // ---------------------------------------------------------------------------
@@ -2078,27 +2180,64 @@ struct Simulator::Impl {
       RuuEntry& e = entry_at(0);
 
       // Co-simulation: the independent checker must agree on every effect.
+      // Full mode checks every commit; spot mode checks every Nth plus
+      // every mispredicted-branch / syscall boundary (catching the checker
+      // up through run_fast first); off mode skips the checker entirely.
       // Sub-phase timing: this is part of hprof.commit as well.
-      ExecRecord ref;
-      HpClock::time_point t0;
-      if (host_profile_on) t0 = HpClock::now();
-      const StepResult sr = checker.step(&ref);
-      if (sr.kind == StepResult::Kind::Fault) {
-        flush();
-        fail("checker fault: " + sr.fault);
-        return;
+      bool checked = cosim_mode_ != CosimMode::kOff;
+      if (cosim_mode_ == CosimMode::kSpot)
+        checked = e.mispredicted ||
+                  e.si->kind == static_cast<u8>(ExecClass::Syscall) ||
+                  --cosim_countdown_ == 0;
+      if (inject_at_ != 0 && stats.committed + d_committed + 1 >= inject_at_) {
+        checker.set_reg(inject_reg_, checker.reg(inject_reg_) ^ 1);
+        inject_at_ = 0;
       }
-      if (ref.pc != e.oracle.pc || ref.next_pc != e.oracle.next_pc ||
-          ref.dest != e.oracle.dest || ref.dest_value != e.oracle.dest_value ||
-          ref.mem_addr != e.oracle.mem_addr ||
-          ref.store_value != e.oracle.store_value) {
-        std::ostringstream os;
-        os << "co-simulation divergence at pc 0x" << std::hex << e.oracle.pc;
-        flush();
-        fail(os.str());
-        return;
+      if (checked) {
+        cosim_countdown_ = cosim_period_;
+        ExecRecord ref;
+        HpClock::time_point t0;
+        if (host_profile_on) t0 = HpClock::now();
+        if (cosim_lag_ > 0) {
+          // Catch up over the unchecked window. The oracle committed these
+          // instructions without faulting or exiting (syscalls are always
+          // checked), so a checker that stops short has already diverged.
+          StepResult cr;
+          const u64 ran = checker.run_fast(cosim_lag_, &cr);
+          if (ran != cosim_lag_) {
+            std::ostringstream os;
+            os << "co-simulation divergence: checker desynced "
+               << (cosim_lag_ - ran) << " instructions into a spot window";
+            if (cr.kind == StepResult::Kind::Fault)
+              os << " (checker fault: " << cr.fault << ")";
+            flush();
+            fail(os.str());
+            return;
+          }
+          cosim_lag_ = 0;
+        }
+        const StepResult sr = checker.step(&ref);
+        if (sr.kind == StepResult::Kind::Fault) {
+          flush();
+          fail("checker fault: " + sr.fault);
+          return;
+        }
+        if (ref.pc != e.oracle.pc || ref.next_pc != e.oracle.next_pc ||
+            ref.dest != e.oracle.dest ||
+            ref.dest_value != e.oracle.dest_value ||
+            ref.mem_addr != e.oracle.mem_addr ||
+            ref.store_value != e.oracle.store_value) {
+          std::ostringstream os;
+          os << "co-simulation divergence at pc 0x" << std::hex
+             << e.oracle.pc;
+          flush();
+          fail(os.str());
+          return;
+        }
+        if (host_profile_on) hp_take(t0, hprof.cosim);
+      } else if (cosim_mode_ == CosimMode::kSpot) {
+        ++cosim_lag_;
       }
-      if (host_profile_on) hp_take(t0, hprof.cosim);
 
       // Stores drain to the cache at commit (write buffer hides latency).
       if (e.flags & StaticInst::kFlagStore) {
@@ -2154,12 +2293,16 @@ struct Simulator::Impl {
       --ruu_count;
       ++d_committed;
 
-      if (checker.exited()) {
+      // Exit detection: the checker sees the exit syscall whenever it ran
+      // this commit (always, in full mode; spot mode checks every syscall,
+      // so a checked exit can never hide in a catch-up window). With the
+      // checker off (or unchecked), the dispatch-time oracle flag stands in.
+      if (checked ? checker.exited() : e.caused_exit) {
         flush();
         last_commit_cycle = now;
         cycle_activity = true;
         exited = true;
-        exit_code = checker.exit_code();
+        exit_code = checked ? checker.exit_code() : oracle.exit_code();
         return;
       }
     }
@@ -2444,6 +2587,49 @@ void Simulator::add_trace_sink(obs::TraceSink* sink) {
 
 void Simulator::set_interval_sampler(obs::IntervalSampler* sampler) {
   impl_->sampler = sampler;
+}
+
+void Simulator::set_options(const SimOptions& options) {
+  impl_->cosim_mode_ = options.cosim;
+  impl_->cosim_period_ = std::max<u64>(1, options.cosim_period);
+  impl_->cosim_countdown_ = impl_->cosim_period_;
+}
+
+bool parse_cosim(const std::string& text, SimOptions* out) {
+  if (text == "full") {
+    out->cosim = CosimMode::kFull;
+    return true;
+  }
+  if (text == "off") {
+    out->cosim = CosimMode::kOff;
+    return true;
+  }
+  if (text == "spot") {
+    out->cosim = CosimMode::kSpot;
+    return true;
+  }
+  if (text.rfind("spot:", 0) == 0) {
+    const char* s = text.c_str() + 5;
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || n == 0) return false;
+    out->cosim = CosimMode::kSpot;
+    out->cosim_period = n;
+    return true;
+  }
+  return false;
+}
+
+std::string cosim_name(const SimOptions& options) {
+  switch (options.cosim) {
+    case CosimMode::kFull:
+      return "full";
+    case CosimMode::kOff:
+      return "off";
+    case CosimMode::kSpot:
+      return "spot:" + std::to_string(options.cosim_period);
+  }
+  return "full";
 }
 
 void Simulator::enable_cpi_stack() { impl_->cpi_on = true; }

@@ -17,7 +17,13 @@
 //   mispredict, LSQ violation), a relaxation pass reverts every slice-op
 //   whose select cycle is no longer legal and they re-issue later.
 // * Co-simulation: a second emulator steps at commit and every architectural
-//   effect is compared; any divergence aborts the run.
+//   effect is compared; any divergence aborts the run. SimOptions selects the
+//   checking cadence: `full` (every commit, the default), `spot:N` (the
+//   checker catches up through the run_fast superblock interpreter and the
+//   full ExecRecord comparison runs every Nth commit plus at every
+//   mispredicted-branch, syscall and exit boundary — divergence stays
+//   localised to one spot window), or `off` (no checking at all). Co-sim is
+//   a pure check: SimStats are bit-identical across all three modes.
 // * Event-driven scheduler core: ready ops come off a timing wheel /
 //   producer waiter-lists instead of a per-cycle RUU scan, replay walks
 //   consumer edges only, and fully idle cycles are skipped in one jump —
@@ -58,6 +64,28 @@ struct SimResult {
   bool ok() const { return error.empty(); }
 };
 
+// Commit-time co-simulation cadence. Co-sim is a pure check: it never feeds
+// timing, so SimStats are bit-identical across all three modes (pinned by
+// the golden matrix in tests/test_sched_equivalence.cpp).
+enum class CosimMode {
+  kFull,  // checker steps and compares at every commit (default)
+  kSpot,  // catch up via run_fast; compare every Nth commit + at every
+          // mispredicted-branch / syscall / exit boundary
+  kOff,   // no checking: divergence goes UNDETECTED (bench/sweep use only)
+};
+
+struct SimOptions {
+  CosimMode cosim = CosimMode::kFull;
+  u64 cosim_period = 64;  // spot-check window N (spot mode only; >= 1)
+};
+
+// Parses a co-sim mode spec — "full", "off", "spot" or "spot:N" — into
+// `out` (other fields untouched). Returns false on a malformed spec.
+bool parse_cosim(const std::string& text, SimOptions* out);
+
+// Canonical spelling of the co-sim mode: "full", "off" or "spot:N".
+std::string cosim_name(const SimOptions& options);
+
 class Simulator {
  public:
   Simulator(const MachineConfig& config, const Program& program);
@@ -77,6 +105,10 @@ class Simulator {
   // fast-forward), the program exits, or an internal error occurs. May be
   // called once per Simulator instance.
   SimResult run(u64 max_commits, u64 warmup_commits = 0);
+
+  // Selects the co-simulation cadence (default: CosimMode::kFull). Must be
+  // called before run().
+  void set_options(const SimOptions& options);
 
   // Enables a cycle-by-cycle event trace ("pipeview") on `os` for cycles in
   // [start, end): dispatches, slice-op selections, memory events, branch

@@ -64,6 +64,11 @@ campaign::TaskRunner make_sampled_runner(const SampleOptions& options) {
     // stays at the scheduler's --jobs.
     SampleOptions opts = options;
     opts.jobs = 1;
+    if (!task.cosim.empty() && !parse_cosim(task.cosim, &opts.sim)) {
+      campaign::AttemptResult r;
+      r.error = "bad cosim mode: " + task.cosim;
+      return r;
+    }
     const SampledResult res = run_sampled(
         task.machine.build(), workload->program, task.workload, task.seed,
         task.instructions, task.warmup, task.fast_forward, opts);

@@ -126,7 +126,7 @@ IntervalResult run_one_interval(const MachineConfig& config,
                                 const Program& program,
                                 const IntervalSpec& spec,
                                 const Checkpoint* start, bool host_profile,
-                                bool cpi_stack) {
+                                bool cpi_stack, const SimOptions& sim_opts) {
   IntervalResult out;
   out.spec = spec;
   const WallTimer timer;
@@ -134,6 +134,7 @@ IntervalResult run_one_interval(const MachineConfig& config,
                         : Simulator(config, program);
   if (host_profile) sim.enable_host_profile();
   if (cpi_stack) sim.enable_cpi_stack();
+  sim.set_options(sim_opts);
   const SimResult r = sim.run(spec.commits, spec.warmup);
   out.stats = r.stats;
   out.error = r.error;
@@ -322,7 +323,7 @@ SampledResult run_sampled(const MachineConfig& config, const Program& program,
           if (spec.offset > 0) start = prewarm.by_offset[spec.offset].get();
           out.intervals[i] = run_one_interval(config, program, spec, start,
                                               opts.host_profile,
-                                              opts.cpi_stack);
+                                              opts.cpi_stack, opts.sim);
         }
       },
       opts.jobs);

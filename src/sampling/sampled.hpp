@@ -61,6 +61,11 @@ struct SampleOptions {
   // leaves are registered counters, so stitching merges them additively
   // and the aggregate keeps the identity sum(cpi_*) == cycles * width.
   bool cpi_stack = false;
+  // Co-simulation cadence for every interval (core/simulator.hpp). Pure
+  // check: interval stats are bit-identical across modes. In process mode
+  // the worker command line must carry the matching --cosim flag (bsp-sim
+  // forwards its own raw argv, so this happens automatically).
+  SimOptions sim;
 };
 
 // Prewarm outcome: checkpoints by functional offset. An offset missing
@@ -93,7 +98,8 @@ IntervalResult run_one_interval(const MachineConfig& config,
                                 const Program& program,
                                 const IntervalSpec& spec,
                                 const Checkpoint* start, bool host_profile,
-                                bool cpi_stack = false);
+                                bool cpi_stack = false,
+                                const SimOptions& sim = SimOptions{});
 
 // One IntervalResult as a single JSON line (no trailing newline): the
 // process-worker protocol and the per-interval record format the tools

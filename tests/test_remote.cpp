@@ -145,9 +145,9 @@ std::optional<std::string> expect_frame(FrameChannel& ch,
 // Raw fake worker: drives the handshake by hand so tests can then
 // misbehave (vanish mid-task, go silent) in ways run_remote_worker never
 // would. Returns a connected channel that has sent READY, or nullptr.
-std::unique_ptr<FrameChannel> fake_ready_worker(std::uint16_t port,
-                                                int proto = 1,
-                                                unsigned slots = 1) {
+std::unique_ptr<FrameChannel> fake_ready_worker(
+    std::uint16_t port, int proto = kRemoteProtocolVersion,
+    unsigned slots = 1) {
   std::string err;
   const int fd = tcp_connect({"127.0.0.1", port}, 5, &err);
   if (fd < 0) return nullptr;

@@ -216,6 +216,36 @@ TEST(SchedEquivalence, OneIntervalSampledRunMatchesGolden) {
   expect_matches_golden("gzip/base", s.aggregate);
 }
 
+// Co-simulation cadence is a pure check: spot and off runs must commit
+// the identical schedule, so they reproduce the same scan-scheduler
+// goldens as the default full-cadence run — bit for bit, every counter.
+TEST(SchedEquivalence, CosimSpotAndOffMatchGoldens) {
+  SimOptions spot;
+  spot.cosim = CosimMode::kSpot;
+  spot.cosim_period = 64;
+  SimOptions off;
+  off.cosim = CosimMode::kOff;
+  for (const SimOptions* so : {&spot, &off}) {
+    for (const char* wname : {"gzip", "li"}) {
+      const Workload w = build_workload(wname);
+      Simulator sim(base_machine(), w.program);
+      sim.set_options(*so);
+      const SimResult r = sim.run(kCommits, kWarmup);
+      ASSERT_TRUE(r.ok()) << cosim_name(*so) << ": " << r.error;
+      expect_matches_golden(std::string(wname) + "/base", r.stats);
+    }
+    const Workload gzip = build_workload("gzip");
+    for (const StackPoint& p : technique_stack(2)) {
+      Simulator sim(p.config, gzip.program);
+      sim.set_options(*so);
+      const SimResult r = sim.run(kCommits, kWarmup);
+      ASSERT_TRUE(r.ok()) << cosim_name(*so) << "/" << p.label << ": "
+                          << r.error;
+      expect_matches_golden(std::string("gzip/s2/") + p.label, r.stats);
+    }
+  }
+}
+
 // The idle-cycle skip must be invisible in simulated time: cycles advance
 // identically whether idle stretches are stepped or jumped, and the skip
 // counter only ever accounts cycles the stepped loop would have idled

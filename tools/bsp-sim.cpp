@@ -16,6 +16,8 @@
 //     --interval N          sampling period in committed insns [default 10000]
 //     --cpi-stack           charge every commit slot to a stall cause and
 //                           print the CPI stack (obs/cpi_stack.hpp)
+//     --cosim MODE          full | spot[:N] | off — oracle co-simulation
+//                           cadence (core/simulator.hpp)  [default full]
 //     --host-profile        report where host time went per scheduler phase
 //     --print-config        dump the machine configuration first
 //   Sampled simulation (src/sampling/): shard the measured region into K
@@ -138,20 +140,31 @@ void print_host_profile(const SimStats& s) {
   const auto pct = [&](double v) {
     return total > 0 ? 100.0 * v / total : 0.0;
   };
-  char buf[256];
+  // Nested shares (co-sim inside commit, replay inside memory) say "of
+  // total" explicitly so the parenthetical can't be misread as a share of
+  // its parent phase; co-sim disappears when it never ran (--cosim off).
+  char cosim[64] = "";
+  if (hp.cosim > 0)
+    std::snprintf(cosim, sizeof cosim, "  (co-sim %.1f%% of total)",
+                  pct(hp.cosim));
+  char replay[64] = "";
+  if (hp.replay > 0)
+    std::snprintf(replay, sizeof replay, "  (replay %.1f%% of total)",
+                  pct(hp.replay));
+  char buf[384];
   std::snprintf(buf, sizeof buf,
                 "host:         %.3fs wall, %.3fs in phases over %llu loop "
                 "cycles\n"
-                "  commit   %5.1f%%  (co-sim %.1f%%)\n"
+                "  commit   %5.1f%%%s\n"
                 "  resolve  %5.1f%%\n"
                 "  select   %5.1f%%\n"
-                "  memory   %5.1f%%  (replay %.1f%%)\n"
+                "  memory   %5.1f%%%s\n"
                 "  dispatch %5.1f%%\n"
                 "  fetch    %5.1f%%\n",
                 s.host_seconds, total,
                 static_cast<unsigned long long>(hp.loop_cycles),
-                pct(hp.commit), pct(hp.cosim), pct(hp.resolve),
-                pct(hp.select), pct(hp.memory), pct(hp.replay),
+                pct(hp.commit), cosim, pct(hp.resolve),
+                pct(hp.select), pct(hp.memory), replay,
                 pct(hp.dispatch), pct(hp.fetch));
   std::cout << buf;
 }
@@ -173,6 +186,7 @@ int main(int argc, char** argv) {
   u64 interval = 10'000;
   bool host_profile = false;
   bool cpi_stack = false;
+  SimOptions sim_opts;
   unsigned sample_intervals = 0;
   u64 sample_warmup = 2'000;
   unsigned sample_jobs = 0;
@@ -253,6 +267,11 @@ int main(int argc, char** argv) {
       host_profile = true;
     } else if (a == "--cpi-stack") {
       cpi_stack = true;
+    } else if (a == "--cosim") {
+      if (!parse_cosim(value(), &sim_opts)) {
+        std::cerr << "bsp-sim: --cosim must be full, spot[:N], or off\n";
+        return 2;
+      }
     } else if (a == "--print-config") {
       print_config = true;
     } else if (a == "--detail") {
@@ -264,7 +283,8 @@ int main(int argc, char** argv) {
                    "[--trace [START END]] "
                    "[--trace-perfetto out.json] [--trace-konata out.kanata] "
                    "[--interval-stats out.jsonl] [--interval N] "
-                   "[--cpi-stack] [--host-profile] [--print-config] "
+                   "[--cpi-stack] [--host-profile] [--cosim MODE] "
+                   "[--print-config] "
                    "[--sample-intervals K] [--sample-warmup N] "
                    "[--sample-jobs J] [--sample-isolate thread|process] "
                    "[--sample-out out.jsonl] [--ckpt-cache DIR]\n";
@@ -322,7 +342,7 @@ int main(int argc, char** argv) {
     }
     const sampling::IntervalResult r = sampling::run_one_interval(
         cfg, *program, spec, start ? &*start : nullptr, host_profile,
-        cpi_stack);
+        cpi_stack, sim_opts);
     std::cout << sampling::interval_to_jsonl(r) << "\n";
     return r.ok() ? 0 : 1;
   }
@@ -345,6 +365,7 @@ int main(int argc, char** argv) {
     opts.jobs = sample_jobs;
     opts.host_profile = host_profile;
     opts.cpi_stack = cpi_stack;
+    opts.sim = sim_opts;  // process workers get it via the forwarded argv
     opts.ckpt_cache_dir = ckpt_cache;
     if (sample_process) {
       if (ckpt_cache.empty()) {
@@ -439,6 +460,7 @@ int main(int argc, char** argv) {
   if (detail) sim.enable_detail();
   if (host_profile) sim.enable_host_profile();
   if (cpi_stack) sim.enable_cpi_stack();
+  sim.set_options(sim_opts);
 
   // Structured sinks and the interval sampler stream straight to their
   // files; the ofstreams must outlive run().

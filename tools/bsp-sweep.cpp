@@ -44,6 +44,7 @@
 #include "campaign/builtin.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/remote.hpp"
+#include "core/simulator.hpp"
 #include "obs/cpi_stack.hpp"
 #include "sampling/runner.hpp"
 #include "util/cli.hpp"
@@ -238,6 +239,12 @@ int main(int argc, char** argv) {
                   "cpi_* leaf counters (sum == cycles * commit width) and a "
                   "per-machine aggregate stack prints after the summary",
                   &runner_options.cpi_stack);
+  parser.add_value("--cosim", "MODE",
+                   "oracle co-simulation cadence for every task: full "
+                   "(default), spot[:N] (full check every Nth commit and at "
+                   "every mispredict/syscall), or off; becomes part of each "
+                   "task id, so resume stores keep modes apart",
+                   &runner_options.cosim);
   parser.add_value("--ckpt-cache", "DIR",
                    "shared checkpoint cache for --fast-forward: each "
                    "distinct (workload, seed) checkpoint is materialised "
@@ -328,6 +335,14 @@ int main(int argc, char** argv) {
               << isolate << "'\n";
     return 2;
   }
+  if (!runner_options.cosim.empty()) {
+    SimOptions probe;
+    if (!parse_cosim(runner_options.cosim, &probe)) {
+      std::cerr << "bsp-sweep: --cosim must be full, spot[:N], or off, got '"
+                << runner_options.cosim << "'\n";
+      return 2;
+    }
+  }
 
   // One task = one scheduler slot either way: the sampled runner simulates
   // its intervals serially inside the slot, so sweep-level parallelism
@@ -340,6 +355,10 @@ int main(int argc, char** argv) {
     sopts.ckpt_cache_dir = runner_options.ckpt_cache_dir;
     sopts.host_profile = runner_options.host_profile;
     sopts.cpi_stack = runner_options.cpi_stack;
+    // Run-wide default; a task's own TaskSpec::cosim still overrides it
+    // inside the sampled runner. Validated right after parsing.
+    if (!runner_options.cosim.empty())
+      parse_cosim(runner_options.cosim, &sopts.sim);
     return sampling::make_sampled_runner(sopts);
   };
 
@@ -359,6 +378,10 @@ int main(int argc, char** argv) {
     }
     if (runner_options.host_profile) cmd.push_back("--host-profile");
     if (runner_options.cpi_stack) cmd.push_back("--cpi-stack");
+    if (!runner_options.cosim.empty()) {
+      cmd.push_back("--cosim");
+      cmd.push_back(runner_options.cosim);
+    }
     if (sample_intervals > 0) {
       cmd.push_back("--sample-intervals");
       cmd.push_back(std::to_string(sample_intervals));
@@ -392,6 +415,7 @@ int main(int argc, char** argv) {
       runner_options.interval = rs.interval;
       runner_options.host_profile = rs.host_profile;
       runner_options.cpi_stack = rs.cpi_stack;
+      runner_options.cosim = rs.cosim;
       sample_intervals = static_cast<unsigned>(rs.sample_intervals);
       sample_warmup = rs.sample_warmup;
       sched->ckpt_cache_dir = options.scheduler.ckpt_cache_dir;
@@ -447,6 +471,7 @@ int main(int argc, char** argv) {
   if (has_n) spec.instructions = instructions;
   if (has_warmup) spec.warmup = warmup;
   if (has_ff) spec.fast_forward = fast_forward;
+  if (!runner_options.cosim.empty()) spec.cosim = runner_options.cosim;
 
   if (!worker_task.empty()) return run_worker(spec, make_runner(), worker_task);
 
@@ -497,6 +522,7 @@ int main(int argc, char** argv) {
     ropts.spec.cpi_stack = runner_options.cpi_stack;
     ropts.spec.sample_intervals = sample_intervals;
     ropts.spec.sample_warmup = sample_warmup;
+    ropts.spec.cosim = runner_options.cosim;
     ropts.spec.timeout_sec = options.scheduler.timeout_sec;
     ropts.spec.max_attempts = options.scheduler.max_attempts;
     report = serve_campaign(spec, options, ropts);
